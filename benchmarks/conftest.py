@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.bench import SynthConfig, build, generate
+
+
+@pytest.fixture(scope="session")
+def autofs_small():
+    return build("autofs", scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def sendmail_tiny():
+    return build("sendmail", scale=0.01)
+
+
+@pytest.fixture(scope="session")
+def mtdaapd_small():
+    return build("mt_daapd", scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def midsize_program():
+    return generate(SynthConfig(name="midsize", pointers=400, functions=16,
+                                hub_fractions=(0.25,), overlap=0.3,
+                                lock_count=2, seed=1234)).program

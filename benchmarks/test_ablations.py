@@ -1,0 +1,188 @@
+"""Ablation benchmarks (experiment E9): the design choices the paper
+discusses qualitatively.
+
+* Andersen-threshold sweep (the paper picked 60 empirically);
+* the optional One-Flow middle stage;
+* simulated parallelism with 1 vs 5 parts (the paper's 5 machines);
+* demand-driven cluster selection (lock pointers only) vs analyzing
+  everything.
+"""
+
+import pytest
+
+from repro.applications import lock_pointers
+from repro.core import (
+    BootstrapConfig,
+    BootstrapResult,
+    CascadeConfig,
+    greedy_parts,
+    run_cascade,
+    select_clusters,
+)
+
+
+def analyze_with(program, cascade_config, parts=5):
+    cascade = run_cascade(program, cascade_config)
+    result = BootstrapResult(program, cascade, BootstrapConfig(parts=parts))
+    return result, result.analyze_all()
+
+
+class TestThresholdSweep:
+    @pytest.mark.parametrize("threshold", [2, 6, 60, 10 ** 9])
+    def test_bench_threshold(self, benchmark, autofs_small, threshold):
+        _, report = benchmark.pedantic(
+            lambda: analyze_with(
+                autofs_small.program,
+                CascadeConfig(andersen_threshold=threshold)),
+            rounds=1, iterations=1)
+        assert report.max_part_time >= 0
+
+    def test_threshold_monotone_max_cluster(self, autofs_small):
+        maxima = []
+        for threshold in (2, 6, 60, 10 ** 9):
+            cascade = run_cascade(
+                autofs_small.program,
+                CascadeConfig(andersen_threshold=threshold))
+            maxima.append(cascade.max_cluster_size())
+        assert maxima == sorted(maxima)
+
+
+class TestOneFlowStage:
+    def test_bench_with_oneflow(self, benchmark, autofs_small):
+        _, report = benchmark.pedantic(
+            lambda: analyze_with(autofs_small.program,
+                                 CascadeConfig(use_oneflow=True,
+                                               oneflow_threshold=6,
+                                               andersen_threshold=6)),
+            rounds=1, iterations=1)
+        assert report.max_part_time >= 0
+
+    def test_oneflow_stage_never_coarsens(self, autofs_small):
+        plain = run_cascade(autofs_small.program,
+                            CascadeConfig(andersen_threshold=6))
+        with_of = run_cascade(autofs_small.program,
+                              CascadeConfig(use_oneflow=True,
+                                            oneflow_threshold=6,
+                                            andersen_threshold=6))
+        assert with_of.max_cluster_size() <= plain.max_cluster_size() * 1.5
+
+
+class TestParallelism:
+    @pytest.mark.parametrize("parts", [1, 5])
+    def test_bench_parts(self, benchmark, autofs_small, parts):
+        _, report = benchmark.pedantic(
+            lambda: analyze_with(autofs_small.program, CascadeConfig(),
+                                 parts=parts),
+            rounds=1, iterations=1)
+        assert len(report.part_times) <= parts
+
+    def test_five_way_beats_sequential(self, autofs_small):
+        """The whole point of the simulated 5 machines: max part time is
+        well below the sequential sum."""
+        _, seq = analyze_with(autofs_small.program, CascadeConfig(),
+                              parts=1)
+        result, par = analyze_with(autofs_small.program, CascadeConfig(),
+                                   parts=5)
+        assert par.max_part_time < seq.max_part_time
+        schedule = greedy_parts(result.clusters, 5)
+        assert 1 < len(schedule) <= 5
+
+
+class TestDemandDriven:
+    def test_bench_lock_clusters_only(self, benchmark, autofs_small):
+        """The race-detection workload: analyze only clusters with lock
+        pointers."""
+        program = autofs_small.program
+        locks = lock_pointers(program)
+        assert locks
+
+        def run():
+            cascade = run_cascade(program, CascadeConfig())
+            result = BootstrapResult(program, cascade, BootstrapConfig())
+            sel = select_clusters(result, locks)
+            return result.analyze_all(clusters=sel.selected), sel
+
+        report, sel = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert sel.cluster_fraction < 0.2
+        assert report.total_time >= 0
+
+    def test_demand_fraction_is_small(self, autofs_small):
+        program = autofs_small.program
+        cascade = run_cascade(program, CascadeConfig())
+        result = BootstrapResult(program, cascade, BootstrapConfig())
+        sel = select_clusters(result, lock_pointers(program))
+        assert 0 < len(sel.selected) <= 4
+
+
+class TestPathSensitivity:
+    """The Section-3 extension's cost/benefit, measured."""
+
+    def test_bench_path_sensitive_summaries(self, benchmark, autofs_small):
+        from repro.analysis import FSCI
+        from repro.analysis.summaries import ObjTerm, SummaryEngine
+        program = autofs_small.program
+        fsci = FSCI(program).run()
+        targets = sorted(program.pointers, key=str)[:10]
+
+        def run():
+            engine = SummaryEngine(program, fsci=fsci, path_sensitive=True)
+            for p in targets:
+                engine.exit_summary("main", ObjTerm(p))
+            return engine.steps
+
+        steps = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert steps > 0
+
+    def test_bench_path_insensitive_summaries(self, benchmark,
+                                              autofs_small):
+        from repro.analysis import FSCI
+        from repro.analysis.summaries import ObjTerm, SummaryEngine
+        program = autofs_small.program
+        fsci = FSCI(program).run()
+        targets = sorted(program.pointers, key=str)[:10]
+
+        def run():
+            engine = SummaryEngine(program, fsci=fsci,
+                                   path_sensitive=False)
+            for p in targets:
+                engine.exit_summary("main", ObjTerm(p))
+            return engine.steps
+
+        steps = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert steps > 0
+
+    def test_path_sensitivity_never_adds_origins(self):
+        """Branch constraints only prune: the path-sensitive origin set
+        is a subset of the insensitive one (modulo conditions)."""
+        from repro import parse_program
+        from repro.analysis import whole_program_fscs
+        from repro.ir import Loc, Var
+        prog = parse_program("""
+            int a, b; int *p; int *g;
+            int main() {
+                p = &a;
+                if (p == NULL) { g = &a; } else { g = &b; }
+                return 0;
+            }
+        """)
+        sensitive = whole_program_fscs(prog)
+        end = Loc("main", prog.cfg_of("main").exit)
+        pts = sensitive.points_to(Var("g"), end)
+        assert pts == frozenset({Var("b")})
+
+
+class TestConstraintCap:
+    @pytest.mark.parametrize("cap", [1, 4, 16])
+    def test_bench_cond_atom_cap(self, benchmark, autofs_small, cap):
+        from repro.core import BootstrapConfig, BootstrapResult
+        from repro.core import run_cascade as rc
+        program = autofs_small.program
+
+        def run():
+            cascade = rc(program, CascadeConfig())
+            result = BootstrapResult(
+                program, cascade, BootstrapConfig(max_cond_atoms=cap))
+            return result.analyze_all().max_part_time
+
+        t = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert t >= 0

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the individual analyses on one mid-size program.
+
+Not a paper artifact per se, but the cost ordering they document —
+Steensgaard < One-Flow < Andersen << whole-program FSCS — is the premise
+of the whole bootstrapping cascade.
+"""
+
+import pytest
+
+from repro.analysis import FSCI, Andersen, OneFlow, Steensgaard
+from repro.core import relevant_statements, run_cascade
+
+
+class TestAnalysisCosts:
+    def test_bench_steensgaard(self, benchmark, midsize_program):
+        result = benchmark(lambda: Steensgaard(midsize_program).run())
+        assert result.max_partition_size() > 0
+
+    def test_bench_andersen(self, benchmark, midsize_program):
+        result = benchmark(lambda: Andersen(midsize_program).run())
+        assert result.clusters()
+
+    def test_bench_andersen_no_cycle_elim(self, benchmark, midsize_program):
+        result = benchmark(
+            lambda: Andersen(midsize_program,
+                             cycle_elimination=False).run())
+        assert result.clusters()
+
+    def test_bench_oneflow(self, benchmark, midsize_program):
+        result = benchmark(lambda: OneFlow(midsize_program).run())
+        assert result is not None
+
+    def test_bench_fsci_whole_program(self, benchmark, midsize_program):
+        result = benchmark.pedantic(
+            lambda: FSCI(midsize_program, max_iterations=3_000_000).run(),
+            rounds=1, iterations=1)
+        assert result.iterations > 0
+
+
+class TestSlicingCosts:
+    def test_bench_algorithm1_all_partitions(self, benchmark,
+                                             midsize_program):
+        steens = Steensgaard(midsize_program).run()
+        parts = steens.partitions()
+
+        def run():
+            return [relevant_statements(midsize_program, steens, p)
+                    for p in parts]
+
+        slices = benchmark(run)
+        assert all(s.vp >= s.cluster for s in slices)
+
+    def test_bench_cascade_end_to_end(self, benchmark, midsize_program):
+        result = benchmark(
+            lambda: run_cascade(midsize_program))
+        assert result.clusters

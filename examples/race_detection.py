@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's motivating application: data race detection via locksets.
+
+A driver-flavoured program with two "threads" (an ioctl path and an
+interrupt handler).  One shared counter is consistently protected by a
+lock; another is written unlocked from the interrupt path — a race.
+
+The alias work is demand-driven: only clusters containing lock pointers
+need must-alias analysis, which the demand-selection report shows.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import BootstrapAnalyzer, parse_program
+from repro.applications import (
+    LocksetAnalysis,
+    RaceDetector,
+    find_lock_sites,
+    lock_pointers,
+)
+from repro.core import select_clusters
+
+SOURCE = r"""
+int dev_lock_obj;
+int counter_safe;
+int counter_racy;
+
+int *the_lock;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+void ioctl_handler(void) {
+    lock(the_lock);
+    counter_safe = counter_safe + 1;
+    counter_racy = counter_racy + 1;   /* locked here... */
+    unlock(the_lock);
+}
+
+void irq_handler(void) {
+    lock(the_lock);
+    counter_safe = counter_safe + 2;
+    unlock(the_lock);
+    counter_racy = counter_racy + 2;   /* ...but not here: race! */
+}
+
+int main() {
+    the_lock = &dev_lock_obj;
+    ioctl_handler();
+    irq_handler();
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+
+    sites = find_lock_sites(program)
+    print(f"Found {len(sites)} lock/unlock sites; lock pointers:",
+          sorted(map(str, lock_pointers(program))))
+
+    # Demand-driven cluster selection: the paper's flexibility story.
+    result = BootstrapAnalyzer(program).run()
+    selection = select_clusters(result, lock_pointers(program))
+    print(f"Demand-driven: {len(selection.selected)} of "
+          f"{selection.total_clusters} clusters contain lock pointers "
+          f"({selection.pointer_fraction:.1%} of all pointers).")
+
+    locksets = LocksetAnalysis(program).run()
+    for site in locksets.sites:
+        held = sorted(map(str, locksets.held_after(site.loc)))
+        print(f"   after {site.primitive} at {site.loc}: held = {held}")
+
+    detector = RaceDetector(program,
+                            thread_entries=["ioctl_handler", "irq_handler"])
+    warnings = detector.run()
+    print(f"\n{len(warnings)} race warning(s):")
+    for w in warnings:
+        print("   ", w)
+    racy = [w for w in warnings if "counter_racy" in str(w)]
+    safe = [w for w in warnings if "counter_safe" in str(w)]
+    print(f"\ncounter_racy flagged: {bool(racy)} (expected: True)")
+    print(f"counter_safe flagged: {bool(safe)} (expected: False)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Pointer analyses: Steensgaard, One-Flow, Andersen, FSCI, FSCS."""
+
+from .andersen import Andersen, AndersenResult
+from .base import MapPointsTo, PointerAnalysis, PointsToResult, precision_refines
+from .constraints import (
+    NULL_MARKER,
+    TRUE,
+    Atom,
+    Constraint,
+    SatOracle,
+    conjoin,
+    format_constraint,
+    merge,
+    null_atom,
+    points_to_atom,
+    same_object_atom,
+)
+from .dataflow import ForwardDataflow, Supergraph
+from .demand import DemandAndersen, demand_points_to
+from .fsci import FSCI, FSCIResult
+from .fscs import ClusterFSCS, whole_program_fscs
+from .mustalias import MustAlias, MustAliasResult, MUST_NULL, TOP as MUST_TOP
+from .oneflow import OneFlow
+from .oracle import ConcreteExecutor, OracleResult, execute
+from .steensgaard import Steensgaard, SteensgaardResult
+from .summaries import (
+    AddrTerm,
+    DerefTerm,
+    NullTerm,
+    ObjTerm,
+    SummaryEngine,
+    SummaryTuple,
+    Term,
+    UnknownTerm,
+)
+from .unionfind import UnionFind
+
+__all__ = [
+    "Andersen", "AndersenResult", "AddrTerm", "Atom", "ClusterFSCS",
+    "ConcreteExecutor", "Constraint", "DemandAndersen", "DerefTerm", "FSCI", "FSCIResult", "demand_points_to",
+    "ForwardDataflow", "MapPointsTo", "MustAlias", "MustAliasResult", "NULL_MARKER", "NullTerm", "ObjTerm", "OneFlow", "null_atom",
+    "OracleResult", "PointerAnalysis", "PointsToResult", "SatOracle",
+    "Steensgaard", "SteensgaardResult", "SummaryEngine", "SummaryTuple",
+    "Supergraph", "TRUE", "Term", "UnionFind", "UnknownTerm", "conjoin",
+    "execute", "format_constraint", "merge", "points_to_atom",
+    "precision_refines", "same_object_atom", "whole_program_fscs",
+]

@@ -1,0 +1,276 @@
+"""Andersen's inclusion-based points-to analysis (PhD thesis, 1994).
+
+The second cascade stage.  Unlike Steensgaard's analysis it respects the
+direction of assignments, so its points-to sets are smaller, but they are
+*not* equivalence classes: a pointer may belong to several **Andersen
+clusters** (the sets of pointers that point to a common object), which
+together form a *disjunctive alias cover* (paper Theorem 7).
+
+The solver is a standard difference-propagation worklist over a constraint
+graph with on-the-fly load/store edge addition and periodic SCC collapse
+(cycle elimination), and can be restricted to a statement subset — that is
+how bootstrapping runs it "on the sliced sub-program only".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir import (
+    AddrOf,
+    Copy,
+    Load,
+    MemObject,
+    Program,
+    Statement,
+    Store,
+    Var,
+)
+from .base import PointerAnalysis, PointsToResult
+from .unionfind import UnionFind
+
+
+class AndersenResult(PointsToResult):
+    """Points-to sets plus cluster extraction."""
+
+    def __init__(self, pts: Dict[MemObject, FrozenSet[MemObject]],
+                 universe: Set[Var]) -> None:
+        self._pts = pts
+        self.universe = universe
+
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        return self._pts.get(p, frozenset())
+
+    def points_to_obj(self, o: MemObject) -> FrozenSet[MemObject]:
+        """Points-to content of any abstract object (heap cells included)."""
+        return self._pts.get(o, frozenset())
+
+    def clusters(self, pointers: Optional[Iterable[Var]] = None,
+                 include_singletons: bool = True) -> List[FrozenSet[Var]]:
+        """Andersen clusters over ``pointers`` (default: the universe).
+
+        One cluster per pointed-to object: the set of pointers whose
+        points-to sets contain it.  Pointers with empty points-to sets
+        cannot alias anything; with ``include_singletons`` they are
+        emitted as singleton clusters so the result still covers every
+        pointer (convenient for the cascade's bookkeeping).
+        """
+        ptrs = set(pointers) if pointers is not None else set(self.universe)
+        by_obj: Dict[MemObject, Set[Var]] = {}
+        covered: Set[Var] = set()
+        for p in ptrs:
+            for obj in self.points_to(p):
+                by_obj.setdefault(obj, set()).add(p)
+                covered.add(p)
+        clusters = {frozenset(c) for c in by_obj.values()}
+        if include_singletons:
+            for p in ptrs - covered:
+                clusters.add(frozenset({p}))
+        return sorted(clusters, key=lambda s: (-len(s), sorted(map(str, s))))
+
+    def max_cluster_size(self, pointers: Optional[Iterable[Var]] = None) -> int:
+        return max((len(c) for c in self.clusters(pointers)), default=0)
+
+
+class Andersen(PointerAnalysis):
+    """Worklist inclusion-constraint solver.
+
+    Parameters
+    ----------
+    program:
+        The program providing the object universe.
+    statements:
+        Optional statement subset to solve over (the bootstrapped mode);
+        defaults to every statement in the program.
+    cycle_elimination:
+        Collapse constraint-graph SCCs periodically.  Identical results,
+        usually faster on large inputs.
+    """
+
+    name = "andersen"
+
+    def __init__(self, program: Program,
+                 statements: Optional[Iterable[Statement]] = None,
+                 cycle_elimination: bool = True) -> None:
+        super().__init__(program)
+        if statements is None:
+            stmts: List[Statement] = [s for _, s in program.statements()]
+        else:
+            stmts = list(statements)
+        self._statements = stmts
+        self._cycle_elimination = cycle_elimination
+
+    def run(self) -> AndersenResult:
+        addr: List[Tuple[MemObject, MemObject]] = []   # lhs ⊇ {target}
+        copies: List[Tuple[MemObject, MemObject]] = [] # lhs ⊇ rhs
+        loads: List[Tuple[Var, Var]] = []              # lhs ⊇ *rhs
+        stores: List[Tuple[Var, Var]] = []             # *lhs ⊇ rhs
+        for stmt in self._statements:
+            if isinstance(stmt, AddrOf):
+                addr.append((stmt.lhs, stmt.target))
+            elif isinstance(stmt, Copy):
+                copies.append((stmt.lhs, stmt.rhs))
+            elif isinstance(stmt, Load):
+                loads.append((stmt.lhs, stmt.rhs))
+            elif isinstance(stmt, Store):
+                stores.append((stmt.lhs, stmt.rhs))
+
+        uf: UnionFind[MemObject] = UnionFind()
+        pts: Dict[MemObject, Set[MemObject]] = {}
+        delta: Dict[MemObject, Set[MemObject]] = {}
+        succs: Dict[MemObject, Set[MemObject]] = {}
+        load_cons: Dict[MemObject, List[MemObject]] = {}
+        store_cons: Dict[MemObject, List[MemObject]] = {}
+        # Edges already materialized for complex constraints.
+        done_edges: Set[Tuple[MemObject, MemObject]] = set()
+
+        def rep(n: MemObject) -> MemObject:
+            return uf.find(n)
+
+        def add_edge(src: MemObject, dst: MemObject) -> None:
+            src, dst = rep(src), rep(dst)
+            if src == dst:
+                return
+            if dst in succs.setdefault(src, set()):
+                return
+            succs[src].add(dst)
+            new = pts.get(src, set()) - pts.get(dst, set())
+            if new:
+                pts.setdefault(dst, set()).update(new)
+                delta.setdefault(dst, set()).update(new)
+
+        for lhs, target in addr:
+            pts.setdefault(rep(lhs), set()).add(target)
+            delta.setdefault(rep(lhs), set()).add(target)
+        for lhs, rhs in copies:
+            add_edge(rhs, lhs)
+        for lhs, rhs in loads:
+            load_cons.setdefault(rep(rhs), []).append(lhs)
+        for lhs, rhs in stores:
+            store_cons.setdefault(rep(lhs), []).append(rhs)
+
+        rounds_since_collapse = 0
+        while delta:
+            node, new_objs = delta.popitem()
+            node = rep(node)
+            if not new_objs:
+                continue
+            # Complex constraints: node's points-to grew, so loads from
+            # and stores through node gain edges.
+            for dst in load_cons.get(node, ()):  # dst = *node
+                for obj in new_objs:
+                    key = (rep(obj), rep(dst))
+                    if key not in done_edges:
+                        done_edges.add(key)
+                        add_edge(obj, dst)
+            for src in store_cons.get(node, ()):  # *node = src
+                for obj in new_objs:
+                    key = (rep(src), rep(obj))
+                    if key not in done_edges:
+                        done_edges.add(key)
+                        add_edge(src, obj)
+            # Propagate along copy edges.
+            for dst in list(succs.get(node, ())):
+                dst = rep(dst)
+                if dst == node:
+                    continue
+                fresh = new_objs - pts.get(dst, set())
+                if fresh:
+                    pts.setdefault(dst, set()).update(fresh)
+                    delta.setdefault(dst, set()).update(fresh)
+            rounds_since_collapse += 1
+            if (self._cycle_elimination and not delta
+                    and rounds_since_collapse > len(succs)):
+                rounds_since_collapse = 0
+                self._collapse_sccs(uf, pts, delta, succs, load_cons, store_cons)
+
+        # Canonicalize: every object maps to its representative's set,
+        # with members of merged classes sharing the same set.
+        final: Dict[MemObject, FrozenSet[MemObject]] = {}
+        for obj in set(self.program.objects) | set(pts):
+            final[obj] = frozenset(pts.get(rep(obj), ()))
+        return AndersenResult(final, set(self.program.pointers))
+
+    @staticmethod
+    def _collapse_sccs(uf: UnionFind[MemObject],
+                       pts: Dict[MemObject, Set[MemObject]],
+                       delta: Dict[MemObject, Set[MemObject]],
+                       succs: Dict[MemObject, Set[MemObject]],
+                       load_cons: Dict[MemObject, List[MemObject]],
+                       store_cons: Dict[MemObject, List[MemObject]]) -> None:
+        """Collapse copy-edge SCCs (pointer equivalence), remapping every
+        side table onto class representatives."""
+        nodes = list(succs)
+        index: Dict[MemObject, int] = {}
+        low: Dict[MemObject, int] = {}
+        on_stack: Set[MemObject] = set()
+        stack: List[MemObject] = []
+        counter = [0]
+        merged_any = [False]
+
+        def connect(root: MemObject) -> None:
+            work: List[Tuple[MemObject, Iterable[MemObject]]] = \
+                [(root, iter(list(succs.get(root, ()))))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    nxt = uf.find(nxt)
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(list(succs.get(nxt, ())))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    low[work[-1][0]] = min(low[work[-1][0]], low[node])
+                if low[node] == index[node]:
+                    comp: List[MemObject] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1:
+                        merged_any[0] = True
+                        base = comp[0]
+                        for other in comp[1:]:
+                            uf.union(base, other)
+
+        for n in nodes:
+            if uf.find(n) == n and n not in index:
+                connect(n)
+        if not merged_any[0]:
+            return
+        # Rebuild side tables keyed by representatives.
+        for table in (pts, delta):
+            old = list(table.items())
+            table.clear()
+            for key, val in old:
+                table.setdefault(uf.find(key), set()).update(val)
+        old_succs = list(succs.items())
+        succs.clear()
+        for key, val in old_succs:
+            r = uf.find(key)
+            succs.setdefault(r, set()).update(uf.find(v) for v in val)
+            succs[r].discard(r)
+        for cons in (load_cons, store_cons):
+            old_cons = list(cons.items())
+            cons.clear()
+            for key, val in old_cons:
+                cons.setdefault(uf.find(key), []).extend(val)
+        # Merged classes may now have unpropagated facts.
+        for key, val in list(pts.items()):
+            delta.setdefault(key, set()).update(val)

@@ -1,0 +1,74 @@
+"""Common interfaces for pointer analyses.
+
+Every analysis stage of the bootstrapping cascade — Steensgaard, One-Flow,
+Andersen, FSCI, FSCS — exposes points-to information through
+:class:`PointsToResult` so the cascade driver, cluster extraction and the
+test-suite precision-ordering checks can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..ir import MemObject, Program, Var
+
+
+class PointsToResult(ABC):
+    """Flow-insensitive view of an analysis' result.
+
+    Flow-sensitive analyses implement this as the union over all
+    locations, and offer richer location-indexed accessors of their own.
+    """
+
+    @abstractmethod
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        """Objects ``p`` may point to."""
+
+    def may_alias(self, p: Var, q: Var) -> bool:
+        """May ``p`` and ``q`` point to the same object?
+
+        Two pointers with empty points-to sets never alias (they have no
+        value to share under the paper's model).
+        """
+        if p == q:
+            return True
+        return bool(self.points_to(p) & self.points_to(q))
+
+    def alias_set(self, p: Var, universe: Iterable[Var]) -> Set[Var]:
+        """All pointers in ``universe`` that may alias ``p``."""
+        return {q for q in universe if self.may_alias(p, q)}
+
+
+class MapPointsTo(PointsToResult):
+    """A points-to result backed by a plain dict (the common case)."""
+
+    def __init__(self, pts: Dict[Var, FrozenSet[MemObject]]) -> None:
+        self._pts = pts
+
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        return self._pts.get(p, frozenset())
+
+    def as_dict(self) -> Dict[Var, FrozenSet[MemObject]]:
+        return dict(self._pts)
+
+
+class PointerAnalysis(ABC):
+    """A runnable whole-program (or sub-program) pointer analysis."""
+
+    #: Human-readable stage name used in cascade reports.
+    name: str = "abstract"
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    @abstractmethod
+    def run(self) -> PointsToResult:
+        """Execute the analysis and return its result."""
+
+
+def precision_refines(finer: PointsToResult, coarser: PointsToResult,
+                      pointers: Iterable[Var]) -> bool:
+    """True when ``finer`` reports a subset of ``coarser``'s points-to
+    facts for every pointer — the ordering the cascade relies on."""
+    return all(finer.points_to(p) <= coarser.points_to(p) for p in pointers)

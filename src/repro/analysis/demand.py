@@ -1,0 +1,143 @@
+"""Demand-driven Andersen-style points-to queries.
+
+The paper's keyword list includes *demand-driven analysis*, and its
+flexibility pitch ("we may not be interested in accurate aliases for all
+pointers in the program but only a small subset") applies one level below
+the cascade too: when a client only needs the points-to set of a handful
+of pointers, even the bootstrapped Andersen stage can answer from a
+*local* exploration of the constraint graph instead of a whole-program
+fixpoint.
+
+The algorithm is a CFL-reachability-flavoured backward exploration in the
+spirit of Heintze & Tardieu (PLDI'01): to answer ``pts(p)`` it chases
+
+* address-of edges at ``p`` (base facts),
+* copy edges into ``p`` (recursive ``pts`` of sources),
+* load edges ``p = *q`` (``pts`` of every cell ``q`` may point to, where
+  cell contents are themselves resolved on demand from store statements
+  ``*u = t`` whose ``u`` may reach the cell).
+
+Results are memoized and computed by iterating a per-query fixpoint, so
+repeated queries share work.  The answers are *identical* to the
+exhaustive Andersen solver's (a property test asserts this); only the
+work is demand-scaled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import AnalysisBudgetExceeded
+from ..ir import (
+    AddrOf,
+    Copy,
+    Load,
+    MemObject,
+    Program,
+    Statement,
+    Store,
+    Var,
+)
+
+
+class DemandAndersen:
+    """Answer ``points_to`` queries without a whole-program solve.
+
+    Parameters
+    ----------
+    statements:
+        Statement subset to consider (defaults to the whole program) —
+        composable with the cascade's slices.
+    budget:
+        Maximum number of fixpoint evaluation steps across the instance.
+    """
+
+    def __init__(self, program: Program,
+                 statements: Optional[Iterable[Statement]] = None,
+                 budget: Optional[int] = None) -> None:
+        self.program = program
+        if statements is None:
+            stmts: List[Statement] = [s for _, s in program.statements()]
+        else:
+            stmts = list(statements)
+        self.budget = budget
+        self.steps = 0
+        # Indexes for backward chasing.
+        self._addr: Dict[Var, Set[MemObject]] = {}
+        self._copy_into: Dict[Var, Set[Var]] = {}   # lhs -> {rhs}
+        self._load_into: Dict[Var, Set[Var]] = {}   # lhs -> {rhs of *rhs}
+        self._stores: List[Tuple[Var, Var]] = []    # (*lhs = rhs)
+        for stmt in stmts:
+            if isinstance(stmt, AddrOf):
+                self._addr.setdefault(stmt.lhs, set()).add(stmt.target)
+            elif isinstance(stmt, Copy):
+                self._copy_into.setdefault(stmt.lhs, set()).add(stmt.rhs)
+            elif isinstance(stmt, Load):
+                self._load_into.setdefault(stmt.lhs, set()).add(stmt.rhs)
+            elif isinstance(stmt, Store):
+                self._stores.append((stmt.lhs, stmt.rhs))
+        # Memoized, monotonically growing points-to sets, per *node*
+        # (variables and cells alike).
+        self._pts: Dict[MemObject, Set[MemObject]] = {}
+        self._evaluating: Set[MemObject] = set()
+        self._touched: Set[MemObject] = set()
+
+    # ------------------------------------------------------------------
+    def points_to(self, p: MemObject) -> FrozenSet[MemObject]:
+        """The (exhaustive-Andersen-equal) points-to set of ``p``."""
+        # Iterate the demanded sub-fixpoint until no queried set grows:
+        # recursive cycles (p = q; q = p) and store/load feedback need
+        # re-evaluation rounds.  Each round memoizes per-node evaluation
+        # (``done``) so shared sub-queries cost once per round.
+        while True:
+            before = {n: len(s) for n, s in self._pts.items()}
+            self._eval(p, set(), set())
+            grew = any(len(self._pts.get(n, ())) != c
+                       for n, c in before.items())
+            grew = grew or any(n not in before for n in self._pts)
+            if not grew:
+                return frozenset(self._pts.get(p, ()))
+
+    def queries_touched(self) -> int:
+        """How many graph nodes this instance ever had to evaluate — the
+        demand-driven savings measure."""
+        return len(self._touched)
+
+    # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        self.steps += 1
+        if self.budget is not None and self.steps > self.budget:
+            raise AnalysisBudgetExceeded("demand-andersen", self.steps)
+
+    def _eval(self, node: MemObject, active: Set[MemObject],
+              done: Set[MemObject]) -> Set[MemObject]:
+        """One evaluation pass for ``node`` (cycle-cut via ``active``;
+        per-round memoization via ``done``)."""
+        self._bump()
+        self._touched.add(node)
+        if node in active or node in done:
+            return self._pts.setdefault(node, set())
+        active = active | {node}
+        out = self._pts.setdefault(node, set())
+        if isinstance(node, Var):
+            out.update(self._addr.get(node, ()))
+            for src in self._copy_into.get(node, ()):
+                out.update(self._eval(src, active, done))
+            for base in self._load_into.get(node, ()):
+                for cell in list(self._eval(base, active, done)):
+                    out.update(self._eval(cell, active, done))
+        # Cell contents (for both Var cells and alloc sites): every store
+        # whose target set may contain this cell contributes its rhs.
+        for u, t in self._stores:
+            if node in self._eval(u, active, done):
+                out.update(self._eval(t, active, done))
+        done.add(node)
+        return out
+
+
+def demand_points_to(program: Program, pointers: Iterable[Var],
+                     budget: Optional[int] = None
+                     ) -> Dict[Var, FrozenSet[MemObject]]:
+    """Convenience: demand-query several pointers with shared memoization."""
+    engine = DemandAndersen(program, budget=budget)
+    return {p: engine.points_to(p) for p in pointers}

@@ -1,0 +1,365 @@
+"""Flow-sensitive, context-insensitive (FSCI) points-to analysis.
+
+Paper Section 3 computes FSCI points-to sets demand-style (Algorithm 3, by
+splicing maximally complete update sequences through all callers).  The
+same information is the fixpoint of a forward may-points-to dataflow over
+the interprocedural supergraph; we implement that fixpoint directly — it
+is simpler to make industrial-strength, and on bootstrapped slices the
+state is tiny.  The summary engine (Algorithms 4/5) consumes this result
+as its oracle for
+
+* the points-to set of ``s`` at location ``m`` (``PT_s^m`` in Algorithm 4),
+* constraint satisfiability (Definition 8 atoms), and
+* "can function ``g`` semantically modify pointer ``q``".
+
+The analysis can be *sliced*: given a cluster's tracked pointer set
+``V_P`` and relevant statement set ``St_P`` (paper Algorithm 1), every
+other statement is treated as a skip, exactly like the paper's reduced
+program ``Prog_P``.
+
+The abstract domain tracks *uninitializedness* explicitly (the
+:data:`UNINIT` sentinel; a missing key means ``{UNINIT}``).  This is what
+makes strong updates sound: a store through a pointer whose may-set is a
+singleton **and** contains no ``UNINIT`` definitely writes that one cell
+— without the sentinel, a path on which the pointer was never assigned
+would silently disappear in the join and the "singleton" would not be a
+must-fact (a bug our property-based fuzzing actually caught).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+
+from ..ir import (
+    AddrOf,
+    AllocSite,
+    Assume,
+    CallGraph,
+    Copy,
+    Load,
+    Loc,
+    MemObject,
+    NullAssign,
+    Program,
+    Statement,
+    Store,
+    Var,
+)
+from .base import PointerAnalysis, PointsToResult
+from .dataflow import ForwardDataflow, Supergraph
+
+
+class _Uninit:
+    """Sentinel 'value': the cell may still hold its original garbage."""
+
+    _instance: Optional["_Uninit"] = None
+
+    def __new__(cls) -> "_Uninit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<uninit>"
+
+
+UNINIT = _Uninit()
+UNINIT_SET: FrozenSet[object] = frozenset({UNINIT})
+
+
+class _Null:
+    """Sentinel 'value': the cell holds NULL (defined, points nowhere).
+
+    NULL must be explicit for the same reason UNINIT must: an empty set
+    would vanish in joins and turn "v4 or NULL" into a fake must-fact,
+    enabling an unsound strong update on a path where the store is a
+    concrete no-op."""
+
+    _instance: Optional["_Null"] = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<null>"
+
+
+NULL_VALUE = _Null()
+NULL_SET: FrozenSet[object] = frozenset({NULL_VALUE})
+
+_SENTINELS = (UNINIT, NULL_VALUE)
+
+PtsState = Dict[MemObject, FrozenSet[object]]
+
+EMPTY: FrozenSet[MemObject] = frozenset()
+
+#: Lattice bottom for unreached nodes (distinct from {} == "all uninit").
+BOTTOM = None
+
+
+def _value(state: PtsState, cell: object) -> FrozenSet[object]:
+    """The abstract value of ``cell``: missing key means uninitialized."""
+    v = state.get(cell)
+    return v if v is not None else UNINIT_SET
+
+
+def _join(a: Optional[PtsState], b: Optional[PtsState]) -> Optional[PtsState]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is b:
+        return a
+    out: PtsState = {}
+    for k, v in a.items():
+        w = b.get(k)
+        out[k] = v | (w if w is not None else UNINIT_SET)
+    for k, w in b.items():
+        if k not in a:
+            out[k] = w | UNINIT_SET
+    return out
+
+
+def _strip(objs: FrozenSet[object]) -> FrozenSet[MemObject]:
+    """Drop the UNINIT/NULL sentinels for clients wanting real objects."""
+    if UNINIT in objs or NULL_VALUE in objs:
+        return frozenset(o for o in objs if o not in _SENTINELS)
+    return objs  # type: ignore[return-value]
+
+
+class FSCIResult(PointsToResult):
+    """Location-indexed points-to facts."""
+
+    def __init__(self, engine: ForwardDataflow, universe: Set[Var]) -> None:
+        self._engine = engine
+        self.universe = universe
+        self._summary: Optional[Dict[MemObject, FrozenSet[MemObject]]] = None
+
+    def _state_before(self, loc: Loc) -> PtsState:
+        state = self._engine.state_before(loc)
+        return state if state is not None else {}
+
+    def _state_after(self, loc: Loc) -> PtsState:
+        state = self._engine.state_after(loc)
+        return state if state is not None else {}
+
+    def pts_before(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
+        """Objects ``p`` may point to just before ``loc`` executes."""
+        return _strip(_value(self._state_before(loc), p))
+
+    def pts_after(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
+        return _strip(_value(self._state_after(loc), p))
+
+    def maybe_uninit_before(self, loc: Loc, p: MemObject) -> bool:
+        """May ``p`` still be uninitialized just before ``loc``?
+
+        The must-fact gate for clients like the constraint oracle: a
+        singleton may-set is only a must-fact when this is False."""
+        return UNINIT in _value(self._state_before(loc), p)
+
+    def must_point_to(self, p: MemObject, obj: MemObject, loc: Loc) -> bool:
+        value = _value(self._state_before(loc), p)
+        return value == frozenset({obj})
+
+    def may_null_before(self, loc: Loc, p: MemObject) -> bool:
+        """May ``p`` be NULL (or uninitialized garbage) before ``loc``?"""
+        value = _value(self._state_before(loc), p)
+        return NULL_VALUE in value or UNINIT in value
+
+    def must_null_before(self, loc: Loc, p: MemObject) -> bool:
+        return _value(self._state_before(loc), p) == NULL_SET
+
+    def may_point_to(self, p: MemObject, obj: MemObject, loc: Loc) -> bool:
+        return obj in self.pts_before(loc, p)
+
+    def may_values_equal(self, p: MemObject, q: MemObject, loc: Loc) -> bool:
+        """May ``p`` and ``q`` hold the same value before ``loc``?
+
+        Unlike :meth:`may_alias_at` this includes the non-object cases:
+        uninitialized garbage may equal anything, and two NULLs are
+        equal."""
+        if p == q:
+            return True
+        vp = _value(self._state_before(loc), p)
+        vq = _value(self._state_before(loc), q)
+        if UNINIT in vp or UNINIT in vq:
+            return True
+        if NULL_VALUE in vp and NULL_VALUE in vq:
+            return True
+        return bool(_strip(vp) & _strip(vq))
+
+    def must_values_equal(self, p: MemObject, q: MemObject, loc: Loc) -> bool:
+        """Do ``p`` and ``q`` definitely hold the same value?"""
+        if p == q:
+            return True
+        vp = _value(self._state_before(loc), p)
+        vq = _value(self._state_before(loc), q)
+        if vp == NULL_SET and vq == NULL_SET:
+            return True
+        return (len(vp) == 1 and vp == vq and UNINIT not in vp
+                and NULL_VALUE not in vp)
+
+    def may_alias_at(self, p: Var, q: Var, loc: Loc) -> bool:
+        if p == q:
+            return True
+        return bool(self.pts_before(loc, p) & self.pts_before(loc, q))
+
+    # -- PointsToResult (flow-insensitive projection) ---------------------
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        if self._summary is None:
+            summary: Dict[MemObject, Set[MemObject]] = {}
+            for state in self._engine._out.values():
+                if state is None:
+                    continue
+                for k, v in state.items():
+                    summary.setdefault(k, set()).update(_strip(v))
+            self._summary = {k: frozenset(v) for k, v in summary.items()}
+        return self._summary.get(p, EMPTY)
+
+    @property
+    def iterations(self) -> int:
+        return self._engine.iterations
+
+
+class FSCI(PointerAnalysis):
+    """Forward interprocedural may-points-to fixpoint.
+
+    Parameters
+    ----------
+    tracked:
+        Restrict the state to these objects (the cluster's ``V_P``);
+        ``None`` tracks everything.
+    relevant:
+        Set of locations whose statements are executed; all others act as
+        skips (the paper's ``St_P`` slicing).  ``None`` keeps everything.
+    functions:
+        Restrict the supergraph to these functions (calls to others fall
+        through); used to confine a cluster's FSCI to the functions that
+        can influence it.
+    max_iterations:
+        Abort knob for the deliberately-unscalable unclustered baseline.
+    """
+
+    name = "fsci"
+
+    def __init__(self, program: Program,
+                 tracked: Optional[Iterable[MemObject]] = None,
+                 relevant: Optional[Set[Loc]] = None,
+                 functions: Optional[Iterable[str]] = None,
+                 max_iterations: Optional[int] = None,
+                 callgraph: Optional[CallGraph] = None,
+                 deadline: Optional[float] = None) -> None:
+        super().__init__(program)
+        self._tracked: Optional[FrozenSet[MemObject]] = (
+            frozenset(tracked) if tracked is not None else None)
+        self._relevant = relevant
+        self._functions = set(functions) if functions is not None else None
+        self._max_iterations = max_iterations
+        self._deadline = deadline
+        # Strong updates are only safe for single-instance cells: globals
+        # and locals of non-recursive functions, never allocation sites.
+        cg = callgraph or CallGraph(program)
+        scc_of = cg.scc_of()
+        self._recursive = {f for f in program.functions
+                           if len(scc_of[f]) > 1 or f in cg.callees(f)}
+
+    # ------------------------------------------------------------------
+    def _is_tracked(self, obj: MemObject) -> bool:
+        return self._tracked is None or obj in self._tracked
+
+    def _strong_updatable(self, obj: object) -> bool:
+        if not isinstance(obj, Var):
+            return False
+        return obj.function is None or obj.function not in self._recursive
+
+    def _transfer(self, loc: Loc, stmt: Statement, state: PtsState) -> PtsState:
+        if self._relevant is not None and loc not in self._relevant \
+                and stmt.is_pointer_assign:
+            return state
+        if isinstance(stmt, Copy):
+            if not self._is_tracked(stmt.lhs):
+                return state
+            out = dict(state)
+            out[stmt.lhs] = _value(state, stmt.rhs)
+            return out
+        if isinstance(stmt, AddrOf):
+            if not self._is_tracked(stmt.lhs):
+                return state
+            out = dict(state)
+            out[stmt.lhs] = frozenset({stmt.target})
+            return out
+        if isinstance(stmt, Load):
+            if not self._is_tracked(stmt.lhs):
+                return state
+            gathered: Set[object] = set()
+            targets = _value(state, stmt.rhs)
+            if UNINIT in targets or NULL_VALUE in targets:
+                # Loading through garbage or NULL is UB; the value read
+                # is garbage (matches the concrete oracle's model).
+                gathered.add(UNINIT)
+            for obj in targets:
+                if obj not in _SENTINELS:
+                    gathered.update(_value(state, obj))
+            out = dict(state)
+            out[stmt.lhs] = frozenset(gathered)
+            return out
+        if isinstance(stmt, Store):
+            targets = _value(state, stmt.lhs)
+            real = [o for o in targets if o not in _SENTINELS]
+            if not real:
+                return state
+            rhs_value = _value(state, stmt.rhs)
+            out = dict(state)
+            if len(real) == 1 and len(targets) == 1:
+                (only,) = real
+                if self._is_tracked(only) and self._strong_updatable(only):
+                    out[only] = rhs_value
+                    return out
+            for obj in real:
+                if self._is_tracked(obj):
+                    out[obj] = _value(state, obj) | rhs_value
+            return out
+        if isinstance(stmt, NullAssign):
+            if not self._is_tracked(stmt.lhs):
+                return state
+            out = dict(state)
+            out[stmt.lhs] = NULL_SET
+            return out
+        if isinstance(stmt, Assume):
+            return self._refine(state, stmt)
+        return state
+
+    def _refine(self, state: PtsState, stmt: Assume) -> PtsState:
+        """Path-sensitive refinement (paper Section 3): an assume only
+        restricts executions, so intersecting values is sound.  UNINIT
+        blocks refinement — garbage can compare equal to anything."""
+        lv = _value(state, stmt.lhs)
+        if stmt.rhs is None:
+            if UNINIT in lv:
+                return state
+            keep = (lv & NULL_SET) if stmt.equal else (lv - NULL_SET)
+            if keep == lv or not self._is_tracked(stmt.lhs):
+                return state
+            out = dict(state)
+            out[stmt.lhs] = keep
+            return out
+        rv = _value(state, stmt.rhs)
+        if not stmt.equal or UNINIT in lv or UNINIT in rv:
+            return state  # != refines nothing set-wise, in general
+        common = lv & rv
+        out = dict(state)
+        if self._is_tracked(stmt.lhs):
+            out[stmt.lhs] = common
+        if self._is_tracked(stmt.rhs):
+            out[stmt.rhs] = common
+        return out
+
+    def run(self) -> FSCIResult:
+        graph = Supergraph(self.program, functions=self._functions)
+        engine: ForwardDataflow[Optional[PtsState]] = ForwardDataflow(
+            graph, self._transfer, _join, initial={}, bottom=BOTTOM)
+        engine.run(max_iterations=self._max_iterations,
+                   deadline=self._deadline)
+        return FSCIResult(engine, set(self.program.pointers))

@@ -1,0 +1,192 @@
+"""Das's One-Flow points-to analysis (PLDI 2000), the optional middle
+cascade stage.
+
+The paper suggests: "Another option is to cascade another analysis like
+the One-Flow analysis between Steensgaard and Andersen."  One-Flow keeps
+*one* level of directional (inclusion) flow at the top of the points-to
+hierarchy and falls back to unification below it, landing between
+Steensgaard and Andersen in both precision and cost:
+
+* ``x = &o``  — ``pts(x) ∋ class(o)`` (directional)
+* ``x = y``   — ``pts(x) ⊇ pts(y)`` (directional copy edge)
+* ``x = *y``  — ``pts(x) ⊇ { pointee(c) | c ∈ pts(y) }``
+* ``*x = y``  — below-top flow is unified: ``∀c ∈ pts(x), d ∈ pts(y):
+  join(pointee(c), d)``
+
+where ``class``/``pointee``/``join`` are Steensgaard-style union-find
+operations over object classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir import (
+    AddrOf,
+    Copy,
+    Load,
+    MemObject,
+    Program,
+    Statement,
+    Store,
+)
+from .base import MapPointsTo, PointerAnalysis
+from .unionfind import UnionFind
+
+
+class OneFlow(PointerAnalysis):
+    """Worklist solver for the one-level-flow constraint system."""
+
+    name = "oneflow"
+
+    def __init__(self, program: Program,
+                 statements: Optional[Iterable[Statement]] = None) -> None:
+        super().__init__(program)
+        if statements is None:
+            self._statements: List[Statement] = [s for _, s in program.statements()]
+        else:
+            self._statements = list(statements)
+
+    def run(self) -> MapPointsTo:
+        uf: UnionFind[MemObject] = UnionFind()
+        pointee: Dict[MemObject, MemObject] = {}
+        fresh = [0]
+
+        def find(o: MemObject) -> MemObject:
+            return uf.find(o)
+
+        def get_pointee(c: MemObject) -> MemObject:
+            c = find(c)
+            p = pointee.get(c)
+            if p is None:
+                fresh[0] += 1
+                cell: MemObject = (f"$of{fresh[0]}",)  # type: ignore[assignment]
+                uf.add(cell)
+                pointee[c] = cell
+                return cell
+            return find(p)
+
+        def set_pointee(cls: MemObject, target: MemObject) -> None:
+            # Merge-aware (see Steensgaard._set_pointee): the recursive
+            # join may have already given the merged class a pointee.
+            root = find(cls)
+            existing = pointee.get(root)
+            if existing is None:
+                pointee[root] = target
+                return
+            if find(existing) == find(target):
+                return
+            set_pointee(cls, join(existing, target))
+
+        def join(a: MemObject, b: MemObject) -> MemObject:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return ra
+            pa = pointee.pop(ra, None)
+            pb = pointee.pop(rb, None)
+            root = uf.union(ra, rb)
+            if pa is not None and pb is not None:
+                set_pointee(root, join(pa, pb))
+            elif pa is not None or pb is not None:
+                set_pointee(root, pa if pa is not None else pb)
+            return find(root)
+
+        pts: Dict[MemObject, Set[MemObject]] = {}
+        copy_edges: Dict[MemObject, Set[MemObject]] = {}
+        loads: List[Tuple[MemObject, MemObject]] = []
+        stores: List[Tuple[MemObject, MemObject]] = []
+        mentioned: Set[MemObject] = set()
+
+        for stmt in self._statements:
+            if isinstance(stmt, AddrOf):
+                uf.add(stmt.target)
+                pts.setdefault(stmt.lhs, set()).add(find(stmt.target))
+                mentioned.update((stmt.lhs, stmt.target))
+            elif isinstance(stmt, Copy):
+                copy_edges.setdefault(stmt.rhs, set()).add(stmt.lhs)
+                mentioned.update((stmt.lhs, stmt.rhs))
+            elif isinstance(stmt, Load):
+                loads.append((stmt.lhs, stmt.rhs))
+                mentioned.update((stmt.lhs, stmt.rhs))
+            elif isinstance(stmt, Store):
+                stores.append((stmt.lhs, stmt.rhs))
+                mentioned.update((stmt.lhs, stmt.rhs))
+
+        def canon(s: Set[MemObject]) -> Set[MemObject]:
+            return {find(c) for c in s}
+
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            for var in list(pts):
+                pts[var] = canon(pts[var])
+            # Address-taken variables live in both worlds: their cell can
+            # be read/written through pointers (unification pointee) and
+            # assigned directly (directional pts).  Keep the two in sync,
+            # in both directions — this is where One-Flow gives up
+            # directionality below the top level.
+            target_reps = {find(t) for s in pts.values() for t in s}
+            for var in mentioned:
+                root = find(var)
+                if root in target_reps and pts.get(var):
+                    for d in list(pts[var]):
+                        cell = get_pointee(find(var))
+                        if find(cell) != find(d):
+                            join(cell, d)
+                            changed = True
+                p = pointee.get(find(var))
+                if p is not None:
+                    dp = pts.setdefault(var, set())
+                    target = find(p)
+                    if target not in dp:
+                        dp.add(target)
+                        changed = True
+            for src, dsts in copy_edges.items():
+                sp = pts.get(src)
+                if not sp:
+                    continue
+                for dst in dsts:
+                    dp = pts.setdefault(dst, set())
+                    before = len(dp)
+                    dp.update(sp)
+                    if len(dp) != before:
+                        changed = True
+            for lhs, rhs in loads:
+                # Read existing pointees only: creating cells here would
+                # diverge on self-loads (x = *x) by manufacturing an
+                # unbounded chain of fresh cells.  A cell with no pointee
+                # has no recorded content yet; when a store creates one,
+                # this load is re-run by the fixpoint.
+                contribution = set()
+                for c in pts.get(rhs, ()):
+                    p = pointee.get(find(c))
+                    if p is not None:
+                        contribution.add(find(p))
+                dp = pts.setdefault(lhs, set())
+                before = len(dp)
+                dp.update(contribution)
+                if len(dp) != before:
+                    changed = True
+            for lhs, rhs in stores:
+                if not pts.get(rhs):
+                    # Nothing to record; creating an empty pointee cell
+                    # here could chain into unbounded fresh classes.
+                    continue
+                for c in list(pts.get(lhs, ())):
+                    cell = get_pointee(c)
+                    for d in list(pts.get(rhs, ())):
+                        if find(cell) != find(d):
+                            join(cell, d)
+                            changed = True
+
+        result: Dict[MemObject, FrozenSet[MemObject]] = {}
+        for var, classes in pts.items():
+            objs: Set[MemObject] = set()
+            for c in canon(classes):
+                objs.update(o for o in uf.members(c) if not isinstance(o, tuple))
+            result[var] = frozenset(objs)
+        for obj in self.program.objects:
+            result.setdefault(obj, frozenset())
+        return MapPointsTo(result)

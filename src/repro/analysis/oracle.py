@@ -1,0 +1,213 @@
+"""Bounded concrete executor — the soundness oracle for the test suite.
+
+Enumerates execution paths of a program up to configurable step/path
+bounds, interpreting the normalized statements *exactly* (nondeterministic
+branches, proper call/return, loop unrolling).  Every points-to or alias
+fact it observes is a genuine concrete behaviour, so each analysis must
+report a superset: the property tests check
+
+    oracle.points_to(p)  ⊆  analysis.points_to(p)          (all analyses)
+    oracle.pts_at(loc,p) ⊆  fsci.pts_after(loc, p)         (flow-sensitive)
+
+Variables are modelled as single static cells (no stack frames), matching
+the abstraction of the paper and of our analyses, so recursive programs
+compare apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir import (
+    AddrOf,
+    Assume,
+    CallStmt,
+    Copy,
+    Load,
+    Loc,
+    MemObject,
+    NullAssign,
+    Program,
+    ReturnStmt,
+    Store,
+    Var,
+)
+
+#: Concrete value of a cell: an object address, NULL, or uninitialized.
+NULL = "<null>"
+UNINIT = "<uninit>"
+Value = object  # MemObject | NULL | UNINIT
+
+
+@dataclass
+class OracleResult:
+    """Observed concrete facts."""
+
+    pts: Dict[MemObject, Set[MemObject]]
+    pts_at: Dict[Tuple[Loc, MemObject], Set[MemObject]]
+    paths_explored: int
+    truncated: bool
+
+    def points_to(self, p: MemObject) -> FrozenSet[MemObject]:
+        return frozenset(self.pts.get(p, ()))
+
+    def pts_after(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
+        return frozenset(self.pts_at.get((loc, p), ()))
+
+    def may_alias(self, p: Var, q: Var) -> bool:
+        if p == q:
+            return True
+        return bool(self.points_to(p) & self.points_to(q))
+
+    def aliased_at(self, loc: Loc, p: Var, q: Var) -> bool:
+        return bool(self.pts_after(loc, p) & self.pts_after(loc, q))
+
+
+class ConcreteExecutor:
+    """Depth-first bounded path enumeration."""
+
+    def __init__(self, program: Program, max_steps: int = 300,
+                 max_paths: int = 4000) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.max_paths = max_paths
+
+    def run(self) -> OracleResult:
+        result = OracleResult(pts={}, pts_at={}, paths_explored=0,
+                              truncated=False)
+        entry_fn = self.program.entry
+        entry_cfg = self.program.cfg_of(entry_fn)
+        # A frame: (function, node). The stack models call/return; value
+        # memory is global (single cell per variable).
+        initial_state: Dict[MemObject, Value] = {}
+        self._explore(entry_fn, entry_cfg.entry, [], initial_state, 0, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _record(self, loc: Loc, state: Dict[MemObject, Value],
+                result: OracleResult) -> None:
+        for cell, value in state.items():
+            if value in (NULL, UNINIT):
+                continue
+            result.pts.setdefault(cell, set()).add(value)  # type: ignore[arg-type]
+            result.pts_at.setdefault((loc, cell), set()).add(value)  # type: ignore[arg-type]
+
+    def _assume_holds(self, stmt: Assume,
+                      state: Dict[MemObject, Value]) -> bool:
+        """May this concrete state satisfy the assume?  UNINIT garbage
+        can compare either way against *other* values, so it rarely
+        blocks a path — but a variable always equals itself, garbage or
+        not."""
+        if stmt.rhs is not None and stmt.lhs == stmt.rhs:
+            return stmt.equal
+        lv = state.get(stmt.lhs, UNINIT)
+        if lv is UNINIT:
+            return True
+        if stmt.rhs is None:
+            is_null = lv == NULL
+            return is_null if stmt.equal else not is_null
+        rv = state.get(stmt.rhs, UNINIT)
+        if rv is UNINIT:
+            return True
+        return (lv == rv) if stmt.equal else (lv != rv)
+
+    def _step(self, loc: Loc, state: Dict[MemObject, Value]
+              ) -> Dict[MemObject, Value]:
+        stmt = self.program.stmt_at(loc)
+        if isinstance(stmt, Copy):
+            state = dict(state)
+            state[stmt.lhs] = state.get(stmt.rhs, UNINIT)
+        elif isinstance(stmt, AddrOf):
+            state = dict(state)
+            state[stmt.lhs] = stmt.target
+        elif isinstance(stmt, Load):
+            state = dict(state)
+            target = state.get(stmt.rhs, UNINIT)
+            if target in (NULL, UNINIT):
+                state[stmt.lhs] = UNINIT
+            else:
+                state[stmt.lhs] = state.get(target, UNINIT)  # type: ignore[arg-type]
+        elif isinstance(stmt, Store):
+            target = state.get(stmt.lhs, UNINIT)
+            if target not in (NULL, UNINIT):
+                state = dict(state)
+                state[target] = state.get(stmt.rhs, UNINIT)  # type: ignore[index]
+        elif isinstance(stmt, NullAssign):
+            state = dict(state)
+            state[stmt.lhs] = NULL
+        return state
+
+    def _explore(self, func: str, node: int,
+                 stack: List[Tuple[str, int]],
+                 state: Dict[MemObject, Value],
+                 steps: int, result: OracleResult) -> None:
+        """DFS from (func, node) with ``state`` holding cell values."""
+        while True:
+            if result.paths_explored >= self.max_paths:
+                result.truncated = True
+                return
+            if steps >= self.max_steps:
+                result.truncated = True
+                result.paths_explored += 1
+                return
+            steps += 1
+            cfg = self.program.cfg_of(func)
+            loc = Loc(func, node)
+            stmt = cfg.stmt(node)
+
+            if isinstance(stmt, CallStmt):
+                self._record(loc, state, result)
+                succs = cfg.successors(node)
+                targets = [t for t in stmt.targets
+                           if t in self.program.functions]
+                if not targets:
+                    pass  # fall through like a skip
+                else:
+                    for t in targets:
+                        callee = self.program.cfg_of(t)
+                        for succ in succs:
+                            self._explore(
+                                t, callee.entry,
+                                stack + [(func, succ)],
+                                dict(state), steps, result)
+                    return
+            elif isinstance(stmt, Assume):
+                if not self._assume_holds(stmt, state):
+                    result.paths_explored += 1
+                    return  # infeasible path: abandon it
+                self._record(loc, state, result)
+            elif isinstance(stmt, ReturnStmt):
+                state = self._step(loc, state)
+                self._record(loc, state, result)
+                node = cfg.exit
+                continue
+            else:
+                state = self._step(loc, state)
+                self._record(loc, state, result)
+
+            if node == cfg.exit:
+                if stack:
+                    (ret_func, ret_node) = stack[-1]
+                    self._explore(ret_func, ret_node, stack[:-1],
+                                  state, steps, result)
+                else:
+                    result.paths_explored += 1
+                return
+
+            succs = cfg.successors(node)
+            if not succs:
+                result.paths_explored += 1
+                return
+            if len(succs) == 1:
+                node = succs[0]
+                continue
+            for succ in succs:
+                self._explore(func, succ, stack, dict(state), steps, result)
+            return
+
+
+def execute(program: Program, max_steps: int = 300,
+            max_paths: int = 4000) -> OracleResult:
+    """Convenience wrapper: run the bounded concrete executor."""
+    return ConcreteExecutor(program, max_steps, max_paths).run()

@@ -1,0 +1,339 @@
+"""Steensgaard's unification-based points-to analysis (POPL 1996).
+
+This is the first, cheapest stage of the bootstrapping cascade.  Beyond
+points-to sets, the bootstrapping framework needs three artifacts that are
+specific to Steensgaard's analysis (paper Section 2.1):
+
+* the **partitions** — equivalence classes of pointers that may alias.
+  Two pointers may alias under unification semantics exactly when their
+  pointee cells have been unified, so a partition is the set of objects
+  sharing one pointee-cell class.  The paper's Figure 3 is the canonical
+  example: ``x = &a; y = &b; p = x; *x = *y`` yields partitions
+  ``{p, x}``, ``{y}`` and ``{a, b}`` — ``p`` and ``x`` share a pointee
+  node, and the contents of ``a`` and ``b`` were unified by the
+  store/load pair.  Objects that never carry a pointer value (no pointee
+  cell) are grouped by their own node instead, matching the paper's
+  Figure 2 where ``{a, b, c}`` is one class.
+* the **class-level points-to graph** over partitions, in which every
+  node has out-degree at most one;
+* the **points-to hierarchy** — the partial order ``p > q`` induced by
+  paths in that graph, and the **Steensgaard depth** of each partition.
+
+The paper argues the class graph is acyclic because statements like
+``*p = p`` merge ``p`` and ``*p`` into one partition (kept here as an
+explicit *self-loop*, the paper's "cyclic case").  Unification does not
+remove *every* cycle (``x = &y; y = &x`` yields a genuine two-partition
+cycle), so after solving we collapse strongly connected partition cycles
+by unifying their pointee classes — a sound coarsening under unification
+semantics — and re-derive until the graph is acyclic.  This makes depth
+well-defined exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir import (
+    AddrOf,
+    Copy,
+    Load,
+    MemObject,
+    Program,
+    Statement,
+    Store,
+    Var,
+)
+from .base import PointerAnalysis, PointsToResult
+from .unionfind import UnionFind
+
+#: A partition key: ("c", pointee-class-root) for objects with a pointee
+#: cell, ("t", own-class-root) for objects without one.
+_Key = Tuple[str, object]
+
+
+class _Solver:
+    """One unification pass over a statement sequence."""
+
+    def __init__(self) -> None:
+        self.uf: UnionFind[object] = UnionFind()
+        # pointee cell per class root; keyed by root, values are arbitrary
+        # class members (re-canonicalized through find on access).
+        self._pointee: Dict[object, object] = {}
+        self._fresh = 0
+
+    # -- class-level accessors ------------------------------------------
+    def _root(self, item: object) -> object:
+        return self.uf.find(item)
+
+    def pointee(self, item: object) -> Optional[object]:
+        member = self._pointee.get(self._root(item))
+        return None if member is None else self._root(member)
+
+    def _fresh_cell(self) -> object:
+        self._fresh += 1
+        return ("$cell", self._fresh)
+
+    def ensure_pointee(self, item: object) -> object:
+        root = self._root(item)
+        member = self._pointee.get(root)
+        if member is None:
+            member = self._fresh_cell()
+            self.uf.add(member)
+            self._pointee[root] = member
+        return self._root(member)
+
+    def join(self, a: object, b: object) -> object:
+        """Unify classes of ``a`` and ``b``, recursively unifying their
+        pointees (Steensgaard's join)."""
+        ra, rb = self._root(a), self._root(b)
+        if ra == rb:
+            return ra
+        pa = self._pointee.pop(ra, None)
+        pb = self._pointee.pop(rb, None)
+        root = self.uf.union(ra, rb)
+        if pa is not None and pb is not None:
+            self._set_pointee(root, self.join(pa, pb))
+        elif pa is not None or pb is not None:
+            self._set_pointee(root, pa if pa is not None else pb)
+        return self._root(root)
+
+    def _set_pointee(self, cls: object, target: object) -> None:
+        """Record ``cls -> target``, merging with any pointee the class
+        already has.  A plain assignment would be wrong: the recursive
+        pointee join may have cycled back and given ``cls``'s (merged)
+        class a pointee of its own, which must be unified with — not
+        clobbered by — ``target``."""
+        root = self._root(cls)
+        existing = self._pointee.get(root)
+        if existing is None:
+            self._pointee[root] = target
+            return
+        if self._root(existing) == self._root(target):
+            return
+        merged = self.join(existing, target)
+        self._set_pointee(cls, merged)
+
+    # -- statement transfer -----------------------------------------------
+    def process(self, stmt: Statement) -> None:
+        if isinstance(stmt, Copy):
+            # x = y : unify pt(x) with pt(y)
+            self.join(self.ensure_pointee(stmt.lhs), self.ensure_pointee(stmt.rhs))
+        elif isinstance(stmt, AddrOf):
+            # x = &t : t joins pt(x)
+            self.join(self.ensure_pointee(stmt.lhs), stmt.target)
+        elif isinstance(stmt, Load):
+            # x = *y : unify pt(x) with pt(pt(y))
+            inner = self.ensure_pointee(self.ensure_pointee(stmt.rhs))
+            self.join(self.ensure_pointee(stmt.lhs), inner)
+        elif isinstance(stmt, Store):
+            # *x = y : unify pt(pt(x)) with pt(y)
+            inner = self.ensure_pointee(self.ensure_pointee(stmt.lhs))
+            self.join(inner, self.ensure_pointee(stmt.rhs))
+        # NullAssign / calls / skip have no unification effect.
+
+
+class SteensgaardResult(PointsToResult):
+    """Partitions, hierarchy and points-to facts from a Steensgaard run."""
+
+    def __init__(self, program: Program, solver: _Solver,
+                 universe: Set[Var]) -> None:
+        self.program = program
+        self._solver = solver
+        self.universe = universe
+        self._derive()
+        self._collapse_cycles()
+        self._build_depths()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _derive(self) -> None:
+        solver = self._solver
+        # Node membership: objects grouped by their own union-find class.
+        self._node_members: Dict[object, Set[MemObject]] = {}
+        for obj in sorted(self.program.objects, key=str):
+            self._node_members.setdefault(solver._root(obj), set()).add(obj)
+        # Partitions: grouped by pointee-cell class when present.
+        self._part_of: Dict[MemObject, _Key] = {}
+        parts: Dict[_Key, Set[MemObject]] = {}
+        for root, members in self._node_members.items():
+            cell = solver.pointee(root)
+            key: _Key = ("c", cell) if cell is not None else ("t", root)
+            parts.setdefault(key, set()).update(members)
+            for m in members:
+                self._part_of[m] = key
+        self._parts: Dict[_Key, FrozenSet[MemObject]] = {
+            k: frozenset(v) for k, v in parts.items()}
+        # Partition-level points-to edges: partition P (sharing pointee
+        # class c) points to the partition of the objects living in node
+        # c.  Out-degree is at most one by construction.
+        self._edges: Dict[_Key, _Key] = {}
+        self._selfloops: Set[_Key] = set()
+        for key in self._parts:
+            if key[0] != "c":
+                continue
+            targets = self._node_members.get(key[1])
+            if not targets:
+                continue
+            tkey = self._part_of[next(iter(targets))]
+            if tkey == key:
+                self._selfloops.add(key)
+            else:
+                self._edges[key] = tkey
+
+    def _collapse_cycles(self) -> None:
+        while True:
+            cycle = self._find_cycle()
+            if cycle is None:
+                return
+            # Merge the partitions on the cycle by unifying their pointee
+            # classes (all cycle members are "c"-keyed: "t" partitions
+            # have no outgoing edge).
+            base_cell = cycle[0][1]
+            for key in cycle[1:]:
+                self._solver.join(base_cell, key[1])
+            self._derive()
+
+    def _find_cycle(self) -> Optional[List[_Key]]:
+        color: Dict[_Key, int] = {}
+        for start in self._parts:
+            if color.get(start):
+                continue
+            path: List[_Key] = []
+            node: Optional[_Key] = start
+            while node is not None and color.get(node, 0) == 0:
+                color[node] = 1
+                path.append(node)
+                node = self._edges.get(node)
+            if node is not None and color.get(node) == 1:
+                return path[path.index(node):]
+            for n in path:
+                color[n] = 2
+        return None
+
+    def _build_depths(self) -> None:
+        """Steensgaard depth: length of the longest path leading *to* a
+        partition in the (acyclic) class graph; self-loops ignored."""
+        indeg: Dict[_Key, int] = {k: 0 for k in self._parts}
+        for src, dst in self._edges.items():
+            indeg[dst] += 1
+        order: List[_Key] = [k for k, d in indeg.items() if d == 0]
+        depth: Dict[_Key, int] = {k: 0 for k in order}
+        i = 0
+        while i < len(order):
+            node = order[i]
+            i += 1
+            dst = self._edges.get(node)
+            if dst is None:
+                continue
+            depth[dst] = max(depth.get(dst, 0), depth[node] + 1)
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                order.append(dst)
+        self._depth = depth
+
+    # ------------------------------------------------------------------
+    # PointsToResult interface
+    # ------------------------------------------------------------------
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        key = self._part_of.get(p)
+        if key is None or key[0] != "c":
+            return frozenset()
+        return frozenset(self._node_members.get(key[1], ()))
+
+    def may_alias(self, p: Var, q: Var) -> bool:
+        """Steensgaard aliasing is same-partition membership (the
+        partitions *are* the alias cover)."""
+        if p == q:
+            return True
+        kp, kq = self._part_of.get(p), self._part_of.get(q)
+        return kp is not None and kp == kq
+
+    # ------------------------------------------------------------------
+    # partitions / hierarchy API used by the bootstrap core
+    # ------------------------------------------------------------------
+    def partitions(self) -> List[FrozenSet[MemObject]]:
+        """All Steensgaard partitions over program objects, sorted from
+        largest to smallest (deterministic order for scheduling)."""
+        return sorted(self._parts.values(),
+                      key=lambda s: (-len(s), sorted(map(str, s))))
+
+    def partition_of(self, p: MemObject) -> FrozenSet[MemObject]:
+        key = self._part_of.get(p)
+        if key is None:
+            return frozenset({p})
+        return self._parts[key]
+
+    def same_partition(self, p: MemObject, q: MemObject) -> bool:
+        kp = self._part_of.get(p)
+        return kp is not None and kp == self._part_of.get(q)
+
+    def depth_of(self, p: MemObject) -> int:
+        key = self._part_of.get(p)
+        if key is None:
+            return 0
+        return self._depth.get(key, 0)
+
+    def higher_than(self, p: MemObject, q: MemObject) -> bool:
+        """The paper's ``p > q``: a path exists from ``p``'s partition to
+        ``q``'s in the class points-to graph (``p`` is closer to the
+        roots; modifications through ``p`` can affect aliases of ``q``)."""
+        kp, kq = self._part_of.get(p), self._part_of.get(q)
+        if kp is None or kq is None or kp == kq:
+            return False
+        node = self._edges.get(kp)
+        while node is not None:
+            if node == kq:
+                return True
+            node = self._edges.get(node)
+        return False
+
+    def pointee_partition(self, p: MemObject) -> Optional[FrozenSet[MemObject]]:
+        """The partition holding the cells ``*p`` may denote (the
+        partition itself in the cyclic/self-loop case)."""
+        key = self._part_of.get(p)
+        if key is None:
+            return None
+        if key in self._selfloops:
+            return self._parts[key]
+        succ = self._edges.get(key)
+        return None if succ is None else self._parts[succ]
+
+    def is_cyclic_partition(self, p: MemObject) -> bool:
+        """True when ``p``'s partition points to itself (the paper's
+        ``q = ~q`` case)."""
+        key = self._part_of.get(p)
+        return key is not None and key in self._selfloops
+
+    def class_graph(self) -> List[Tuple[FrozenSet[MemObject], FrozenSet[MemObject]]]:
+        """The acyclic partition-level points-to graph as member-set
+        pairs (self-loops excluded)."""
+        return [(self._parts[a], self._parts[b])
+                for a, b in sorted(self._edges.items(), key=lambda kv: str(kv[0]))]
+
+    def max_partition_size(self) -> int:
+        return max((len(m) for m in self._parts.values()), default=0)
+
+
+class Steensgaard(PointerAnalysis):
+    """Run Steensgaard's analysis over a program (or statement subset)."""
+
+    name = "steensgaard"
+
+    def __init__(self, program: Program,
+                 statements: Optional[Iterable[Statement]] = None) -> None:
+        super().__init__(program)
+        self._statements = statements
+
+    def run(self) -> SteensgaardResult:
+        solver = _Solver()
+        stmts = self._statements
+        if stmts is None:
+            stmts = (s for _, s in self.program.statements())
+        for stmt in stmts:
+            solver.process(stmt)
+        # Register every program object so isolated variables become
+        # singleton partitions.
+        for obj in self.program.objects:
+            solver.uf.add(obj)
+        return SteensgaardResult(self.program, solver, set(self.program.pointers))

@@ -1,0 +1,98 @@
+"""Union-find with member tracking.
+
+Steensgaard's analysis is essentially a clever use of this structure; we
+also track the concrete member set of every class so that Steensgaard
+*partitions* (the paper's clusters of the first cascade stage) can be
+enumerated without a separate pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Disjoint sets over hashable items, union by size + path compression.
+
+    Items are added lazily on first use; ``find`` of an unseen item makes
+    it a singleton class.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        self._members: Dict[T, List[T]] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._members[item] = [item]
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: T) -> T:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the classes of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._members[ra].extend(self._members.pop(rb))
+        return ra
+
+    def same(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def members(self, item: T) -> List[T]:
+        """All items in ``item``'s class (includes ``item``)."""
+        return list(self._members[self.find(item)])
+
+    def roots(self) -> List[T]:
+        return [r for r in self._parent if self._parent[r] == r]
+
+    def classes(self) -> List[List[T]]:
+        return [list(self._members[r]) for r in self.roots()]
+
+    def class_count(self) -> int:
+        return len(self._members)
+
+    def validate(self) -> None:
+        """Invariant check used by property tests."""
+        seen: Set[T] = set()
+        total = 0
+        for root, members in self._members.items():
+            if self._parent[root] != root:
+                raise AssertionError("member map keyed by non-root")
+            for m in members:
+                if self.find(m) != root:
+                    raise AssertionError(f"{m!r} not in class of its root")
+                if m in seen:
+                    raise AssertionError(f"{m!r} in two classes")
+                seen.add(m)
+            total += len(members)
+        if total != len(self._parent):
+            raise AssertionError("member lists do not cover all items")

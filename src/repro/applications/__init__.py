@@ -1,0 +1,25 @@
+"""Applications built on the bootstrapped alias analysis."""
+
+from .lockset import (
+    LOCK_FUNCTIONS,
+    UNLOCK_FUNCTIONS,
+    LockSite,
+    LocksetAnalysis,
+    LocksetResult,
+    find_lock_sites,
+    lock_pointers,
+)
+from .races import (
+    Access,
+    RaceDetector,
+    RaceWarning,
+    collect_accesses,
+    thread_assignment,
+)
+
+__all__ = [
+    "Access", "LOCK_FUNCTIONS", "LockSite", "LocksetAnalysis",
+    "LocksetResult", "RaceDetector", "RaceWarning", "UNLOCK_FUNCTIONS",
+    "collect_accesses", "find_lock_sites", "lock_pointers",
+    "thread_assignment",
+]

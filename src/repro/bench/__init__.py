@@ -1,0 +1,33 @@
+"""Benchmark workloads and harnesses for the paper's tables and figures."""
+
+from .corpus import (
+    HIGHLIGHTS,
+    PAPER_BY_NAME,
+    PAPER_TABLE1,
+    PaperRow,
+    autofs_like,
+    build,
+    corpus_configs,
+)
+from .figure1 import Figure1Data, compute_figure1, run_figure1
+from .metrics import (
+    TIMEOUT,
+    Timed,
+    ascii_histogram,
+    format_csv,
+    format_table,
+    ratio,
+    timed,
+    timed_with_budget,
+)
+from .synth import SynthConfig, SynthProgram, generate, generate_source
+from .table1 import Table1Row, measure_program, run_table1, shape_report
+
+__all__ = [
+    "HIGHLIGHTS", "PAPER_BY_NAME", "PAPER_TABLE1", "PaperRow", "TIMEOUT",
+    "Table1Row", "Timed", "Figure1Data", "SynthConfig", "SynthProgram",
+    "ascii_histogram", "autofs_like", "build", "compute_figure1",
+    "corpus_configs", "format_csv", "format_table", "generate",
+    "generate_source", "measure_program", "ratio", "run_figure1",
+    "run_table1", "shape_report", "timed", "timed_with_budget",
+]

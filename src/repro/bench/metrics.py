@@ -1,0 +1,110 @@
+"""Measurement plumbing shared by the bench harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Marker mirroring the paper's "> 15min" entries.
+TIMEOUT = "TIMEOUT"
+
+
+@dataclass
+class Timed:
+    """A measured call: elapsed seconds, or a timeout marker."""
+
+    seconds: Optional[float]
+    value: Optional[object] = None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.seconds is None
+
+    def fmt(self, digits: int = 3) -> str:
+        if self.timed_out:
+            return TIMEOUT
+        return f"{self.seconds:.{digits}f}"
+
+
+def timed(fn: Callable[[], T]) -> Timed:
+    t0 = time.perf_counter()
+    value = fn()
+    return Timed(seconds=time.perf_counter() - t0, value=value)
+
+
+def timed_with_budget(fn: Callable[[], T]) -> Timed:
+    """Run ``fn``; a raised ``AnalysisBudgetExceeded`` (or TimeoutError
+    from the dataflow engine) becomes a timeout marker, exactly like the
+    paper's "> 15min" rows."""
+    from ..errors import AnalysisBudgetExceeded
+    t0 = time.perf_counter()
+    try:
+        value = fn()
+    except (AnalysisBudgetExceeded, TimeoutError):
+        return Timed(seconds=None)
+    return Timed(seconds=time.perf_counter() - t0, value=value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width text table (also valid Markdown)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(str(c).ljust(widths[i])
+                                 for i, c in enumerate(cells)) + " |"
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append(fmt_row(headers))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(str(c) for c in row))
+    return "\n".join(out)
+
+
+def ascii_histogram(series: Dict[str, Dict[int, int]], width: int = 50,
+                    title: str = "") -> str:
+    """A textual scatter of size -> frequency per series (Figure 1)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    all_sizes = sorted({s for hist in series.values() for s in hist})
+    max_freq = max((f for hist in series.values() for f in hist.values()),
+                   default=1)
+    markers = {}
+    for marker, name in zip("#o*+x", series):
+        markers[name] = marker
+        lines.append(f"  {marker} = {name}")
+    lines.append(f"  {'size':>6} | frequency")
+    for size in all_sizes:
+        row = []
+        for name, hist in series.items():
+            freq = hist.get(size, 0)
+            if freq:
+                bar = markers[name] * max(1, int(freq / max_freq * width))
+                row.append(f"{bar} ({freq})")
+        lines.append(f"  {size:>6} | " + "   ".join(row))
+    return "\n".join(lines)
+
+
+def ratio(a: Optional[float], b: Optional[float]) -> str:
+    """Safe speedup formatting (a over b)."""
+    if a is None or b is None or b == 0:
+        return "-"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,528 @@
+"""Hand-written mini-C benchmark sources.
+
+The paper's corpus is real systems code (drivers, mail agents, servers).
+The synthetic IR generator reproduces its *statistics*; the programs here
+reproduce its *texture* — struct-heavy driver code, lock discipline,
+function-pointer dispatch tables, linked structures, error paths — and
+run through the full frontend, so the end-to-end pipeline (lexer to
+FSCS) is exercised on something a kernel developer would recognize.
+
+All are self-contained mini-C (the dialect in ``repro.frontend``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+CHAR_DEVICE = r"""
+/* A miniature character device with open/read/write/ioctl paths. */
+struct cdev_state {
+    int *lock;
+    int *rx_buf;
+    int *tx_buf;
+    int open_count;
+    int flags;
+};
+
+int cdev_lock_obj;
+struct cdev_state cdev;
+int errno_slot;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+void cdev_init(void) {
+    cdev.lock = &cdev_lock_obj;
+    cdev.rx_buf = malloc(512);
+    cdev.tx_buf = malloc(512);
+    cdev.open_count = 0;
+    cdev.flags = 0;
+}
+
+int cdev_open(int flags) {
+    lock(cdev.lock);
+    if (cdev.open_count > 4) {
+        unlock(cdev.lock);
+        return -1;
+    }
+    cdev.open_count = cdev.open_count + 1;
+    cdev.flags = flags;
+    unlock(cdev.lock);
+    return 0;
+}
+
+int cdev_read(int *out) {
+    int *buf;
+    lock(cdev.lock);
+    buf = cdev.rx_buf;
+    if (buf == NULL) {
+        unlock(cdev.lock);
+        return -1;
+    }
+    *out = *buf;
+    unlock(cdev.lock);
+    return 0;
+}
+
+int cdev_write(int *data) {
+    int *buf;
+    lock(cdev.lock);
+    buf = cdev.tx_buf;
+    if (buf != NULL) {
+        *buf = *data;
+    }
+    unlock(cdev.lock);
+    return 0;
+}
+
+void cdev_release(void) {
+    lock(cdev.lock);
+    cdev.open_count = cdev.open_count - 1;
+    if (cdev.open_count == 0) {
+        free(cdev.rx_buf);
+        free(cdev.tx_buf);
+        cdev.rx_buf = NULL;
+        cdev.tx_buf = NULL;
+    }
+    unlock(cdev.lock);
+}
+
+int main() {
+    int payload;
+    int received;
+    cdev_init();
+    if (cdev_open(1) != 0) {
+        return 1;
+    }
+    payload = 42;
+    cdev_write(&payload);
+    cdev_read(&received);
+    cdev_release();
+    return 0;
+}
+"""
+
+FOPS_DISPATCH = r"""
+/* File-operations dispatch table, the classic kernel pattern. */
+struct file;
+struct fops {
+    int (*open)(struct file *f);
+    int (*read)(struct file *f, int *out);
+    int (*release)(struct file *f);
+};
+
+struct file {
+    struct fops *ops;
+    int *private_data;
+    int mode;
+};
+
+int storage_a, storage_b;
+
+int null_open(struct file *f) {
+    f->private_data = NULL;
+    return 0;
+}
+
+int mem_open(struct file *f) {
+    f->private_data = &storage_a;
+    return 0;
+}
+
+int mem_read(struct file *f, int *out) {
+    int *data = f->private_data;
+    if (data == NULL) {
+        return -1;
+    }
+    *out = *data;
+    return 0;
+}
+
+int null_read(struct file *f, int *out) {
+    *out = 0;
+    return 0;
+}
+
+int common_release(struct file *f) {
+    f->private_data = NULL;
+    return 0;
+}
+
+struct fops mem_fops;
+struct fops null_fops;
+
+void register_fops(void) {
+    mem_fops.open = mem_open;
+    mem_fops.read = mem_read;
+    mem_fops.release = common_release;
+    null_fops.open = null_open;
+    null_fops.read = null_read;
+    null_fops.release = common_release;
+}
+
+int dispatch(struct file *f, int *out) {
+    int rc = f->ops->open(f);
+    if (rc != 0) {
+        return rc;
+    }
+    rc = f->ops->read(f, out);
+    f->ops->release(f);
+    return rc;
+}
+
+int main() {
+    struct file fmem;
+    struct file fnull;
+    int value;
+    register_fops();
+    fmem.ops = &mem_fops;
+    fnull.ops = &null_fops;
+    dispatch(&fmem, &value);
+    dispatch(&fnull, &value);
+    return 0;
+}
+"""
+
+SLAB_CACHE = r"""
+/* A tiny slab-style allocator with a free list. */
+struct slab {
+    struct slab *next;
+    int *payload;
+    int in_use;
+};
+
+struct slab *free_list;
+int slab_lock_obj;
+int *slab_lock;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+struct slab *slab_alloc(void) {
+    struct slab *s;
+    lock(slab_lock);
+    if (free_list != NULL) {
+        s = free_list;
+        free_list = s->next;
+    } else {
+        s = (struct slab *)malloc(24);
+        s->payload = malloc(64);
+    }
+    s->in_use = 1;
+    s->next = NULL;
+    unlock(slab_lock);
+    return s;
+}
+
+void slab_free(struct slab *s) {
+    lock(slab_lock);
+    s->in_use = 0;
+    s->next = free_list;
+    free_list = s;
+    unlock(slab_lock);
+}
+
+int main() {
+    struct slab *a;
+    struct slab *b;
+    int i;
+    slab_lock = &slab_lock_obj;
+    free_list = NULL;
+    for (i = 0; i < 8; i++) {
+        a = slab_alloc();
+        b = slab_alloc();
+        slab_free(a);
+        slab_free(b);
+    }
+    a = slab_alloc();
+    int *data = a->payload;
+    return 0;
+}
+"""
+
+EVENT_QUEUE = r"""
+/* Producer/consumer event queue guarded by one lock; the consumer has a
+   deliberate unlocked fast path on a shared counter (a race). */
+struct event {
+    struct event *next;
+    int kind;
+    int *arg;
+};
+
+struct event *queue_head;
+int queue_lock_obj;
+int *queue_lock;
+int pending_count;
+int processed_count;
+int total_events;
+int payload_cell;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+void producer(void) {
+    struct event *e = (struct event *)malloc(24);
+    e->kind = 1;
+    e->arg = &payload_cell;
+    lock(queue_lock);
+    e->next = queue_head;
+    queue_head = e;
+    pending_count = pending_count + 1;
+    unlock(queue_lock);
+    /* Unlocked stats update: reads processed_count without the lock,
+       racing with the consumer's unlocked increment. */
+    total_events = processed_count + 1;
+}
+
+void consumer(void) {
+    struct event *e;
+    lock(queue_lock);
+    e = queue_head;
+    if (e != NULL) {
+        queue_head = e->next;
+        pending_count = pending_count - 1;
+    }
+    unlock(queue_lock);
+    processed_count = processed_count + 1;   /* unlocked: races */
+    if (e != NULL) {
+        int *arg = e->arg;
+        if (arg != NULL) {
+            *arg = 0;
+        }
+    }
+}
+
+int main() {
+    queue_lock = &queue_lock_obj;
+    queue_head = NULL;
+    producer();
+    producer();
+    consumer();
+    consumer();
+    return 0;
+}
+"""
+
+STRING_TABLE = r"""
+/* An interning table: open hashing with chained buckets. */
+struct entry {
+    struct entry *chain;
+    int *key;
+    int refcount;
+};
+
+struct entry *buckets0;
+struct entry *buckets1;
+struct entry *buckets2;
+int key_a, key_b, key_c;
+
+struct entry *table_get(int h, int *key) {
+    struct entry *cursor;
+    if (h == 0) {
+        cursor = buckets0;
+    } else {
+        if (h == 1) {
+            cursor = buckets1;
+        } else {
+            cursor = buckets2;
+        }
+    }
+    while (cursor != NULL) {
+        if (cursor->key == key) {
+            cursor->refcount = cursor->refcount + 1;
+            return cursor;
+        }
+        cursor = cursor->chain;
+    }
+    return NULL;
+}
+
+struct entry *table_put(int h, int *key) {
+    struct entry *found = table_get(h, key);
+    if (found != NULL) {
+        return found;
+    }
+    struct entry *fresh = (struct entry *)malloc(24);
+    fresh->key = key;
+    fresh->refcount = 1;
+    if (h == 0) {
+        fresh->chain = buckets0;
+        buckets0 = fresh;
+    } else {
+        if (h == 1) {
+            fresh->chain = buckets1;
+            buckets1 = fresh;
+        } else {
+            fresh->chain = buckets2;
+            buckets2 = fresh;
+        }
+    }
+    return fresh;
+}
+
+int main() {
+    struct entry *e1 = table_put(0, &key_a);
+    struct entry *e2 = table_put(1, &key_b);
+    struct entry *e3 = table_put(0, &key_a);
+    int *k = e3->key;
+    return 0;
+}
+"""
+
+RING_BUFFER = r"""
+/* An SPSC ring buffer of pointer payloads with watermark callbacks. */
+struct ring {
+    int *slots0;
+    int *slots1;
+    int *slots2;
+    int *slots3;
+    int head;
+    int tail;
+    void (*on_full)(void);
+    void (*on_empty)(void);
+};
+
+struct ring rb;
+int overflow_count, underflow_count;
+int item_a, item_b;
+
+void note_full(void)  { overflow_count = overflow_count + 1; }
+void note_empty(void) { underflow_count = underflow_count + 1; }
+
+void rb_init(void) {
+    rb.head = 0;
+    rb.tail = 0;
+    rb.on_full = note_full;
+    rb.on_empty = note_empty;
+    rb.slots0 = NULL;
+    rb.slots1 = NULL;
+    rb.slots2 = NULL;
+    rb.slots3 = NULL;
+}
+
+int rb_push(int *item) {
+    if (rb.head - rb.tail >= 4) {
+        rb.on_full();
+        return -1;
+    }
+    switch (rb.head % 4) {
+    case 0: rb.slots0 = item; break;
+    case 1: rb.slots1 = item; break;
+    case 2: rb.slots2 = item; break;
+    default: rb.slots3 = item; break;
+    }
+    rb.head = rb.head + 1;
+    return 0;
+}
+
+int *rb_pop(void) {
+    int *out;
+    if (rb.head == rb.tail) {
+        rb.on_empty();
+        return NULL;
+    }
+    switch (rb.tail % 4) {
+    case 0: out = rb.slots0; break;
+    case 1: out = rb.slots1; break;
+    case 2: out = rb.slots2; break;
+    default: out = rb.slots3; break;
+    }
+    rb.tail = rb.tail + 1;
+    return out;
+}
+
+int main() {
+    rb_init();
+    rb_push(&item_a);
+    rb_push(&item_b);
+    int *first = rb_pop();
+    int *second = rb_pop();
+    int *drained = rb_pop();   /* NULL path */
+    if (drained != NULL) {
+        *drained = 0;
+    }
+    return 0;
+}
+"""
+
+PROTO_FSM = r"""
+/* A little protocol state machine driven by a handler table. */
+struct conn;
+struct conn {
+    int state;
+    int *(*handler)(struct conn *c);
+    int *rx;
+    int *last_error;
+};
+
+int err_proto, err_closed;
+int inbox;
+
+int *h_idle(struct conn *c);
+int *h_open(struct conn *c);
+int *h_closed(struct conn *c);
+
+int *h_idle(struct conn *c) {
+    c->state = 1;
+    c->handler = h_open;
+    c->rx = &inbox;
+    return NULL;
+}
+
+int *h_open(struct conn *c) {
+    if (c->rx == NULL) {
+        c->last_error = &err_proto;
+        c->handler = h_closed;
+        return c->last_error;
+    }
+    c->state = 2;
+    c->handler = h_closed;
+    return NULL;
+}
+
+int *h_closed(struct conn *c) {
+    c->last_error = &err_closed;
+    return c->last_error;
+}
+
+int *step(struct conn *c) {
+    return c->handler(c);
+}
+
+int main() {
+    struct conn c;
+    c.state = 0;
+    c.handler = h_idle;
+    c.rx = NULL;
+    c.last_error = NULL;
+    int *e1 = step(&c);
+    int *e2 = step(&c);
+    int *e3 = step(&c);
+    return 0;
+}
+"""
+
+#: Every embedded source, keyed by a short name.
+SOURCES: Dict[str, str] = {
+    "char_device": CHAR_DEVICE,
+    "fops_dispatch": FOPS_DISPATCH,
+    "slab_cache": SLAB_CACHE,
+    "event_queue": EVENT_QUEUE,
+    "string_table": STRING_TABLE,
+    "ring_buffer": RING_BUFFER,
+    "proto_fsm": PROTO_FSM,
+}
+
+
+def names() -> List[str]:
+    return sorted(SOURCES)
+
+
+def source(name: str) -> str:
+    return SOURCES[name]
+
+
+def load(name: str):
+    """Parse one embedded source into a :class:`~repro.ir.Program`."""
+    from ..frontend import parse_program
+    return parse_program(SOURCES[name])

@@ -1,0 +1,316 @@
+"""Deterministic synthetic benchmark programs.
+
+The paper evaluates on Linux drivers, mail agents and servers whose
+sources (and 2008 toolchain) are unavailable here, so the harness runs on
+synthetic programs engineered to reproduce the *distributional* facts the
+paper's results depend on (see DESIGN.md §3):
+
+* pointer-partition size frequencies are heavy-tailed: hundreds of tiny
+  Steensgaard partitions plus a few large ones (Figure 1's shape) —
+  generated as many small independent "pointer webs" plus one (or more)
+  large *hub* web;
+* the hub's internal structure controls how much Andersen clustering can
+  refine it: layered one-way flows with small fan-in split into many
+  small clusters (the ``sendmail`` case: 596 -> 193), while mesh-like
+  sharing leaves clusters almost as large as the partition (the
+  ``mt-daapd`` case: 89 -> 83, where Andersen clustering is a net loss);
+* statements are localized to a few functions per web, so per-cluster
+  slices touch only a handful of functions (the locality the paper's
+  summarization exploits);
+* the call graph is a tree with cross edges and optional recursion, and
+  pointers also flow through parameters/returns and function pointers.
+
+Everything is generated from a seeded ``random.Random``; the same config
+always yields the identical program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import Program, ProgramBuilder, Var
+from ..ir.builder import FunctionBuilder
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs for one synthetic benchmark program."""
+
+    name: str
+    pointers: int = 400            # approximate pointer-variable count
+    functions: int = 20            # worker functions (plus main)
+    kloc: float = 1.0              # reported only (the paper's column 2)
+    hub_fractions: Tuple[float, ...] = (0.15,)  # big partitions, as
+                                   # fractions of the pointer budget
+    overlap: float = 0.2           # 0 = tree-like hub, 1 = full mesh
+    web_size_mean: float = 4.0     # small web size (geometric-ish)
+    depth: int = 2                 # extra pointer-indirection levels
+    lock_count: int = 0            # lock pointers + lock()/unlock() calls
+    fp_sites: int = 0              # function-pointer call sites
+    recursion: bool = True
+    seed: int = 2008
+
+
+@dataclass
+class SynthProgram:
+    """A generated program plus the ground-truth knobs that shaped it."""
+
+    config: SynthConfig
+    program: Program
+    web_count: int
+    hub_sizes: List[int]
+    lock_vars: List[Var]
+
+
+class _Gen:
+    def __init__(self, config: SynthConfig) -> None:
+        self.cfg = config
+        self.rng = random.Random(config.seed)
+        self.builder = ProgramBuilder()
+        self.fnames = [f"f{i}" for i in range(max(1, config.functions))]
+        self.emitters: Dict[str, FunctionBuilder] = {}
+        self.pointer_budget = config.pointers
+        self.created = 0
+        self.web_count = 0
+        self.hub_sizes: List[int] = []
+        self.lock_vars: List[Var] = []
+        self._uid = 0
+
+    # -- plumbing ----------------------------------------------------------
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def em(self, name: str) -> FunctionBuilder:
+        if name not in self.emitters:
+            fb = FunctionBuilder(self.builder, name, params=())
+            self.emitters[name] = fb
+        return self.emitters[name]
+
+    def pick_funcs(self, k: int) -> List[str]:
+        k = max(1, min(k, len(self.fnames)))
+        return self.rng.sample(self.fnames, k)
+
+    # -- web generators ------------------------------------------------------
+    def small_web(self) -> int:
+        """One small pointer web: a few targets, a few pointers, local to
+        1-3 functions.  Returns the number of pointer variables made."""
+        rng = self.rng
+        size = max(2, min(10, int(rng.expovariate(1.0 / self.cfg.web_size_mean)) + 2))
+        funcs = self.pick_funcs(rng.randint(1, 3))
+        wid = self.uid()
+        n_targets = max(1, size // 3)
+        targets = [f"w{wid}t{i}" for i in range(n_targets)]
+        pointers = [f"w{wid}p{i}" for i in range(size - n_targets)]
+        created = 0
+        for t in targets:
+            self.builder.global_var(t)
+        prev: Optional[str] = None
+        for i, p in enumerate(pointers):
+            f = self.em(rng.choice(funcs))
+            self.builder.global_var(p)
+            f.addr(p, rng.choice(targets))
+            created += 1
+            if prev is not None and rng.random() < 0.7:
+                f.copy(rng.choice([p, prev]), rng.choice([prev, p]))
+            prev = p
+        # Optional extra indirection level.
+        if pointers and self.cfg.depth >= 2 and rng.random() < 0.5:
+            f = self.em(rng.choice(funcs))
+            pp = f"w{wid}pp"
+            self.builder.global_var(pp)
+            f.addr(pp, rng.choice(pointers))
+            if rng.random() < 0.5:
+                f.store(pp, rng.choice(pointers))
+            else:
+                f.load(f"w{wid}l", pp)
+            created += 2
+        self.web_count += 1
+        return created + n_targets
+
+    def hub_web(self, size: int) -> int:
+        """One large Steensgaard partition with controllable Andersen
+        refinement.
+
+        The hub is ``C`` parallel copy *chains* (each chain's pointers all
+        point to the chain's own object, so its Andersen cluster is the
+        chain) joined by *bridge* variables that copy from two adjacent
+        chain heads: the bridge unifies the chains' pointee classes
+        (Steensgaard sees one big partition) while adding only itself to
+        each chain's cluster.  ``overlap`` sets the target ratio
+        ``max Andersen cluster / max Steensgaard partition``: near 0
+        means many short chains (sendmail: clustering refines a lot),
+        near 1 means one long chain (mt-daapd: clustering cannot help).
+        """
+        rng = self.rng
+        wid = self.uid()
+        chain_len = max(2, int(size * max(0.02, min(1.0, self.cfg.overlap)) * 0.85))
+        n_chains = max(1, size // (chain_len + 2))
+        funcs = self.pick_funcs(max(2, min(len(self.fnames),
+                                           size // 12 + 2)))
+        created = 0
+        heads: List[str] = []
+        for c in range(n_chains):
+            obj = f"h{wid}o{c}"
+            self.builder.global_var(obj)
+            prev = f"h{wid}c{c}v0"
+            self.builder.global_var(prev)
+            # Chain segments stay within few functions (statement
+            # locality, like real code).
+            chain_funcs = rng.sample(funcs, min(len(funcs),
+                                                rng.randint(1, 3)))
+            self.em(rng.choice(chain_funcs)).addr(prev, obj)
+            heads.append(prev)
+            created += 1
+            for i in range(1, chain_len):
+                cur = f"h{wid}c{c}v{i}"
+                self.builder.global_var(cur)
+                self.em(rng.choice(chain_funcs)).copy(cur, prev)
+                prev = cur
+                created += 1
+        for c in range(1, n_chains):
+            bridge = f"h{wid}b{c}"
+            self.builder.global_var(bridge)
+            f = self.em(rng.choice(funcs))
+            f.copy(bridge, heads[c - 1])
+            f.copy(bridge, heads[c])
+            created += 1
+        self.hub_sizes.append(created)
+        self.web_count += 1
+        return created + n_chains
+
+    def lock_web(self, index: int) -> int:
+        """A lock pointer guarding a shared counter (drives the race
+        detection example and the demand-driven benchmarks)."""
+        rng = self.rng
+        lock_obj = f"lk{index}_obj"
+        lock_ptr = f"lk{index}"
+        shared = f"lk{index}_shared"
+        for g in (lock_obj, lock_ptr, shared):
+            self.builder.global_var(g)
+        f = self.em(rng.choice(self.fnames))
+        f.addr(lock_ptr, lock_obj)
+        f.call("lock", [lock_ptr])
+        f.skip(f"touch {shared}")
+        f.call("unlock", [lock_ptr])
+        self.lock_vars.append(Var(lock_ptr))
+        return 2
+
+    def interprocedural_flows(self) -> int:
+        """Route some pointers through parameters and returns."""
+        rng = self.rng
+        created = 0
+        n_flows = max(1, len(self.fnames) // 3)
+        for i in range(n_flows):
+            callee = rng.choice(self.fnames)
+            caller = rng.choice([f for f in self.fnames if f != callee]
+                                or self.fnames)
+            wid = self.uid()
+            tgt, arg, out = f"ip{wid}t", f"ip{wid}a", f"ip{wid}r"
+            for g in (tgt, arg, out):
+                self.builder.global_var(g)
+            ce = self.em(callee)
+            ce.copy(f"$ipin{wid}", arg)
+            ce.copy(ce.fn.retval, f"$ipin{wid}")
+            ca = self.em(caller)
+            ca.addr(arg, tgt)
+            ca.call(callee, [], ret=out)
+            created += 3
+        return created
+
+    def build_callgraph(self) -> None:
+        """main calls roots; tree edges + cross edges + optional cycle."""
+        rng = self.rng
+        main = self.em("main")
+        order = list(self.fnames)
+        rng.shuffle(order)
+        roots = order[:max(1, len(order) // 4)]
+        for r in roots:
+            main.call(r)
+        for i, f in enumerate(order):
+            fb = self.em(f)
+            children = order[i * 2 + 1: i * 2 + 3]
+            for c in children:
+                fb.call(c)
+            if rng.random() < 0.15 and i > 0:
+                fb.call(rng.choice(order[:i]))  # cross edge
+        if self.cfg.recursion and len(order) >= 2:
+            self.em(order[-1]).call(order[-2])
+            self.em(order[-2]).call(order[-1])
+        # Lock/unlock primitives as tiny leaf functions.
+        if self.cfg.lock_count:
+            for prim in ("lock", "unlock"):
+                fb = FunctionBuilder(self.builder, prim, params=("l",))
+                fb.skip(prim)
+                self.emitters[prim] = fb
+
+    def run(self) -> SynthProgram:
+        cfg = self.cfg
+        self.build_callgraph()
+        budget = cfg.pointers
+        for frac in cfg.hub_fractions:
+            size = max(8, int(cfg.pointers * frac))
+            budget -= self.hub_web(size)
+        for i in range(cfg.lock_count):
+            budget -= self.lock_web(i)
+        budget -= self.interprocedural_flows()
+        while budget > 0:
+            budget -= self.small_web()
+        # Function pointer sites.
+        if cfg.fp_sites and len(self.fnames) >= 2:
+            rng = self.rng
+            for i in range(cfg.fp_sites):
+                caller = self.em(rng.choice(self.fnames))
+                fp = f"fp{i}"
+                self.builder.global_var(fp)
+                for target in rng.sample(self.fnames,
+                                         min(2, len(self.fnames))):
+                    caller.addr(fp, Var(target))
+                caller.call_indirect(fp)
+        for name, fb in self.emitters.items():
+            self.builder._functions[name] = fb.finish()
+        program = self.builder.build(entry="main")
+        if cfg.fp_sites:
+            from ..analysis.steensgaard import Steensgaard
+            from ..ir import resolve_indirect_calls
+            pts = Steensgaard(program).run()
+            resolve_indirect_calls(program, pts.points_to)
+        return SynthProgram(config=cfg, program=program,
+                            web_count=self.web_count,
+                            hub_sizes=self.hub_sizes,
+                            lock_vars=self.lock_vars)
+
+
+def generate(config: SynthConfig) -> SynthProgram:
+    """Generate one deterministic synthetic program."""
+    return _Gen(config).run()
+
+
+def generate_source(config: SynthConfig) -> str:
+    """A mini-C rendering of a (smaller) synthetic program, used to
+    exercise the full frontend path in examples and tests."""
+    rng = random.Random(config.seed)
+    n_webs = max(2, config.pointers // 8)
+    lines: List[str] = [f"/* synthetic benchmark: {config.name} */"]
+    decls: List[str] = []
+    funcs: List[str] = []
+    web_fns: List[str] = []
+    for w in range(n_webs):
+        size = max(2, min(6, int(rng.expovariate(1.0 / config.web_size_mean)) + 2))
+        targets = [f"w{w}t{i}" for i in range(max(1, size // 3))]
+        ptrs = [f"w{w}p{i}" for i in range(size)]
+        decls.append("int " + ", ".join(targets) + ";")
+        decls.append("int " + ", ".join("*" + p for p in ptrs) + ";")
+        body = []
+        for i, p in enumerate(ptrs):
+            body.append(f"    {p} = &{rng.choice(targets)};")
+            if i:
+                body.append(f"    {p} = {ptrs[i - 1]};")
+        fn = f"web{w}"
+        web_fns.append(fn)
+        funcs.append(f"void {fn}(void) {{\n" + "\n".join(body) + "\n}")
+    calls = "\n".join(f"    web{w}();" for w in range(n_webs))
+    funcs.append(f"int main() {{\n{calls}\n    return 0;\n}}")
+    return "\n".join(lines + decls + funcs) + "\n"

@@ -1,0 +1,233 @@
+"""Table 1 harness: FSCS alias analysis without clustering vs. with
+Steensgaard clustering vs. with Andersen clustering.
+
+For every corpus program this measures, like the paper:
+
+* column 4 — Steensgaard partitioning time;
+* column 5 — Andersen clustering time (refining large partitions on
+  their slices);
+* column 6 — FSCS summary construction over the *whole* program, no
+  clustering (with a step budget standing in for the paper's 15-minute
+  timeout);
+* columns 7-9 — cluster count, max cluster size and simulated 5-way
+  parallel FSCS time when clustering stops at Steensgaard partitions;
+* columns 10-12 — the same with Andersen clustering of partitions above
+  the (scaled) Andersen threshold.
+
+Run ``python -m repro.bench.table1 --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.fscs import whole_program_fscs
+from ..analysis.steensgaard import Steensgaard
+from ..core.bootstrap import BootstrapConfig, BootstrapResult
+from ..core.cascade import CascadeConfig, run_cascade
+from ..ir import Program
+from .corpus import PAPER_BY_NAME, PAPER_TABLE1, PaperRow, corpus_configs
+from .metrics import TIMEOUT, Timed, format_csv, format_table, ratio, timed, \
+    timed_with_budget
+from .synth import SynthConfig, generate
+
+
+@dataclass
+class Table1Row:
+    """Measured results for one program."""
+
+    name: str
+    kloc: float
+    pointers: int
+    t_partition: float
+    t_cluster: float
+    t_nocluster: Optional[float]   # None == budget exceeded (paper: >15min)
+    steens_clusters: int
+    steens_max: int
+    t_steens: float
+    andersen_clusters: int
+    andersen_max: int
+    t_andersen: float
+    nocluster_ran: bool = True
+
+    def cells(self) -> List[str]:
+        def f(x: Optional[float]) -> str:
+            return TIMEOUT if x is None else f"{x:.3f}"
+        nocluster = f(self.t_nocluster) if self.nocluster_ran else "-"
+        return [self.name, f"{self.kloc:g}", str(self.pointers),
+                f(self.t_partition), f(self.t_cluster), nocluster,
+                str(self.steens_clusters), str(self.steens_max),
+                f(self.t_steens),
+                str(self.andersen_clusters), str(self.andersen_max),
+                f(self.t_andersen)]
+
+
+HEADERS = ["example", "KLOC", "#ptr", "t_part", "t_clust", "t_noclust",
+           "#cl(S)", "max(S)", "t(S)", "#cl(A)", "max(A)", "t(A)"]
+
+
+def measure_program(program: Program, name: str, kloc: float,
+                    andersen_threshold: int,
+                    nocluster_budget: Optional[int] = 300_000,
+                    cluster_budget: Optional[int] = 500_000,
+                    nocluster_timeout: float = 60.0,
+                    parts: int = 5,
+                    run_nocluster: bool = True) -> Table1Row:
+    """All Table 1 measurements for one program."""
+    n_pointers = len(program.pointers)
+
+    t_part = timed(lambda: Steensgaard(program).run())
+    steens = t_part.value
+
+    cascade_a = timed(lambda: run_cascade(
+        program, CascadeConfig(andersen_threshold=andersen_threshold),
+        steens=steens))
+
+    # Column 6: no clustering at all.
+    t_nocluster: Optional[float] = None
+    if run_nocluster:
+        measured = timed_with_budget(
+            lambda: whole_program_fscs(
+                program, budget=nocluster_budget,
+                max_fsci_iterations=nocluster_budget,
+                timeout_seconds=nocluster_timeout).analyze())
+        t_nocluster = measured.seconds
+
+    # Columns 7-9: Steensgaard clustering only.
+    cascade_s = run_cascade(
+        program, CascadeConfig(refine_with_andersen=False), steens=steens)
+    result_s = BootstrapResult(program, cascade_s,
+                               BootstrapConfig(parts=parts,
+                                               fscs_budget=cluster_budget))
+    report_s = result_s.analyze_all()
+
+    # Columns 10-12: Andersen clustering of large partitions.
+    result_a = BootstrapResult(program, cascade_a.value,
+                               BootstrapConfig(parts=parts,
+                                               fscs_budget=cluster_budget))
+    report_a = result_a.analyze_all()
+
+    return Table1Row(
+        name=name, kloc=kloc, pointers=n_pointers,
+        t_partition=t_part.seconds,
+        t_cluster=cascade_a.value.clustering_time,
+        t_nocluster=t_nocluster,
+        nocluster_ran=run_nocluster,
+        steens_clusters=len(cascade_s.clusters),
+        steens_max=cascade_s.max_cluster_size(),
+        t_steens=report_s.max_part_time,
+        andersen_clusters=len(cascade_a.value.clusters),
+        andersen_max=cascade_a.value.max_cluster_size(),
+        t_andersen=report_a.max_part_time,
+    )
+
+
+def run_table1(scale: float = 0.05,
+               names: Optional[Sequence[str]] = None,
+               nocluster_budget: int = 300_000,
+               nocluster_timeout: float = 60.0,
+               parts: int = 5,
+               run_nocluster: bool = True,
+               verbose: bool = False) -> List[Table1Row]:
+    """Measure every requested corpus program."""
+    configs = corpus_configs(scale=scale, names=list(names) if names else None)
+    threshold = max(6, int(60 * scale))
+    rows: List[Table1Row] = []
+    for cfg in configs:
+        if verbose:
+            print(f"  [{cfg.name}] generating (~{cfg.pointers} pointers)...",
+                  file=sys.stderr)
+        sp = generate(cfg)
+        row = measure_program(sp.program, cfg.name, cfg.kloc,
+                              andersen_threshold=threshold,
+                              nocluster_budget=nocluster_budget,
+                              nocluster_timeout=nocluster_timeout,
+                              parts=parts, run_nocluster=run_nocluster)
+        rows.append(row)
+        if verbose:
+            print("  " + " ".join(row.cells()), file=sys.stderr)
+    return rows
+
+
+def paper_reference_table() -> str:
+    rows = [[r.name, f"{r.kloc:g}", str(r.pointers),
+             TIMEOUT if r.time_nocluster is None else f"{r.time_nocluster:g}",
+             str(r.steens_clusters), str(r.steens_max), f"{r.time_steens:g}",
+             str(r.andersen_clusters), str(r.andersen_max),
+             f"{r.time_andersen:g}"]
+            for r in PAPER_TABLE1]
+    return format_table(
+        ["example", "KLOC", "#ptr", "t_noclust", "#cl(S)", "max(S)",
+         "t(S)", "#cl(A)", "max(A)", "t(A)"],
+        rows, title="Paper Table 1 (reference)")
+
+
+def shape_report(rows: List[Table1Row]) -> str:
+    """The qualitative comparisons EXPERIMENTS.md cares about."""
+    lines = ["Shape checks against the paper:"]
+    for row in rows:
+        paper = PAPER_BY_NAME.get(row.name)
+        checks = []
+        if not row.nocluster_ran:
+            pass
+        elif row.t_nocluster is None:
+            checks.append("no-clustering TIMED OUT (clustered runs did not)")
+        elif row.t_steens and row.t_nocluster:
+            checks.append(
+                f"clustering speedup {ratio(row.t_nocluster, row.t_steens)}")
+        if paper is not None and paper.steens_max:
+            paper_ratio = paper.andersen_max / paper.steens_max
+            ours = (row.andersen_max / row.steens_max
+                    if row.steens_max else 1.0)
+            checks.append(f"max-cluster shrink ours {ours:.2f} "
+                          f"vs paper {paper_ratio:.2f}")
+        lines.append(f"  {row.name}: " + "; ".join(checks))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's Table 1 on the synthetic corpus")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="program size as a fraction of the paper's "
+                             "pointer counts (default 0.05)")
+    parser.add_argument("--programs", type=str, default=None,
+                        help="comma-separated subset of program names")
+    parser.add_argument("--parts", type=int, default=5,
+                        help="simulated parallel machines (paper: 5)")
+    parser.add_argument("--budget", type=int, default=300_000,
+                        help="step budget standing in for the 15min timeout")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="wall-clock cap (seconds) for the unclustered "
+                             "baseline (the paper used 15 minutes)")
+    parser.add_argument("--skip-nocluster", action="store_true",
+                        help="skip the slow unclustered baseline")
+    parser.add_argument("--csv", action="store_true", help="emit CSV")
+    parser.add_argument("--paper", action="store_true",
+                        help="also print the paper's reference table")
+    args = parser.parse_args(argv)
+    names = args.programs.split(",") if args.programs else None
+    rows = run_table1(scale=args.scale, names=names,
+                      nocluster_budget=args.budget,
+                      nocluster_timeout=args.timeout, parts=args.parts,
+                      run_nocluster=not args.skip_nocluster, verbose=True)
+    cells = [r.cells() for r in rows]
+    if args.csv:
+        print(format_csv(HEADERS, cells))
+    else:
+        print(format_table(HEADERS, cells,
+                           title=f"Table 1 (measured, scale={args.scale})"))
+        print()
+        print(shape_report(rows))
+    if args.paper:
+        print()
+        print(paper_reference_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

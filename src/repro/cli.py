@@ -1,0 +1,241 @@
+"""Command-line driver: analyze mini-C files with the bootstrapped
+cascade.
+
+Examples::
+
+    python -m repro analyze driver.c                 # cascade report
+    python -m repro analyze driver.c --aliases p q   # alias query
+    python -m repro partitions driver.c              # Steensgaard view
+    python -m repro races driver.c --threads t1,t2   # race detection
+    python -m repro table1 --scale 0.02              # the paper's table
+    python -m repro figure1                          # the paper's figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import Andersen, Steensgaard
+from .applications import RaceDetector, find_lock_sites, lock_pointers
+from .core import (
+    BootstrapAnalyzer,
+    BootstrapConfig,
+    CascadeConfig,
+    select_clusters,
+)
+from .ir import Loc, Program, Var
+
+
+def _load(path: str, entry: str) -> Program:
+    from .frontend import parse_program
+    with open(path, "r") as handle:
+        source = handle.read()
+    return parse_program(source, entry=entry)
+
+
+def _find_var(program: Program, name: str) -> Var:
+    """Resolve ``name`` or ``func::name`` against the program."""
+    if "::" in name:
+        func, base = name.split("::", 1)
+        var = Var(base, func)
+    else:
+        var = Var(name)
+        if var not in program.pointers:
+            candidates = [p for p in program.pointers if p.name == name]
+            if len(candidates) == 1:
+                return candidates[0]
+            if candidates:
+                raise SystemExit(
+                    f"ambiguous name {name!r}: "
+                    + ", ".join(sorted(c.qualified for c in candidates)))
+    if var not in program.pointers:
+        raise SystemExit(f"unknown pointer {name!r}")
+    return var
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.entry)
+    config = BootstrapConfig(
+        cascade=CascadeConfig(andersen_threshold=args.threshold,
+                              use_oneflow=args.oneflow),
+        parts=args.parts)
+    result = BootstrapAnalyzer(program, config).run()
+    counts = program.counts()
+    print(f"{args.file}: {counts['functions']} functions, "
+          f"{counts['pointers']} pointers, "
+          f"{counts['pointer_assignments']} pointer assignments")
+    cascade = result.cascade
+    print(f"cascade: {len(cascade.clusters)} clusters "
+          f"(max {cascade.max_cluster_size()}, "
+          f"{cascade.refined_partitions} partitions Andersen-refined) "
+          f"in {cascade.partition_time + cascade.clustering_time:.3f}s")
+    if args.aliases:
+        p, q = (_find_var(program, n) for n in args.aliases)
+        loc = Loc(program.entry, program.cfg_of(program.entry).exit)
+        verdict = result.may_alias(p, q, loc)
+        print(f"may_alias({p}, {q}) at end of {program.entry}: {verdict}")
+        print(f"(analyzed {result.analyzed_cluster_count} of "
+              f"{len(result.clusters)} clusters)")
+    if args.points_to:
+        p = _find_var(program, args.points_to)
+        loc = Loc(program.entry, program.cfg_of(program.entry).exit)
+        objs = sorted(str(o) for o in result.points_to(p, loc))
+        print(f"points_to({p}) at end of {program.entry}: {objs}")
+    if args.summaries:
+        report = result.analyze_all()
+        print(f"summaries built for all clusters: "
+              f"max part time {report.max_part_time:.3f}s over "
+              f"{args.parts} simulated machines")
+    if args.report:
+        from .core import render_report
+        print()
+        print(render_report(result))
+    if args.json:
+        import json
+        from .core import cascade_summary
+        print(json.dumps(cascade_summary(result), indent=2, sort_keys=True))
+    if args.dot:
+        from .analysis import Andersen, Steensgaard
+        from .ir import andersen_dot, callgraph_dot, steensgaard_dot
+        if args.dot == "steensgaard":
+            print(steensgaard_dot(Steensgaard(program).run()))
+        elif args.dot == "andersen":
+            print(andersen_dot(Andersen(program).run()))
+        else:
+            print(callgraph_dot(program))
+    return 0
+
+
+def cmd_partitions(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.entry)
+    steens = Steensgaard(program).run()
+    parts = steens.partitions()
+    print(f"{len(parts)} Steensgaard partitions "
+          f"(max size {steens.max_partition_size()})")
+    shown = 0
+    for part in parts:
+        if len(part) < args.min_size:
+            continue
+        print(f"  [{len(part)}] " + ", ".join(sorted(map(str, part))[:12])
+              + (" ..." if len(part) > 12 else ""))
+        shown += 1
+        if shown >= args.limit:
+            print(f"  ... ({len(parts) - shown} more)")
+            break
+    if args.andersen:
+        andersen = Andersen(program).run()
+        clusters = andersen.clusters()
+        print(f"{len(clusters)} Andersen clusters "
+              f"(max size {andersen.max_cluster_size()})")
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.entry)
+    threads = args.threads.split(",") if args.threads else []
+    if not threads:
+        raise SystemExit("--threads f1,f2 is required")
+    locks = lock_pointers(program)
+    print(f"{len(find_lock_sites(program))} lock/unlock sites; "
+          f"lock pointers: {sorted(map(str, locks))}")
+    result = BootstrapAnalyzer(program).run()
+    sel = select_clusters(result, locks)
+    print(f"demand-driven: {len(sel.selected)}/{sel.total_clusters} "
+          f"clusters involve lock pointers")
+    warnings = RaceDetector(program, threads).run()
+    print(f"{len(warnings)} race warning(s)")
+    for w in warnings:
+        print("  " + str(w))
+    return 1 if warnings and args.fail_on_race else 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .bench.table1 import main as table1_main
+    argv: List[str] = ["--scale", str(args.scale)]
+    if args.programs:
+        argv += ["--programs", args.programs]
+    if args.skip_nocluster:
+        argv.append("--skip-nocluster")
+    if args.csv:
+        argv.append("--csv")
+    return table1_main(argv)
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    from .bench.figure1 import main as figure1_main
+    argv = ["--program", args.program, "--scale", str(args.scale)]
+    if args.csv:
+        argv.append("--csv")
+    return figure1_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bootstrapped flow/context-sensitive pointer alias "
+                    "analysis (Kahlon, PLDI 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the full cascade on a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--threshold", type=int, default=60,
+                   help="Andersen threshold (paper: 60)")
+    p.add_argument("--oneflow", action="store_true",
+                   help="insert the One-Flow cascade stage")
+    p.add_argument("--parts", type=int, default=5)
+    p.add_argument("--aliases", nargs=2, metavar=("P", "Q"),
+                   help="query may-alias of two pointers")
+    p.add_argument("--points-to", metavar="P",
+                   help="query the points-to set of a pointer")
+    p.add_argument("--summaries", action="store_true",
+                   help="precompute summaries for every cluster")
+    p.add_argument("--report", action="store_true",
+                   help="print a markdown analysis report")
+    p.add_argument("--json", action="store_true",
+                   help="print the analysis summary as JSON")
+    p.add_argument("--dot", choices=["steensgaard", "andersen", "callgraph"],
+                   help="emit a Graphviz view of the chosen structure")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("partitions", help="show Steensgaard partitions")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--min-size", type=int, default=2)
+    p.add_argument("--limit", type=int, default=25)
+    p.add_argument("--andersen", action="store_true")
+    p.set_defaults(func=cmd_partitions)
+
+    p = sub.add_parser("races", help="lockset-based race detection")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--threads", help="comma-separated thread entries")
+    p.add_argument("--fail-on-race", action="store_true")
+    p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--programs")
+    p.add_argument("--skip-nocluster", action="store_true")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("figure1", help="regenerate the paper's Figure 1")
+    p.add_argument("--program", default="autofs")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(func=cmd_figure1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

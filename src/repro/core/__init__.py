@@ -1,0 +1,31 @@
+"""Bootstrapping core: partitions, slices, clusters, cascade, queries."""
+
+from .bootstrap import BootstrapAnalyzer, BootstrapConfig, BootstrapResult
+from .cascade import CascadeConfig, CascadeResult, run_cascade
+from .contexts import (
+    context_count,
+    context_sensitivity_gain,
+    enumerate_contexts,
+    points_to_by_context,
+)
+from .clusters import (
+    DEFAULT_ANDERSEN_THRESHOLD,
+    Cluster,
+    andersen_refine,
+    oneflow_refine,
+)
+from .parallel import ParallelReport, ParallelRunner, greedy_parts
+from .partitions import Partitioning, PartitionStats
+from .queries import DemandSelection, demand_alias_sets, select_clusters
+from .report import cascade_summary, render_report
+from .relevant import RelevantSlice, dovetail_schedule, relevant_statements
+
+__all__ = [
+    "BootstrapAnalyzer", "BootstrapConfig", "BootstrapResult",
+    "CascadeConfig", "CascadeResult", "Cluster",
+    "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "ParallelReport",
+    "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
+    "andersen_refine", "demand_alias_sets", "greedy_parts",
+    "cascade_summary", "context_count", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_report", "run_cascade",
+    "select_clusters",
+]

@@ -1,0 +1,60 @@
+"""Steensgaard partitioning — stage one of the cascade.
+
+Thin, well-typed wrappers around :class:`SteensgaardResult` that the
+cascade, the parallel scheduler and the Figure 1 harness consume:
+partition enumeration, size statistics and size-frequency histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..analysis.steensgaard import Steensgaard, SteensgaardResult
+from ..ir import MemObject, Program, Var
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Summary statistics for a set of partitions/clusters."""
+
+    count: int
+    max_size: int
+    total_members: int
+    histogram: Tuple[Tuple[int, int], ...]  # (size, frequency), ascending
+
+    @classmethod
+    def of(cls, groups: Iterable[FrozenSet[MemObject]]) -> "PartitionStats":
+        sizes = [len(g) for g in groups]
+        hist = tuple(sorted(Counter(sizes).items()))
+        return cls(count=len(sizes), max_size=max(sizes, default=0),
+                   total_members=sum(sizes), histogram=hist)
+
+
+class Partitioning:
+    """The partitions of a program's pointers plus the hierarchy oracle."""
+
+    def __init__(self, program: Program,
+                 result: Optional[SteensgaardResult] = None) -> None:
+        self.program = program
+        self.result = result if result is not None else Steensgaard(program).run()
+
+    def partitions(self, min_size: int = 1) -> List[FrozenSet[MemObject]]:
+        return [p for p in self.result.partitions() if len(p) >= min_size]
+
+    def partition_of(self, p: MemObject) -> FrozenSet[MemObject]:
+        return self.result.partition_of(p)
+
+    def stats(self) -> PartitionStats:
+        return PartitionStats.of(self.partitions())
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Figure 1's series: frequency of each partition size."""
+        return dict(self.stats().histogram)
+
+    def pointer_partitions(self) -> List[FrozenSet[MemObject]]:
+        """Partitions containing at least one variable (clusters worth
+        analyzing; pure-allocation-site classes carry no queries)."""
+        return [p for p in self.partitions()
+                if any(isinstance(m, Var) for m in p)]

@@ -1,0 +1,162 @@
+"""Algorithm 1: relevant pointers ``V_P`` and statements ``St_P``.
+
+Given a cluster ``P`` (a Steensgaard partition, an Andersen cluster, or
+any pointer set), compute
+
+* ``V_P`` — every object whose value may affect aliases of pointers in
+  ``P`` (paper: "the set of variables (or references or dereferences
+  thereof) which may affect aliases of pointers in P"), and
+* ``St_P`` — the locations of all statements that may modify those
+  values.  Outside ``St_P`` the reduced program ``Prog_P`` behaves as
+  skips (Theorem 6 proves no alias is lost).
+
+The closure is the paper's fixpoint, phrased over our normalized
+statement forms:
+
+* ``p = q``   with ``p ∈ V_P``                adds ``q``;
+* ``p = &o``  with ``p ∈ V_P``                adds nothing (the address
+  is a constant; ``o``'s *content* cannot affect ``p``'s aliases);
+* ``p = *y``  with ``p ∈ V_P``                adds ``y`` and every member
+  of ``y``'s pointee partition — the cells ``*y`` may denote;
+* ``*x = r``  where ``x``'s pointee partition meets ``V_P`` (this covers
+  both the paper's ``q > p`` case, transitively via the fixpoint, and
+  the cyclic ``q = ~q`` case)                 adds ``x`` and ``r``.
+
+The fixpoint runs as a worklist over per-variable statement indexes
+built once per (program, Steensgaard result) pair and cached — the
+cascade calls this for every cluster, so the index pays for itself
+immediately.
+
+Figure 3 of the paper is reproduced as a unit test: for ``P = {a, b}``
+the slice keeps ``x = &a``, ``y = &b`` and ``*x = *y`` but drops
+``p = x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..analysis.steensgaard import SteensgaardResult
+from ..ir import (
+    AddrOf,
+    Copy,
+    Load,
+    Loc,
+    MemObject,
+    NullAssign,
+    Program,
+    Store,
+    Var,
+)
+
+
+@dataclass(frozen=True)
+class RelevantSlice:
+    """The result of Algorithm 1 for one cluster."""
+
+    cluster: FrozenSet[MemObject]
+    vp: FrozenSet[MemObject]
+    statements: FrozenSet[Loc]
+
+    @property
+    def size(self) -> int:
+        return len(self.statements)
+
+    def functions(self) -> FrozenSet[str]:
+        """Functions containing at least one relevant statement — the
+        only ones needing summaries for this cluster."""
+        return frozenset(loc.function for loc in self.statements)
+
+
+class RelevantIndex:
+    """Per-variable statement indexes supporting the worklist closure."""
+
+    def __init__(self, program: Program, steens: SteensgaardResult) -> None:
+        self.program = program
+        self.steens = steens
+        # Direct assignments (Copy/AddrOf/Load/NullAssign) by lhs.
+        self.assigns_by_lhs: Dict[Var, List[Tuple[Loc, object]]] = {}
+        # Stores indexed by the partition their write may land in.
+        self.stores_by_target_part: Dict[object, List[Tuple[Loc, Store]]] = {}
+        for loc, stmt in program.statements():
+            if isinstance(stmt, (Copy, AddrOf, Load, NullAssign)):
+                self.assigns_by_lhs.setdefault(stmt.lhs, []).append((loc, stmt))
+            elif isinstance(stmt, Store):
+                part = steens.pointee_partition(stmt.lhs)
+                if part:
+                    key = steens._part_of.get(next(iter(part)))
+                    self.stores_by_target_part.setdefault(key, []).append(
+                        (loc, stmt))
+
+    @classmethod
+    def of(cls, program: Program, steens: SteensgaardResult
+           ) -> "RelevantIndex":
+        cached = getattr(steens, "_relevant_index", None)
+        if cached is None or cached.program is not program:
+            cached = cls(program, steens)
+            steens._relevant_index = cached  # type: ignore[attr-defined]
+        return cached
+
+
+def relevant_statements(program: Program, steens: SteensgaardResult,
+                        cluster: Iterable[MemObject]) -> RelevantSlice:
+    """Run Algorithm 1 for ``cluster``."""
+    index = RelevantIndex.of(program, steens)
+    vp: Set[MemObject] = set(cluster)
+    worklist: List[MemObject] = list(vp)
+    statements: Set[Loc] = set()
+
+    def add(obj: MemObject) -> None:
+        if obj not in vp:
+            vp.add(obj)
+            worklist.append(obj)
+
+    while worklist:
+        v = worklist.pop()
+        # Direct assignments to v: statements are relevant; track sources.
+        for loc, stmt in index.assigns_by_lhs.get(v, ()):
+            statements.add(loc)
+            if isinstance(stmt, Copy):
+                add(stmt.rhs)
+            elif isinstance(stmt, Load):
+                add(stmt.rhs)
+                pointees = steens.pointee_partition(stmt.rhs)
+                if pointees:
+                    for m in pointees:
+                        add(m)
+            # AddrOf / NullAssign introduce no new tracked values.
+        # Stores that may write v's cell.
+        key = steens._part_of.get(v)
+        if key is not None:
+            for loc, stmt in index.stores_by_target_part.get(key, ()):
+                statements.add(loc)
+                add(stmt.lhs)
+                add(stmt.rhs)
+    return RelevantSlice(cluster=frozenset(cluster), vp=frozenset(vp),
+                         statements=frozenset(statements))
+
+
+def dovetail_schedule(steens: SteensgaardResult,
+                      vp: Iterable[MemObject]
+                      ) -> List[List[FrozenSet[MemObject]]]:
+    """Algorithm 2's processing order for a cluster's tracked set.
+
+    ``V_P`` spans several Steensgaard partitions at different depths; the
+    paper dovetails summary computation with FSCI-alias computation "in
+    non-decreasing order of Steensgaard depth".  This returns ``V_P``'s
+    partitions grouped by depth, shallowest first — the exact order
+    Algorithm 2 iterates (our dataflow-based FSCI computes all depths in
+    one fixpoint, which subsumes the schedule; the function exists so the
+    paper's order is inspectable and testable).
+    """
+    groups: Dict[int, Dict[object, Set[MemObject]]] = {}
+    for obj in vp:
+        depth = steens.depth_of(obj)
+        key = steens._part_of.get(obj, ("t", obj))
+        groups.setdefault(depth, {}).setdefault(key, set()).add(obj)
+    return [
+        [frozenset(members) for _k, members in sorted(
+            groups[depth].items(), key=lambda kv: str(kv[0]))]
+        for depth in sorted(groups)
+    ]

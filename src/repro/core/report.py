@@ -1,0 +1,93 @@
+"""Human-readable analysis reports.
+
+The cascade produces a lot of structure (partitions, slices, clusters,
+summaries, timings); this module renders it as the markdown report the
+CLI's ``analyze --report`` emits, and as a JSON-serializable dict for
+tooling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from ..bench.metrics import format_table
+from ..ir import Program, Var
+from .bootstrap import BootstrapResult
+
+
+def cascade_summary(result: BootstrapResult) -> Dict[str, Any]:
+    """A JSON-friendly summary of one bootstrapped analysis."""
+    cascade = result.cascade
+    program = result.program
+    sizes = [c.size for c in cascade.clusters]
+    by_origin = Counter(c.origin for c in cascade.clusters)
+    slice_sizes = [c.slice.size for c in cascade.clusters]
+    functions_touched = [len(c.slice.functions()) for c in cascade.clusters]
+    counts = program.counts()
+    return {
+        "program": {
+            "functions": counts["functions"],
+            "locations": counts["locations"],
+            "pointers": counts["pointers"],
+            "pointer_assignments": counts["pointer_assignments"],
+            "alloc_sites": counts["alloc_sites"],
+        },
+        "timings": {
+            "partitioning_seconds": cascade.partition_time,
+            "clustering_seconds": cascade.clustering_time,
+        },
+        "clusters": {
+            "count": len(sizes),
+            "max_size": max(sizes, default=0),
+            "mean_size": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "by_origin": dict(by_origin),
+            "refined_partitions": cascade.refined_partitions,
+            "size_histogram": dict(sorted(Counter(sizes).items())),
+        },
+        "slices": {
+            "max_statements": max(slice_sizes, default=0),
+            "mean_statements": (sum(slice_sizes) / len(slice_sizes))
+            if slice_sizes else 0.0,
+            "max_functions": max(functions_touched, default=0),
+        },
+        "analyzed_clusters": result.analyzed_cluster_count,
+    }
+
+
+def render_report(result: BootstrapResult,
+                  top: int = 10) -> str:
+    """Markdown report: headline numbers + the largest clusters."""
+    summary = cascade_summary(result)
+    prog = summary["program"]
+    cl = summary["clusters"]
+    lines: List[str] = []
+    lines.append("## Bootstrapped alias analysis report")
+    lines.append("")
+    lines.append(f"* program: {prog['functions']} functions, "
+                 f"{prog['pointers']} pointers, "
+                 f"{prog['pointer_assignments']} pointer assignments, "
+                 f"{prog['alloc_sites']} allocation sites")
+    lines.append(f"* cascade: {cl['count']} clusters "
+                 f"(max {cl['max_size']}, mean {cl['mean_size']:.1f}); "
+                 f"{cl['refined_partitions']} partitions Andersen-refined; "
+                 f"origins {cl['by_origin']}")
+    lines.append(f"* timings: partitioning "
+                 f"{summary['timings']['partitioning_seconds']:.3f}s, "
+                 f"clustering "
+                 f"{summary['timings']['clustering_seconds']:.3f}s")
+    lines.append(f"* slices: largest St_P has "
+                 f"{summary['slices']['max_statements']} statements "
+                 f"across ≤ {summary['slices']['max_functions']} functions")
+    lines.append("")
+    rows = []
+    for cluster in result.clusters[:top]:
+        members = sorted(str(m) for m in cluster.members)
+        preview = ", ".join(members[:5]) + (" ..." if len(members) > 5 else "")
+        rows.append([str(cluster.size), cluster.origin,
+                     str(cluster.slice.size),
+                     str(len(cluster.slice.functions())), preview])
+    lines.append(format_table(
+        ["size", "origin", "|St_P|", "funcs", "members"], rows,
+        title=f"Largest {min(top, len(result.clusters))} clusters"))
+    return "\n".join(lines)

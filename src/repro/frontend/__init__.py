@@ -1,0 +1,43 @@
+"""Mini-C frontend: lexer, parser, types, normalizer."""
+
+from typing import Optional, Set
+
+from ..ir import Program, resolve_indirect_calls
+from .ast_nodes import TranslationUnit
+from .lexer import Token, tokenize
+from .normalize import Normalizer, normalize
+from .parser import Parser, parse_source
+from .types import (
+    ArrayType,
+    CType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructTable,
+    StructType,
+    VoidType,
+)
+
+__all__ = [
+    "ArrayType", "CType", "FuncType", "IntType", "Normalizer", "Parser",
+    "PointerType", "Program", "StructTable", "StructType", "Token",
+    "TranslationUnit", "VoidType", "normalize", "parse_program",
+    "parse_source", "tokenize",
+]
+
+
+def parse_program(source: str, entry: str = "main",
+                  resolve_function_pointers: bool = True) -> Program:
+    """Parse + normalize mini-C source into an analyzable program.
+
+    Function pointers are resolved Emami-style against a quick
+    Steensgaard pass so that indirect call sites carry candidate targets
+    before any client analysis runs.
+    """
+    unit, structs = parse_source(source)
+    program = normalize(unit, structs, entry=entry)
+    if resolve_function_pointers and getattr(program, "_indirect_plumbing", None):
+        from ..analysis.steensgaard import Steensgaard
+        pts = Steensgaard(program).run()
+        resolve_indirect_calls(program, pts.points_to)
+    return program

@@ -1,0 +1,238 @@
+"""Abstract syntax for the mini-C subset.
+
+Plain dataclasses; the parser builds these, the normalizer consumes them.
+Every node carries the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .types import CType
+
+
+class Node:
+    __slots__ = ()
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Ident(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    text: str
+    line: int = 0
+
+
+@dataclass
+class NullLit(Expr):
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    """op in {'*', '&', '-', '+', '!', '~', '++', '--', 'p++', 'p--'}."""
+
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class Assign(Expr):
+    """``lhs op= rhs``; plain assignment has op == '='."""
+
+    lhs: Expr
+    rhs: Expr
+    op: str = "="
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    fn: Expr
+    args: List[Expr]
+    line: int = 0
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field: str
+    arrow: bool
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    type: CType
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class SizeOf(Expr):
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+    line: int = 0
+
+
+@dataclass
+class Comma(Expr):
+    parts: List[Expr]
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Declarator:
+    """One declared name with its full type and optional initializer."""
+
+    name: str
+    type: CType
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: List[Declarator]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    do_while: bool = False
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr
+    arms: List[Stmt]  # one Stmt (usually Block) per case/default arm
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Empty(Stmt):
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: Optional[str]
+    type: CType
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    ret: CType
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: List[DeclStmt]
+    functions: List[FuncDef]

@@ -1,0 +1,185 @@
+"""The mini-C type system.
+
+Types drive two normalizer decisions: which assignments carry pointer
+values (everything else lowers to ``skip``) and how struct variables are
+flattened into per-field scalars.  The representation is deliberately
+structural — ``same shape == same type``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NormalizationError
+
+
+class CType:
+    """Base class for mini-C types."""
+
+    __slots__ = ()
+
+    @property
+    def is_pointer(self) -> bool:
+        return False
+
+    @property
+    def is_struct(self) -> bool:
+        return False
+
+    @property
+    def is_function(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """All integral scalars (int/char/long/... collapse here)."""
+
+    name: str = "int"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FloatType(CType):
+    name: str = "double"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    base: CType
+
+    @property
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.base}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    base: CType
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.size if self.size is not None else ''}]"
+
+
+@dataclass(frozen=True)
+class StructType(CType):
+    """A struct; fields resolve through the :class:`StructTable` so that
+    recursive structs (``struct node *next``) do not recurse in the type
+    value itself."""
+
+    tag: str
+
+    @property
+    def is_struct(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"struct {self.tag}"
+
+
+@dataclass(frozen=True)
+class FuncType(CType):
+    ret: CType
+    params: Tuple[CType, ...] = ()
+    variadic: bool = False
+
+    @property
+    def is_function(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({params})"
+
+
+INT = IntType()
+VOID = VoidType()
+
+
+class StructTable:
+    """Declared struct layouts, keyed by tag."""
+
+    def __init__(self) -> None:
+        self._fields: Dict[str, List[Tuple[str, CType]]] = {}
+
+    def declare(self, tag: str, fields: List[Tuple[str, CType]]) -> StructType:
+        self._fields[tag] = list(fields)
+        return StructType(tag)
+
+    def is_defined(self, tag: str) -> bool:
+        return tag in self._fields
+
+    def fields_of(self, t: StructType) -> List[Tuple[str, CType]]:
+        try:
+            return self._fields[t.tag]
+        except KeyError:
+            raise NormalizationError(
+                f"struct {t.tag} used before its definition") from None
+
+    def field_type(self, t: StructType, name: str) -> CType:
+        for fname, ftype in self.fields_of(t):
+            if fname == name:
+                return ftype
+        raise NormalizationError(f"struct {t.tag} has no field {name!r}")
+
+    def flatten(self, t: StructType, prefix: str,
+                _seen: Optional[Tuple[str, ...]] = None
+                ) -> List[Tuple[str, CType]]:
+        """Flattened (name, scalar type) pairs for a struct variable
+        named ``prefix``, recursing through nested by-value structs.
+        Field separator is ``__`` per the paper's flattening."""
+        seen = _seen or ()
+        if t.tag in seen:
+            raise NormalizationError(
+                f"struct {t.tag} recursively contains itself by value")
+        out: List[Tuple[str, CType]] = []
+        for fname, ftype in self.fields_of(t):
+            qualified = f"{prefix}__{fname}"
+            if isinstance(ftype, StructType):
+                out.extend(self.flatten(ftype, qualified, seen + (t.tag,)))
+            elif isinstance(ftype, ArrayType):
+                out.append((qualified, element_type(ftype)))
+            else:
+                out.append((qualified, ftype))
+        return out
+
+
+def element_type(t: ArrayType) -> CType:
+    """Arrays collapse to a single element (paper: naive array model)."""
+    base = t.base
+    while isinstance(base, ArrayType):
+        base = base.base
+    return base
+
+
+def is_pointerish(t: CType) -> bool:
+    """Types whose values participate in pointer analysis."""
+    if isinstance(t, (PointerType, FuncType)):
+        return True
+    if isinstance(t, ArrayType):
+        return is_pointerish(element_type(t))
+    return False
+
+
+def pointee(t: CType) -> CType:
+    if isinstance(t, PointerType):
+        return t.base
+    if isinstance(t, ArrayType):
+        return element_type(t)
+    raise NormalizationError(f"cannot dereference non-pointer type {t}")

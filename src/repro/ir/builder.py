@@ -1,0 +1,251 @@
+"""A small fluent API for constructing IR programs directly.
+
+The frontend produces IR through this builder, and so do the synthetic
+benchmark generator and most tests — writing the paper's examples as
+builder calls is often clearer than embedding C source strings.
+
+Example (Figure 2 of the paper)::
+
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.addr("p", "a")      # 1a: p = &a
+        f.addr("q", "b")      # 2a: q = &b
+        f.addr("r", "c")      # 3a: r = &c
+        f.copy("q", "p")      # 4a: q = p
+        f.copy("q", "r")      # 5a: q = r
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+from .cfg import CFG
+from .program import Function, Program, param_var, retval_var
+from .statements import (
+    AddrOf,
+    AllocSite,
+    Assume,
+    CallStmt,
+    Copy,
+    Load,
+    NullAssign,
+    ReturnStmt,
+    Skip,
+    Statement,
+    Store,
+    Var,
+)
+
+NameOrVar = Union[str, Var]
+
+
+class FunctionBuilder:
+    """Accumulates statements and control structure for one function."""
+
+    def __init__(self, program: "ProgramBuilder", name: str,
+                 params: Sequence[str] = ()) -> None:
+        self._program = program
+        self.name = name
+        self.fn = Function(name=name, params=[param_var(name, i)
+                                              for i in range(len(params))])
+        # User-facing parameter names are locals initialized from conduits.
+        self._cfg: CFG = self.fn.cfg
+        self._frontier: List[int] = [self._cfg.entry]
+        for i, p in enumerate(params):
+            self.copy(p, self.fn.params[i])
+
+    # -- variable handling ------------------------------------------------
+    def var(self, name: NameOrVar) -> Var:
+        """Resolve a name to a Var: globals win, otherwise function-local."""
+        if isinstance(name, Var):
+            return name
+        g = Var(name)
+        if g in self._program.globals:
+            return g
+        v = Var(name, self.name)
+        self.fn.locals.add(v)
+        return v
+
+    # -- statement emission ----------------------------------------------
+    def emit(self, stmt: Statement) -> int:
+        node = self._cfg.add_node(stmt)
+        for f in self._frontier:
+            self._cfg.add_edge(f, node)
+        self._frontier = [node]
+        return node
+
+    def copy(self, lhs: NameOrVar, rhs: NameOrVar) -> int:
+        return self.emit(Copy(self.var(lhs), self.var(rhs)))
+
+    def addr(self, lhs: NameOrVar, target: NameOrVar) -> int:
+        return self.emit(AddrOf(self.var(lhs), self.var(target)))
+
+    def alloc(self, lhs: NameOrVar, label: Optional[str] = None) -> int:
+        if label is None:
+            label = f"{self.name}.{len(self._cfg)}"
+        site = AllocSite(label)
+        return self.emit(AddrOf(self.var(lhs), site))
+
+    def load(self, lhs: NameOrVar, rhs: NameOrVar) -> int:
+        return self.emit(Load(self.var(lhs), self.var(rhs)))
+
+    def store(self, lhs: NameOrVar, rhs: NameOrVar) -> int:
+        return self.emit(Store(self.var(lhs), self.var(rhs)))
+
+    def null(self, lhs: NameOrVar) -> int:
+        return self.emit(NullAssign(self.var(lhs)))
+
+    def assume(self, lhs: NameOrVar, rhs: Optional[NameOrVar] = None,
+               equal: bool = True) -> int:
+        """Path condition: ``lhs == rhs`` / ``!=`` (rhs None == NULL)."""
+        rv = self.var(rhs) if rhs is not None else None
+        return self.emit(Assume(self.var(lhs), rv, equal))
+
+    def skip(self, note: str = "") -> int:
+        return self.emit(Skip(note))
+
+    def call(self, callee: str, args: Sequence[NameOrVar] = (),
+             ret: Optional[NameOrVar] = None) -> int:
+        """Direct call with explicit parameter/return Copy plumbing."""
+        for i, a in enumerate(args):
+            self.emit(Copy(param_var(callee, i), self.var(a)))
+        node = self.emit(CallStmt(callee=callee))
+        if ret is not None:
+            self.emit(Copy(self.var(ret), retval_var(callee)))
+        return node
+
+    def call_indirect(self, fp: NameOrVar, args: Sequence[NameOrVar] = (),
+                      ret: Optional[NameOrVar] = None,
+                      arg_conduits: Sequence[NameOrVar] = ()) -> int:
+        """Indirect call through function pointer ``fp``.
+
+        Argument copies to candidate-callee conduits are added later by
+        :func:`repro.ir.callgraph.resolve_indirect_calls`; callers may
+        pre-declare per-argument staging variables via ``arg_conduits``.
+        """
+        staged: List[Var] = []
+        for i, a in enumerate(args):
+            conduit = (self.var(arg_conduits[i]) if i < len(arg_conduits)
+                       else self.var(f"$icarg{len(self._cfg)}_{i}"))
+            self.emit(Copy(conduit, self.var(a)))
+            staged.append(conduit)
+        node = self.emit(CallStmt(fp=self.var(fp)))
+        self._program._indirect_sites.append(
+            (self.name, node, tuple(staged),
+             self.var(ret) if ret is not None else None))
+        if ret is not None:
+            # Return plumbing is also patched in during resolution; the
+            # ret variable is recorded above.
+            pass
+        return node
+
+    def ret(self, value: Optional[NameOrVar] = None) -> int:
+        if value is not None:
+            self.emit(Copy(self.fn.retval, self.var(value)))
+        node = self.emit(ReturnStmt())
+        self._cfg.add_edge(node, self._ensure_exit())
+        self._frontier = []
+        return node
+
+    # -- control flow ------------------------------------------------------
+    @contextmanager
+    def branch(self) -> Iterator["BranchBuilder"]:
+        """Non-deterministic two-way branch (paper: conditionals are
+        treated as always-feasible)::
+
+            with f.branch() as br:
+                with br.then():
+                    f.copy("x", "y")
+                with br.otherwise():
+                    f.copy("x", "z")
+        """
+        cond = self.emit(Skip("branch"))
+        br = BranchBuilder(self, cond)
+        yield br
+        self._frontier = br.join_frontier()
+
+    @contextmanager
+    def loop(self) -> Iterator[None]:
+        """Non-deterministic loop: body executes zero or more times."""
+        head = self.emit(Skip("loop-head"))
+        yield
+        for f in self._frontier:
+            self._cfg.add_edge(f, head)
+        self._frontier = [head]
+
+    def _ensure_exit(self) -> int:
+        if self._cfg.exit is None:
+            self._cfg.exit = self._cfg.add_node(Skip("exit"))
+        return self._cfg.exit
+
+    def finish(self) -> Function:
+        exit_node = self._ensure_exit()
+        for f in self._frontier:
+            self._cfg.add_edge(f, exit_node)
+        self._frontier = []
+        self._cfg.seal()
+        return self.fn
+
+
+class BranchBuilder:
+    def __init__(self, fb: FunctionBuilder, cond_node: int) -> None:
+        self._fb = fb
+        self._cond = cond_node
+        self._arm_frontiers: List[List[int]] = []
+
+    @contextmanager
+    def then(self) -> Iterator[None]:
+        self._fb._frontier = [self._cond]
+        yield
+        self._arm_frontiers.append(list(self._fb._frontier))
+
+    @contextmanager
+    def otherwise(self) -> Iterator[None]:
+        self._fb._frontier = [self._cond]
+        yield
+        self._arm_frontiers.append(list(self._fb._frontier))
+
+    def join_frontier(self) -> List[int]:
+        if not self._arm_frontiers:
+            return [self._cond]
+        if len(self._arm_frontiers) == 1:
+            # if-without-else: fall-through edge around the arm
+            return self._arm_frontiers[0] + [self._cond]
+        out: List[int] = []
+        for arm in self._arm_frontiers:
+            out.extend(arm)
+        return out
+
+
+class ProgramBuilder:
+    """Collects functions and globals into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Function] = {}
+        self.globals: Set[Var] = set()
+        self._indirect_sites: List = []
+        self._entry: Optional[str] = None
+
+    def global_var(self, name: str) -> Var:
+        v = Var(name)
+        self.globals.add(v)
+        return v
+
+    @contextmanager
+    def function(self, name: str, params: Sequence[str] = (),
+                 entry: bool = False) -> Iterator[FunctionBuilder]:
+        if name in self._functions:
+            raise ValueError(f"duplicate function {name!r}")
+        fb = FunctionBuilder(self, name, params)
+        yield fb
+        self._functions[name] = fb.finish()
+        if entry:
+            self._entry = name
+
+    def build(self, entry: Optional[str] = None) -> Program:
+        prog = Program(self._functions, entry=entry or self._entry,
+                       globals_=self.globals)
+        prog._indirect_plumbing = list(self._indirect_sites)  # type: ignore[attr-defined]
+        return prog

@@ -1,0 +1,119 @@
+"""Graphviz (DOT) exports for the structures the paper draws.
+
+Figure 2 of the paper contrasts the Steensgaard and Andersen points-to
+graphs of one program; these helpers emit the same pictures for any
+program, plus CFG and call-graph dumps for debugging:
+
+    python -m repro analyze file.c --dot steensgaard > g.dot
+    dot -Tsvg g.dot -o g.svg
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .cfg import CFG
+from .program import Program
+from .statements import MemObject, Skip, Var
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def _set_label(objs: Iterable[MemObject]) -> str:
+    names = sorted(str(o) for o in objs)
+    if len(names) > 6:
+        names = names[:6] + ["..."]
+    return "{" + ", ".join(names) + "}"
+
+
+def steensgaard_dot(result) -> str:
+    """The class-level points-to graph of a
+    :class:`~repro.analysis.steensgaard.SteensgaardResult` (paper
+    Figure 2, left).  Every node is a partition; out-degree ≤ 1."""
+    lines = ["digraph steensgaard {", "  rankdir=LR;",
+             "  node [shape=box, fontsize=10];"]
+    index: Dict[frozenset, int] = {}
+
+    def node(members) -> int:
+        key = frozenset(members)
+        if key not in index:
+            index[key] = len(index)
+            lines.append(f"  n{index[key]} "
+                         f"[label={_quote(_set_label(members))}];")
+        return index[key]
+
+    for part in result.partitions():
+        node(part)
+    for src, dst in result.class_graph():
+        lines.append(f"  n{node(src)} -> n{node(dst)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def andersen_dot(result, pointers: Optional[Iterable[Var]] = None) -> str:
+    """The points-to graph of an
+    :class:`~repro.analysis.andersen.AndersenResult` (paper Figure 2,
+    right): one node per object, one edge per points-to fact."""
+    universe = sorted(set(pointers) if pointers is not None
+                      else result.universe, key=str)
+    lines = ["digraph andersen {", "  rankdir=LR;",
+             "  node [shape=ellipse, fontsize=10];"]
+    emitted: Set[str] = set()
+
+    def node(obj: MemObject) -> str:
+        name = str(obj)
+        if name not in emitted:
+            emitted.add(name)
+            lines.append(f"  {_quote(name)};")
+        return _quote(name)
+
+    for p in universe:
+        for target in sorted(result.points_to(p), key=str):
+            lines.append(f"  {node(p)} -> {node(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cfg_dot(cfg: CFG) -> str:
+    """One function's control-flow graph."""
+    lines = [f"digraph {cfg.function} {{", "  node [shape=box, fontsize=9];"]
+    for idx in cfg.nodes():
+        stmt = cfg.stmt(idx)
+        label = f"{idx}: {stmt}"
+        if isinstance(stmt, Skip) and not stmt.note:
+            label = f"{idx}"
+        shape = ""
+        if idx == cfg.entry:
+            shape = ", style=bold"
+        elif idx == cfg.exit:
+            shape = ", peripheries=2"
+        lines.append(f"  n{idx} [label={_quote(label)}{shape}];")
+    for idx in cfg.nodes():
+        for succ in cfg.successors(idx):
+            lines.append(f"  n{idx} -> n{succ};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def callgraph_dot(program: Program) -> str:
+    """The resolved call graph (indirect edges dashed)."""
+    from .callgraph import CallGraph
+    from .statements import CallStmt
+    cg = CallGraph(program)
+    indirect_pairs: Set[tuple] = set()
+    for loc, stmt in program.call_sites:
+        if isinstance(stmt, CallStmt) and stmt.is_indirect:
+            for t in stmt.targets:
+                indirect_pairs.add((loc.function, t))
+    lines = ["digraph callgraph {", "  node [shape=box, fontsize=10];"]
+    for f in sorted(program.functions):
+        lines.append(f"  {_quote(f)};")
+    for caller in sorted(program.functions):
+        for callee in sorted(cg.callees(caller)):
+            style = " [style=dashed]" if (caller, callee) in indirect_pairs \
+                else ""
+            lines.append(f"  {_quote(caller)} -> {_quote(callee)}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Human-readable IR dumps, used by examples and error messages."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import CFG
+from .program import Program
+from .statements import Skip
+
+
+def format_cfg(cfg: CFG) -> str:
+    lines: List[str] = [f"function {cfg.function}:"]
+    for idx in cfg.nodes():
+        stmt = cfg.stmt(idx)
+        succs = ",".join(str(s) for s in cfg.successors(idx))
+        marker = ""
+        if idx == cfg.entry:
+            marker = " <entry>"
+        elif idx == cfg.exit:
+            marker = " <exit>"
+        body = str(stmt)
+        if isinstance(stmt, Skip) and not stmt.note:
+            body = "skip"
+        lines.append(f"  {idx:>4}: {body:<40} -> [{succs}]{marker}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    parts = [format_cfg(program.functions[name].cfg)
+             for name in sorted(program.functions)]
+    header = (f"program entry={program.entry} "
+              f"functions={len(program.functions)} "
+              f"pointers={len(program.pointers)}")
+    return "\n\n".join([header] + parts)

@@ -1,0 +1,169 @@
+"""JSON (de)serialization of IR programs.
+
+Lets tools cache normalized programs (frontend runs once), ship programs
+between processes for real parallel analysis, and snapshot regression
+inputs.  The format is versioned and round-trips exactly:
+
+    data = program_to_dict(prog)
+    prog2 = program_from_dict(data)
+    assert format_program(prog) == format_program(prog2)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .cfg import CFG
+from .program import Function, Program
+from .statements import (
+    AddrOf,
+    AllocSite,
+    Assume,
+    CallStmt,
+    Copy,
+    Load,
+    MemObject,
+    NullAssign,
+    ReturnStmt,
+    Skip,
+    Statement,
+    Store,
+    Var,
+)
+
+FORMAT_VERSION = 1
+
+
+def _var(v: Var) -> Dict[str, Any]:
+    return {"n": v.name, "f": v.function}
+
+
+def _obj(o: MemObject) -> Dict[str, Any]:
+    if isinstance(o, AllocSite):
+        return {"alloc": o.label}
+    return _var(o)
+
+
+def _load_var(d: Dict[str, Any]) -> Var:
+    return Var(d["n"], d.get("f"))
+
+
+def _load_obj(d: Dict[str, Any]) -> MemObject:
+    if "alloc" in d:
+        return AllocSite(d["alloc"])
+    return _load_var(d)
+
+
+def _stmt(stmt: Statement) -> Dict[str, Any]:
+    if isinstance(stmt, Copy):
+        return {"k": "copy", "l": _var(stmt.lhs), "r": _var(stmt.rhs)}
+    if isinstance(stmt, AddrOf):
+        return {"k": "addr", "l": _var(stmt.lhs), "t": _obj(stmt.target)}
+    if isinstance(stmt, Load):
+        return {"k": "load", "l": _var(stmt.lhs), "r": _var(stmt.rhs)}
+    if isinstance(stmt, Store):
+        return {"k": "store", "l": _var(stmt.lhs), "r": _var(stmt.rhs)}
+    if isinstance(stmt, NullAssign):
+        return {"k": "null", "l": _var(stmt.lhs)}
+    if isinstance(stmt, Assume):
+        return {"k": "assume", "l": _var(stmt.lhs),
+                "r": _var(stmt.rhs) if stmt.rhs is not None else None,
+                "eq": stmt.equal}
+    if isinstance(stmt, CallStmt):
+        return {"k": "call", "callee": stmt.callee,
+                "fp": _var(stmt.fp) if stmt.fp is not None else None,
+                "targets": list(stmt.targets)}
+    if isinstance(stmt, ReturnStmt):
+        return {"k": "return"}
+    if isinstance(stmt, Skip):
+        return {"k": "skip", "note": stmt.note}
+    raise TypeError(f"unserializable statement {type(stmt).__name__}")
+
+
+def _load_stmt(d: Dict[str, Any]) -> Statement:
+    kind = d["k"]
+    if kind == "copy":
+        return Copy(_load_var(d["l"]), _load_var(d["r"]))
+    if kind == "addr":
+        return AddrOf(_load_var(d["l"]), _load_obj(d["t"]))
+    if kind == "load":
+        return Load(_load_var(d["l"]), _load_var(d["r"]))
+    if kind == "store":
+        return Store(_load_var(d["l"]), _load_var(d["r"]))
+    if kind == "null":
+        return NullAssign(_load_var(d["l"]))
+    if kind == "assume":
+        rhs = _load_var(d["r"]) if d.get("r") is not None else None
+        return Assume(_load_var(d["l"]), rhs, d["eq"])
+    if kind == "call":
+        stmt = CallStmt(callee=d.get("callee"),
+                        fp=_load_var(d["fp"]) if d.get("fp") else None)
+        object.__setattr__(stmt, "targets", tuple(d.get("targets", ())))
+        return stmt
+    if kind == "return":
+        return ReturnStmt()
+    if kind == "skip":
+        return Skip(d.get("note", ""))
+    raise ValueError(f"unknown statement kind {kind!r}")
+
+
+def program_to_dict(program: Program) -> Dict[str, Any]:
+    """A JSON-safe dict capturing the whole program."""
+    functions: Dict[str, Any] = {}
+    for name, fn in program.functions.items():
+        cfg = fn.cfg
+        functions[name] = {
+            "params": [_var(p) for p in fn.params],
+            "locals": sorted((_var(v) for v in fn.locals),
+                             key=lambda d: (d["n"], d["f"] or "")),
+            "entry": cfg.entry,
+            "exit": cfg.exit,
+            "stmts": [_stmt(cfg.stmt(i)) for i in cfg.nodes()],
+            "succs": [list(cfg.successors(i)) for i in cfg.nodes()],
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "entry": program.entry,
+        "globals": sorted((_var(g) for g in program.globals),
+                          key=lambda d: d["n"]),
+        "functions": functions,
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> Program:
+    """Inverse of :func:`program_to_dict`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported IR format version "
+                         f"{data.get('version')!r}")
+    functions: Dict[str, Function] = {}
+    for name, fd in data["functions"].items():
+        cfg = CFG(name)
+        # Node 0 (the entry Skip) was created by the constructor; replace
+        # its statement and append the rest.
+        stmts = [_load_stmt(s) for s in fd["stmts"]]
+        cfg.set_stmt(0, stmts[0])
+        for stmt in stmts[1:]:
+            cfg.add_node(stmt)
+        for src, succs in enumerate(fd["succs"]):
+            for dst in succs:
+                cfg.add_edge(src, dst)
+        cfg.entry = fd["entry"]
+        cfg.exit = fd["exit"]
+        fn = Function(name=name,
+                      params=[_load_var(p) for p in fd["params"]],
+                      locals={_load_var(v) for v in fd["locals"]},
+                      cfg=cfg)
+        functions[name] = fn
+    return Program(functions, entry=data["entry"],
+                   globals_={_load_var(g) for g in data["globals"]})
+
+
+def save_program(program: Program, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(program_to_dict(program), handle)
+
+
+def load_program(path: str) -> Program:
+    with open(path, "r") as handle:
+        return program_from_dict(json.load(handle))

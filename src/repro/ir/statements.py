@@ -1,0 +1,271 @@
+"""Normalized IR statements: the paper's four canonical pointer forms.
+
+The paper (Remark 1) assumes every pointer assignment is one of
+
+* ``x = y``    -- :class:`Copy`
+* ``x = &y``   -- :class:`AddrOf`
+* ``*x = y``   -- :class:`Store`
+* ``x = *y``   -- :class:`Load`
+
+plus heap allocation ``p = &alloc_loc`` (an :class:`AddrOf` whose target is
+an :class:`AllocSite`) and deallocation ``p = NULL``
+(:class:`NullAssign`).  Calls and returns carry no pointer flow themselves:
+the normalizer emits explicit parameter/return-value :class:`Copy`
+statements, so :class:`CallStmt` / :class:`ReturnStmt` only transfer
+control.  Everything else in the source program is a :class:`Skip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A program variable.
+
+    ``function`` is ``None`` for globals.  Flattened struct fields are
+    ordinary variables named ``base__field`` and temporaries are named
+    ``$tN``; both are created by the normalizer.
+    """
+
+    name: str
+    function: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        if self.function is None:
+            return self.name
+        return f"{self.function}::{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.qualified
+
+
+@dataclass(frozen=True, order=True)
+class AllocSite:
+    """An abstract heap object named after its allocation location.
+
+    The paper models ``p = malloc(...)`` at location ``loc`` as
+    ``p = &alloc_loc``; one abstract object per syntactic site.
+    """
+
+    label: str
+
+    @property
+    def qualified(self) -> str:
+        return f"alloc@{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.qualified
+
+
+#: Anything a pointer can point at: a variable or a heap allocation site.
+MemObject = Union[Var, AllocSite]
+
+
+class Statement:
+    """Base class for IR statements.
+
+    Statements are immutable value objects; location information lives in
+    the enclosing :class:`~repro.ir.cfg.CFG`, not on the statement, so the
+    same statement object may appear at several locations.
+    """
+
+    __slots__ = ()
+
+    #: True for the four canonical pointer-assignment forms (and null
+    #: assignment), i.e. statements Algorithm 1 has to look at.
+    is_pointer_assign = False
+
+    def defined_var(self) -> Optional[Var]:
+        """The variable whose *value* this statement may change directly.
+
+        For ``*x = y`` this is ``None``: the statement writes through
+        ``x`` rather than to a named variable.
+        """
+        return None
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        """Variables whose values this statement reads."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Copy(Statement):
+    """``lhs = rhs``"""
+
+    lhs: Var
+    rhs: Var
+
+    is_pointer_assign = True
+
+    def defined_var(self) -> Optional[Var]:
+        return self.lhs
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return (self.rhs,)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class AddrOf(Statement):
+    """``lhs = &target`` where target is a variable or allocation site."""
+
+    lhs: Var
+    target: MemObject
+
+    is_pointer_assign = True
+
+    def defined_var(self) -> Optional[Var]:
+        return self.lhs
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = &{self.target}"
+
+
+@dataclass(frozen=True)
+class Load(Statement):
+    """``lhs = *rhs``"""
+
+    lhs: Var
+    rhs: Var
+
+    is_pointer_assign = True
+
+    def defined_var(self) -> Optional[Var]:
+        return self.lhs
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return (self.rhs,)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = *{self.rhs}"
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``*lhs = rhs``"""
+
+    lhs: Var
+    rhs: Var
+
+    is_pointer_assign = True
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"*{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class NullAssign(Statement):
+    """``lhs = NULL`` (also models ``free``, per the paper)."""
+
+    lhs: Var
+
+    is_pointer_assign = True
+
+    def defined_var(self) -> Optional[Var]:
+        return self.lhs
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = NULL"
+
+
+@dataclass(frozen=True)
+class CallStmt(Statement):
+    """A call transferring control to ``callee`` (direct) or through
+    ``fp`` (indirect).
+
+    Argument and return-value pointer flow is represented by explicit
+    :class:`Copy` statements emitted around the call by the normalizer, so
+    analyses treat this statement as pure control transfer.  Indirect
+    calls get their candidate targets filled in by
+    :func:`repro.ir.callgraph.resolve_indirect_calls`.
+    """
+
+    callee: Optional[str] = None
+    fp: Optional[Var] = None
+    # Resolved candidate targets for indirect calls (function names).
+    # Mutable on purpose: resolution happens after IR construction.
+    targets: Tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.callee is None) == (self.fp is None):
+            raise ValueError("CallStmt needs exactly one of callee/fp")
+        if self.callee is not None:
+            object.__setattr__(self, "targets", (self.callee,))
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.fp is not None
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return (self.fp,) if self.fp is not None else ()
+
+    def __str__(self) -> str:
+        if self.callee is not None:
+            return f"call {self.callee}()"
+        return f"call (*{self.fp})()"
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Statement):
+    """Return from the enclosing function (value flow is a prior Copy)."""
+
+    def __str__(self) -> str:
+        return "return"
+
+
+@dataclass(frozen=True)
+class Assume(Statement):
+    """A path condition from a branch: ``lhs == rhs`` / ``lhs != rhs``
+    (``rhs is None`` compares against NULL).
+
+    This is the paper's path-sensitivity extension (Section 3): branch
+    conditions over pointers are recorded so that flow-sensitive stages
+    can refine state per arm and the summary engine can attach branching
+    constraints to its tuples.  Flow-insensitive analyses ignore it
+    (sound: an assume only restricts executions).
+    """
+
+    lhs: Var
+    rhs: Optional[Var] = None
+    equal: bool = True
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        if self.rhs is None:
+            return (self.lhs,)
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        op = "==" if self.equal else "!="
+        rhs = "NULL" if self.rhs is None else str(self.rhs)
+        return f"assume {self.lhs} {op} {rhs}"
+
+
+@dataclass(frozen=True)
+class Skip(Statement):
+    """A statement with no pointer effect (conditions, arithmetic, ...).
+
+    The paper replaces every statement outside ``St_P`` by ``skip``; we
+    keep a note for readable IR dumps.
+    """
+
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"skip({self.note})" if self.note else "skip"
+
+
+def is_canonical(stmt: Statement) -> bool:
+    """True if ``stmt`` is one of the paper's pointer-assignment forms."""
+    return stmt.is_pointer_assign

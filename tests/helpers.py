@@ -1,0 +1,127 @@
+"""Shared fixtures: the paper's example programs and a small program zoo.
+
+Each ``figureN_*`` helper returns the IR of the corresponding worked
+example in the paper, built through the :class:`ProgramBuilder` (tests of
+the frontend build the same programs from source and cross-check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir import Loc, Program, ProgramBuilder, Var
+
+
+def figure2_program() -> Program:
+    """p=&a; q=&b; r=&c; q=p; q=r (paper Figure 2)."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.addr("p", "a")
+        f.addr("q", "b")
+        f.addr("r", "c")
+        f.copy("q", "p")
+        f.copy("q", "r")
+    return b.build()
+
+
+def figure3_program() -> Program:
+    """x=&a; y=&b; p=x; *x=*y (paper Figure 3; the load/store pair is
+    split through the temporary ``t``)."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.addr("x", "a")    # node 1
+        f.addr("y", "b")    # node 2
+        f.copy("p", "x")    # node 3
+        f.load("t", "y")    # node 4 (first half of *x = *y)
+        f.store("x", "t")   # node 5 (second half)
+    return b.build()
+
+
+def figure4_program() -> Program:
+    """b=c; x=&a; y=&b; *x=b (paper Figure 4)."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        f.copy("b", "c")    # 1a
+        f.addr("x", "a")    # 2a
+        f.addr("y", "b")    # 3a
+        f.store("x", "b")   # 4a
+    return b.build()
+
+
+def figure5_program() -> Program:
+    """The interprocedural summary example (paper Figure 5)."""
+    b = ProgramBuilder()
+    for g in ("x", "u", "w", "z", "d"):
+        b.global_var(g)
+    with b.function("foo") as f:
+        f.store("x", "d")       # 1b
+        f.copy("fa", "fb")      # 2b (foo's local a = b)
+        f.copy("x", "w")        # 3b
+    with b.function("bar") as f:
+        f.store("x", "d")       # 1c
+        f.copy("ba", "bb")      # 2c (bar's local a = b)
+    with b.function("main") as f:
+        f.addr("x", "c")        # 1a
+        f.copy("w", "u")        # 2a
+        f.call("foo")           # 3a
+        f.copy("z", "x")        # 4a
+        f.store("z", "bm")      # 5a
+        f.call("bar")           # 6a
+    return b.build()
+
+
+def diamond_program() -> Program:
+    """p points to a or b depending on a branch; used for flow tests."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        with f.branch() as br:
+            with br.then():
+                f.addr("p", "a")
+            with br.otherwise():
+                f.addr("p", "b")
+        f.copy("q", "p")
+        f.addr("p", "c")   # strong update: p no longer aliases q
+    return b.build()
+
+
+def recursive_program() -> Program:
+    """Mutual recursion rotating a pointer through two functions."""
+    b = ProgramBuilder()
+    b.global_var("g")
+    with b.function("even") as f:
+        f.copy("g", "g")
+        f.call("odd")
+    with b.function("odd") as f:
+        f.addr("g", "o1")
+        f.call("even")
+    with b.function("main") as f:
+        f.addr("g", "o0")
+        f.call("even")
+    return b.build()
+
+
+def call_chain_program() -> Program:
+    """main -> mid -> leaf, pointer passed down and back."""
+    b = ProgramBuilder()
+    with b.function("leaf", params=("lp",)) as f:
+        f.ret("lp")
+    with b.function("mid", params=("mp",)) as f:
+        f.call("leaf", ["mp"], ret="mr")
+        f.ret("mr")
+    with b.function("main") as f:
+        f.addr("p", "obj")
+        f.call("mid", ["p"], ret="q")
+    return b.build()
+
+
+def exit_loc(program: Program, func: str = "main") -> Loc:
+    return Loc(func, program.cfg_of(func).exit)
+
+
+def v(name: str, func: str = None) -> Var:
+    return Var(name, func)
+
+
+def pts_names(result, var: Var) -> List[str]:
+    """Points-to set of ``var`` as sorted qualified names."""
+    return sorted(str(o) for o in result.points_to(var))

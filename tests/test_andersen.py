@@ -1,0 +1,192 @@
+"""Andersen's analysis: precision, clusters, cycle elimination."""
+
+import pytest
+
+from repro.analysis import Andersen, Steensgaard, execute, precision_refines
+from repro.ir import AllocSite, ProgramBuilder, Var
+
+from .helpers import (
+    call_chain_program,
+    figure2_program,
+    figure3_program,
+    figure5_program,
+    pts_names,
+    v,
+)
+
+
+class TestFigure2:
+    def test_directional_points_to(self):
+        an = Andersen(figure2_program()).run()
+        assert pts_names(an, v("p", "main")) == ["main::a"]
+        assert pts_names(an, v("r", "main")) == ["main::c"]
+        # q receives from p and r and had &b: out-degree three.
+        assert pts_names(an, v("q", "main")) == \
+            ["main::a", "main::b", "main::c"]
+
+    def test_refines_steensgaard(self):
+        prog = figure2_program()
+        an = Andersen(prog).run()
+        st = Steensgaard(prog).run()
+        assert precision_refines(an, st, prog.pointers)
+
+    def test_clusters_cover_pointers(self):
+        prog = figure2_program()
+        an = Andersen(prog).run()
+        clusters = an.clusters()
+        covered = set().union(*clusters)
+        assert covered == prog.pointers
+
+    def test_cluster_of_b_is_just_q(self):
+        an = Andersen(figure2_program()).run()
+        clusters = an.clusters()
+        assert frozenset({v("q", "main")}) in clusters
+
+
+class TestCoreSemantics:
+    def test_load(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("x", "a")
+            f.addr("pp", "x")
+            f.load("y", "pp")   # y = *pp -> y gets pts(x)
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("y", "main")) == ["main::a"]
+
+    def test_store(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("y", "a")
+            f.store("pp", "y")  # *pp = y -> x gets pts(y)
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("x", "main")) == ["main::a"]
+
+    def test_store_then_load_roundtrip(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("y", "a")
+            f.store("pp", "y")
+            f.load("z", "pp")
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("z", "main")) == ["main::a"]
+
+    def test_heap_content_flow(self):
+        """Stores through pointers to an alloc site land in its cell."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.alloc("p", "h")
+            f.addr("y", "a")
+            f.store("p", "y")
+            f.load("z", "p")
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("z", "main")) == ["main::a"]
+        assert an.points_to_obj(AllocSite("h")) == \
+            frozenset({v("a", "main")})
+
+    def test_copy_chain_direction(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("a1", "o")
+            f.copy("a2", "a1")
+            f.copy("a3", "a2")
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("a3", "main")) == ["main::o"]
+        # direction respected: a1 did not gain anything from a3
+        assert pts_names(an, v("a1", "main")) == ["main::o"]
+
+    def test_no_reverse_flow(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.addr("q", "b")
+            f.copy("p", "q")  # p also points to b; q unchanged
+        an = Andersen(b.build()).run()
+        assert pts_names(an, v("q", "main")) == ["main::b"]
+        assert pts_names(an, v("p", "main")) == ["main::a", "main::b"]
+
+    def test_interprocedural_flow(self):
+        prog = call_chain_program()
+        an = Andersen(prog).run()
+        assert pts_names(an, v("q", "main")) == ["main::obj"]
+
+
+class TestCycleElimination:
+    def _cyclic_program(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p1", "a")
+            f.copy("p2", "p1")
+            f.copy("p3", "p2")
+            f.copy("p1", "p3")  # copy cycle
+            f.addr("p2", "b")
+        return b.build()
+
+    def test_same_result_with_and_without(self):
+        prog = self._cyclic_program()
+        with_ce = Andersen(prog, cycle_elimination=True).run()
+        without = Andersen(prog, cycle_elimination=False).run()
+        for p in prog.pointers:
+            assert with_ce.points_to(p) == without.points_to(p)
+
+    def test_cycle_members_converge(self):
+        an = Andersen(self._cyclic_program()).run()
+        expected = ["main::a", "main::b"]
+        for name in ("p1", "p2", "p3"):
+            assert pts_names(an, v(name, "main")) == expected
+
+
+class TestClusters:
+    def test_clusters_are_disjunctive_cover(self):
+        """Theorem 7: aliases of p are covered by p's clusters."""
+        prog = figure2_program()
+        an = Andersen(prog).run()
+        clusters = an.clusters()
+        for p in prog.pointers:
+            for q in prog.pointers:
+                if p != q and an.may_alias(p, q):
+                    assert any(p in c and q in c for c in clusters), \
+                        f"{p} ~ {q} not covered"
+
+    def test_singletons_for_empty_pts(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.copy("p", "q")   # neither points anywhere
+        an = Andersen(b.build()).run()
+        clusters = an.clusters()
+        assert frozenset({v("p", "main")}) in clusters
+
+    def test_exclude_singletons_option(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.copy("p", "q")
+        an = Andersen(b.build()).run()
+        assert an.clusters(include_singletons=False) == []
+
+    def test_restricted_pointer_set(self):
+        prog = figure2_program()
+        an = Andersen(prog).run()
+        subset = {v("p", "main"), v("q", "main")}
+        clusters = an.clusters(pointers=subset)
+        assert set().union(*clusters) == subset
+
+    def test_max_cluster_size(self):
+        an = Andersen(figure2_program()).run()
+        assert an.max_cluster_size() == 2  # {p, q} or {q, r}
+
+
+class TestStatementSubset:
+    def test_restricted_statements(self):
+        prog = figure2_program()
+        stmts = [s for _, s in prog.statements()][:4]  # drop q=p; q=r
+        an = Andersen(prog, statements=stmts).run()
+        assert pts_names(an, v("q", "main")) == ["main::b"]
+
+    def test_soundness_vs_oracle(self):
+        for prog in (figure2_program(), figure3_program(),
+                     figure5_program(), call_chain_program()):
+            an = Andersen(prog).run()
+            orc = execute(prog)
+            for p in prog.pointers:
+                assert orc.points_to(p) <= an.points_to(p), str(p)

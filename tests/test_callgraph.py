@@ -1,0 +1,140 @@
+"""Call graphs, SCCs, and function-pointer resolution."""
+
+import pytest
+
+from repro.analysis import Steensgaard
+from repro.ir import (
+    CallGraph,
+    CallStmt,
+    Copy,
+    ProgramBuilder,
+    Var,
+    function_sentinel,
+    resolve_indirect_calls,
+)
+
+from .helpers import call_chain_program, recursive_program
+
+
+class TestCallGraph:
+    def test_edges(self):
+        prog = call_chain_program()
+        cg = CallGraph(prog)
+        assert cg.callees("main") == {"mid"}
+        assert cg.callees("mid") == {"leaf"}
+        assert cg.callers("leaf") == {"mid"}
+
+    def test_call_sites(self):
+        prog = call_chain_program()
+        cg = CallGraph(prog)
+        sites = cg.call_sites_of("main", "mid")
+        assert len(sites) == 1
+        assert isinstance(prog.stmt_at(sites[0]), CallStmt)
+
+    def test_sccs_reverse_topological(self):
+        prog = call_chain_program()
+        cg = CallGraph(prog)
+        order = cg.sccs()
+        flat = [f for comp in order for f in comp]
+        assert flat.index("leaf") < flat.index("mid") < flat.index("main")
+
+    def test_recursive_scc(self):
+        prog = recursive_program()
+        cg = CallGraph(prog)
+        comps = {frozenset(c) for c in cg.sccs()}
+        assert frozenset({"even", "odd"}) in comps
+        assert cg.is_recursive("even")
+        assert not cg.is_recursive("main")
+
+    def test_self_recursion(self):
+        b = ProgramBuilder()
+        with b.function("f") as fb:
+            fb.call("f")
+        with b.function("main") as fb:
+            fb.call("f")
+        cg = CallGraph(b.build())
+        assert cg.is_recursive("f")
+
+    def test_reachable_from(self):
+        prog = call_chain_program()
+        cg = CallGraph(prog)
+        assert cg.reachable_from("mid") == {"mid", "leaf"}
+        assert cg.reachable_from("main") == {"main", "mid", "leaf"}
+
+    def test_ancestors_of(self):
+        prog = call_chain_program()
+        cg = CallGraph(prog)
+        assert cg.ancestors_of({"leaf"}) == {"leaf", "mid", "main"}
+        assert cg.ancestors_of({"main"}) == {"main"}
+        assert cg.ancestors_of(set()) == set()
+
+    def test_scc_of_map(self):
+        prog = recursive_program()
+        cg = CallGraph(prog)
+        m = cg.scc_of()
+        assert m["even"] == m["odd"]
+        assert m["main"] == frozenset({"main"})
+
+
+class TestIndirectResolution:
+    def _fp_program(self):
+        b = ProgramBuilder()
+        b.global_var("result")
+        with b.function("alpha") as f:
+            f.addr(f.fn.retval, "ao")
+        with b.function("beta") as f:
+            f.addr(f.fn.retval, "bo")
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("fp", function_sentinel("alpha"))
+                with br.otherwise():
+                    f.addr("fp", function_sentinel("beta"))
+            f.call_indirect("fp", ret="result")
+        return b.build()
+
+    def test_targets_resolved(self):
+        prog = self._fp_program()
+        pts = Steensgaard(prog).run()
+        resolved = resolve_indirect_calls(prog, pts.points_to)
+        assert resolved == 1
+        call = next(s for _, s in prog.statements()
+                    if isinstance(s, CallStmt) and s.is_indirect)
+        assert set(call.targets) == {"alpha", "beta"}
+
+    def test_callgraph_includes_indirect_edges(self):
+        prog = self._fp_program()
+        pts = Steensgaard(prog).run()
+        resolve_indirect_calls(prog, pts.points_to)
+        cg = CallGraph(prog)
+        assert cg.callees("main") >= {"alpha", "beta"}
+
+    def test_return_plumbing_added_per_candidate(self):
+        prog = self._fp_program()
+        pts = Steensgaard(prog).run()
+        resolve_indirect_calls(prog, pts.points_to)
+        from repro.ir import retval_var
+        copies = [s for _, s in prog.statements()
+                  if isinstance(s, Copy) and s.lhs == Var("result")]
+        assert {c.rhs for c in copies} == \
+            {retval_var("alpha"), retval_var("beta")}
+
+    def test_unresolvable_fp_keeps_no_targets(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.call_indirect("fp")
+        prog = b.build()
+        resolve_indirect_calls(prog, lambda v: set())
+        call = next(s for _, s in prog.statements()
+                    if isinstance(s, CallStmt))
+        assert call.targets == ()
+
+    def test_resolution_flows_through_analysis(self):
+        """End to end: result gets both candidates' returned objects."""
+        from repro.analysis import Andersen
+        prog = self._fp_program()
+        pts = Steensgaard(prog).run()
+        resolve_indirect_calls(prog, pts.points_to)
+        an = Andersen(prog).run()
+        names = sorted(str(o) for o in an.points_to(Var("result")))
+        assert names == ["alpha::ao", "beta::bo"]

@@ -1,0 +1,167 @@
+"""The bootstrapping cascade: clustering, thresholds, covers."""
+
+import pytest
+
+from repro.analysis import Steensgaard
+from repro.core import (
+    CascadeConfig,
+    Cluster,
+    Partitioning,
+    PartitionStats,
+    andersen_refine,
+    oneflow_refine,
+    run_cascade,
+)
+from repro.ir import ProgramBuilder, Var
+
+from .helpers import figure2_program, figure5_program, v
+
+
+def big_partition_program(n_chains=4, chain_len=5):
+    """Several chains bridged into one large Steensgaard partition."""
+    b = ProgramBuilder()
+    with b.function("main") as f:
+        heads = []
+        for c in range(n_chains):
+            f.addr(f"c{c}v0", f"o{c}")
+            heads.append(f"c{c}v0")
+            for i in range(1, chain_len):
+                f.copy(f"c{c}v{i}", f"c{c}v{i - 1}")
+        for c in range(1, n_chains):
+            f.copy(f"b{c}", heads[c - 1])
+            f.copy(f"b{c}", heads[c])
+    return b.build()
+
+
+class TestPartitioning:
+    def test_stats(self):
+        prog = figure2_program()
+        part = Partitioning(prog)
+        stats = part.stats()
+        assert stats.max_size == 3
+        assert stats.total_members == len(prog.objects)
+
+    def test_histogram(self):
+        part = Partitioning(figure2_program())
+        hist = part.size_histogram()
+        assert hist.get(3) == 2
+
+    def test_pointer_partitions_drop_pure_heap_classes(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.alloc("p", "h")
+        part = Partitioning(b.build())
+        for p in part.pointer_partitions():
+            assert any(isinstance(m, Var) for m in p)
+
+    def test_partition_stats_of_empty(self):
+        stats = PartitionStats.of([])
+        assert stats.count == 0 and stats.max_size == 0
+
+
+class TestRefinement:
+    def test_andersen_refine_covers_partition(self):
+        prog = big_partition_program()
+        steens = Steensgaard(prog).run()
+        part = steens.partition_of(v("c0v0", "main"))
+        groups = andersen_refine(prog, steens, part)
+        assert set().union(*groups) == part
+
+    def test_andersen_refine_shrinks_chains(self):
+        prog = big_partition_program(n_chains=4, chain_len=5)
+        steens = Steensgaard(prog).run()
+        part = steens.partition_of(v("c0v0", "main"))
+        assert len(part) >= 20
+        groups = andersen_refine(prog, steens, part)
+        assert max(len(g) for g in groups) < len(part)
+
+    def test_oneflow_refine_covers(self):
+        prog = big_partition_program()
+        steens = Steensgaard(prog).run()
+        part = steens.partition_of(v("c0v0", "main"))
+        groups = oneflow_refine(prog, steens, part)
+        assert set().union(*groups) == part
+
+
+class TestCascade:
+    def test_clusters_cover_all_pointers(self):
+        prog = figure5_program()
+        result = run_cascade(prog)
+        covered = set()
+        for c in result.clusters:
+            covered |= c.members
+        assert covered >= prog.pointers
+
+    def test_threshold_controls_refinement(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        low = run_cascade(prog, CascadeConfig(andersen_threshold=5))
+        high = run_cascade(prog, CascadeConfig(andersen_threshold=10 ** 6))
+        assert low.max_cluster_size() < high.max_cluster_size()
+        assert low.refined_partitions >= 1
+        assert high.refined_partitions == 0
+
+    def test_no_andersen_stage(self):
+        prog = big_partition_program()
+        result = run_cascade(prog, CascadeConfig(refine_with_andersen=False))
+        assert all(c.origin == "steensgaard" for c in result.clusters)
+        assert result.refined_partitions == 0
+
+    def test_origins_recorded(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        # Threshold 10: the 41-member chain partition is refined, the
+        # 6-member object partition is kept as-is.
+        result = run_cascade(prog, CascadeConfig(andersen_threshold=10))
+        origins = {c.origin for c in result.clusters}
+        assert "andersen" in origins and "steensgaard" in origins
+
+    def test_oneflow_stage(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        result = run_cascade(prog, CascadeConfig(use_oneflow=True,
+                                                 oneflow_threshold=5,
+                                                 andersen_threshold=5))
+        assert result.clusters  # pipeline completes
+
+    def test_timings_recorded(self):
+        result = run_cascade(figure2_program())
+        assert result.partition_time >= 0
+        assert result.clustering_time >= 0
+
+    def test_clusters_containing(self):
+        prog = figure2_program()
+        result = run_cascade(prog)
+        q = v("q", "main")
+        found = result.clusters_containing([q])
+        assert found and all(q in c.members for c in found)
+
+    def test_stats_by_origin(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        result = run_cascade(prog, CascadeConfig(andersen_threshold=5))
+        assert result.stats("andersen").count >= 1
+
+    def test_cluster_parent_size(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        result = run_cascade(prog, CascadeConfig(andersen_threshold=5))
+        for c in result.clusters:
+            if c.origin == "andersen":
+                assert c.parent_size >= c.size
+
+    def test_subclusters_carry_parent_slice(self):
+        prog = big_partition_program(n_chains=6, chain_len=6)
+        result = run_cascade(prog, CascadeConfig(andersen_threshold=5))
+        for c in result.clusters:
+            if c.origin == "andersen":
+                assert c.parent_slice is not None
+                assert c.slice.statements <= c.parent_slice.statements
+
+
+class TestClusterDataclass:
+    def test_pointer_members(self):
+        prog = figure2_program()
+        result = run_cascade(prog)
+        for c in result.clusters:
+            assert all(isinstance(m, Var) for m in c.pointer_members)
+
+    def test_len(self):
+        prog = figure2_program()
+        c = run_cascade(prog).clusters[0]
+        assert len(c) == c.size

@@ -1,0 +1,116 @@
+"""CLI driver tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+DRIVER = """
+int a, b;
+int *p, *q;
+int lock_obj;
+int *the_lock;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+void t1(void) {
+    lock(the_lock);
+    a = a + 1;
+    unlock(the_lock);
+    b = b + 1;
+}
+
+void t2(void) {
+    lock(the_lock);
+    a = a + 1;
+    unlock(the_lock);
+    b = b + 2;
+}
+
+int main() {
+    the_lock = &lock_obj;
+    p = &a;
+    q = p;
+    t1();
+    t2();
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def driver_file(tmp_path):
+    path = tmp_path / "driver.c"
+    path.write_text(DRIVER)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_basic_report(self, driver_file, capsys):
+        assert main(["analyze", driver_file]) == 0
+        out = capsys.readouterr().out
+        assert "functions" in out and "cascade:" in out
+
+    def test_alias_query(self, driver_file, capsys):
+        assert main(["analyze", driver_file, "--aliases", "p", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "may_alias(p, q)" in out and "True" in out
+
+    def test_points_to_query(self, driver_file, capsys):
+        assert main(["analyze", driver_file, "--points-to", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "points_to(q)" in out and "'a'" in out
+
+    def test_summaries_flag(self, driver_file, capsys):
+        assert main(["analyze", driver_file, "--summaries"]) == 0
+        assert "summaries built" in capsys.readouterr().out
+
+    def test_unknown_pointer_rejected(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", driver_file, "--points-to", "nope"])
+
+    def test_qualified_name(self, driver_file, capsys):
+        assert main(["analyze", driver_file, "--points-to", "p"]) == 0
+
+
+class TestPartitions:
+    def test_listing(self, driver_file, capsys):
+        assert main(["partitions", driver_file]) == 0
+        out = capsys.readouterr().out
+        assert "Steensgaard partitions" in out
+
+    def test_with_andersen(self, driver_file, capsys):
+        assert main(["partitions", driver_file, "--andersen"]) == 0
+        assert "Andersen clusters" in capsys.readouterr().out
+
+
+class TestRaces:
+    def test_race_report(self, driver_file, capsys):
+        rc = main(["races", driver_file, "--threads", "t1,t2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "race warning" in out
+        assert "b" in out  # the unlocked counter races
+
+    def test_fail_on_race(self, driver_file):
+        rc = main(["races", driver_file, "--threads", "t1,t2",
+                   "--fail-on-race"])
+        assert rc == 1
+
+    def test_threads_required(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["races", driver_file])
+
+
+class TestBenchCommands:
+    def test_table1_tiny(self, capsys):
+        rc = main(["table1", "--scale", "0.02", "--programs", "sock",
+                   "--skip-nocluster"])
+        assert rc == 0
+        assert "sock" in capsys.readouterr().out
+
+    def test_figure1_tiny(self, capsys):
+        rc = main(["figure1", "--scale", "0.05", "--csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "steensgaard_freq" in out

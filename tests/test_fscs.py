@@ -1,0 +1,227 @@
+"""FSCS cluster analysis: origins, context-sensitive queries, covers."""
+
+import pytest
+
+from repro.analysis import (
+    AddrTerm,
+    ClusterFSCS,
+    Steensgaard,
+    execute,
+    whole_program_fscs,
+)
+from repro.core import relevant_statements
+from repro.errors import AnalysisBudgetExceeded
+from repro.ir import Loc, ProgramBuilder, Var
+
+from .helpers import (
+    call_chain_program,
+    diamond_program,
+    exit_loc,
+    figure2_program,
+    figure5_program,
+    v,
+)
+
+
+def cluster_for(prog, members):
+    steens = Steensgaard(prog).run()
+    cluster = set()
+    for m in members:
+        cluster |= steens.partition_of(m)
+    slice_ = relevant_statements(prog, steens, cluster)
+    return ClusterFSCS(prog,
+                       cluster=[m for m in cluster if isinstance(m, Var)],
+                       tracked=slice_.vp, relevant=slice_.statements)
+
+
+class TestPointsToQueries:
+    def test_flow_sensitive_points_to(self):
+        prog = diamond_program()
+        ca = cluster_for(prog, [v("p", "main")])
+        end = exit_loc(prog)
+        assert ca.points_to(v("p", "main"), end) == \
+            frozenset({v("c", "main")})
+
+    def test_points_to_before_strong_update(self):
+        prog = diamond_program()
+        ca = cluster_for(prog, [v("p", "main")])
+        cfg = prog.cfg_of("main")
+        # Location of q = p (the Copy node).
+        from repro.ir import Copy
+        copy_node = next(i for i in cfg.nodes()
+                         if isinstance(cfg.stmt(i), Copy))
+        pts = ca.points_to(v("q", "main"), Loc("main", copy_node))
+        assert pts == frozenset({v("a", "main"), v("b", "main")})
+
+    def test_figure2_full_pipeline(self):
+        prog = figure2_program()
+        ca = cluster_for(prog, [v("q", "main")])
+        end = exit_loc(prog)
+        # Flow-sensitively, q ends pointing only to c.
+        assert ca.points_to(v("q", "main"), end) == \
+            frozenset({v("c", "main")})
+
+    def test_whole_program_mode(self):
+        prog = figure2_program()
+        ca = whole_program_fscs(prog)
+        end = exit_loc(prog)
+        assert ca.points_to(v("q", "main"), end) == \
+            frozenset({v("c", "main")})
+
+
+class TestMayAlias:
+    def test_alias_via_shared_origin(self):
+        prog = figure2_program()
+        ca = cluster_for(prog, [v("q", "main")])
+        end = exit_loc(prog)
+        assert ca.may_alias(v("q", "main"), v("r", "main"), end)
+        assert not ca.may_alias(v("q", "main"), v("p", "main"), end)
+
+    def test_alias_through_uninitialized_common_source(self):
+        """x = z; y = z with z never initialized: theorem-5 aliasing via
+        the shared entry origin."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.copy("x", "z")
+            f.copy("y", "z")
+        prog = b.build()
+        ca = cluster_for(prog, [v("x", "main")])
+        end = exit_loc(prog)
+        assert ca.may_alias(v("x", "main"), v("y", "main"), end)
+
+    def test_null_pointers_do_not_alias(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.null("x")
+            f.null("y")
+        prog = b.build()
+        ca = cluster_for(prog, [v("x", "main")])
+        end = exit_loc(prog)
+        assert not ca.may_alias(v("x", "main"), v("y", "main"), end)
+
+    def test_alias_set(self):
+        prog = figure2_program()
+        ca = cluster_for(prog, [v("q", "main")])
+        end = exit_loc(prog)
+        aliases = ca.alias_set(v("q", "main"), end)
+        assert v("r", "main") in aliases
+        assert v("p", "main") not in aliases
+
+
+class TestContextSensitivity:
+    def _two_callers_program(self):
+        """id() called from two sites with different pointers: context
+        sensitivity distinguishes them, context-insensitive smears."""
+        b = ProgramBuilder()
+        b.global_var("out")
+        with b.function("ident", params=("ip",)) as f:
+            f.copy("out", "ip")
+        with b.function("caller1") as f:
+            f.addr("c1p", "o1")
+            f.call("ident", ["c1p"])
+        with b.function("caller2") as f:
+            f.addr("c2p", "o2")
+            f.call("ident", ["c2p"])
+        with b.function("main") as f:
+            f.call("caller1")
+            f.call("caller2")
+        return b.build()
+
+    def test_context_insensitive_smears(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        cfg = prog.cfg_of("ident")
+        loc = Loc("ident", cfg.exit)
+        pts = ca.points_to(Var("out"), loc)
+        assert pts == frozenset({v("o1", "caller1"), v("o2", "caller2")})
+
+    def test_context_sensitive_distinguishes(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        loc = Loc("ident", prog.cfg_of("ident").exit)
+        pts1 = ca.points_to(Var("out"), loc,
+                            context=["main", "caller1", "ident"])
+        pts2 = ca.points_to(Var("out"), loc,
+                            context=["main", "caller2", "ident"])
+        assert pts1 == frozenset({v("o1", "caller1")})
+        assert pts2 == frozenset({v("o2", "caller2")})
+
+    def test_context_must_end_at_query_function(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        loc = Loc("ident", prog.cfg_of("ident").exit)
+        with pytest.raises(ValueError):
+            ca.points_to(Var("out"), loc, context=["main", "caller1"])
+
+    def test_context_must_start_at_entry(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        loc = Loc("ident", prog.cfg_of("ident").exit)
+        with pytest.raises(ValueError):
+            ca.points_to(Var("out"), loc, context=["caller1", "ident"])
+
+    def test_unrelated_context_hop_rejected(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        loc = Loc("ident", prog.cfg_of("ident").exit)
+        with pytest.raises(ValueError):
+            ca.points_to(Var("out"), loc,
+                         context=["main", "ident", "ident"])
+
+    def test_union_of_contexts_equals_insensitive(self):
+        prog = self._two_callers_program()
+        ca = cluster_for(prog, [Var("out")])
+        loc = Loc("ident", prog.cfg_of("ident").exit)
+        union = (ca.points_to(Var("out"), loc,
+                              context=["main", "caller1", "ident"])
+                 | ca.points_to(Var("out"), loc,
+                                context=["main", "caller2", "ident"]))
+        assert union == ca.points_to(Var("out"), loc)
+
+
+class TestAnalyzeAndStats:
+    def test_analyze_reports_stats(self):
+        prog = figure5_program()
+        ca = cluster_for(prog, [Var("x")])
+        stats = ca.analyze()
+        assert stats["summarized_functions"] >= 2
+        assert stats["engine_steps"] > 0
+
+    def test_budget_enforced(self):
+        prog = figure5_program()
+        steens = Steensgaard(prog).run()
+        part = steens.partition_of(Var("x"))
+        slice_ = relevant_statements(prog, steens, part)
+        ca = ClusterFSCS(prog,
+                         cluster=[m for m in part if isinstance(m, Var)],
+                         tracked=slice_.vp, relevant=slice_.statements,
+                         budget=2)
+        with pytest.raises(AnalysisBudgetExceeded):
+            ca.analyze()
+
+    def test_summary_tuples_readable(self):
+        prog = figure5_program()
+        ca = cluster_for(prog, [Var("x")])
+        tuples = ca.summary_tuples("foo")
+        assert all("(" in str(t) for t in tuples)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("make", [figure2_program, diamond_program,
+                                      call_chain_program])
+    def test_fscs_sound_at_exit(self, make):
+        prog = make()
+        orc = execute(prog)
+        ca = whole_program_fscs(prog)
+        end = exit_loc(prog)
+        cfg = prog.cfg_of("main")
+        for p in prog.pointers:
+            concrete = orc.pts_after(Loc("main", cfg.exit), p)
+            assert concrete <= ca.points_to(p, end), str(p)
+
+    def test_interprocedural_origin(self):
+        prog = call_chain_program()
+        ca = whole_program_fscs(prog)
+        end = exit_loc(prog)
+        assert ca.points_to(v("q", "main"), end) == \
+            frozenset({v("obj", "main")})

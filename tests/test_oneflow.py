@@ -1,0 +1,93 @@
+"""Das One-Flow: the optional middle cascade stage."""
+
+import pytest
+
+from repro.analysis import (
+    Andersen,
+    OneFlow,
+    Steensgaard,
+    execute,
+    precision_refines,
+)
+from repro.ir import ProgramBuilder, Var
+
+from .helpers import (
+    call_chain_program,
+    figure2_program,
+    figure3_program,
+    figure5_program,
+    pts_names,
+    v,
+)
+
+ALL_FIGURES = [figure2_program, figure3_program, figure5_program,
+               call_chain_program]
+
+
+class TestPrecisionSandwich:
+    """Steensgaard ⊒ One-Flow ⊒ ... and One-Flow ⊒ is sound."""
+
+    @pytest.mark.parametrize("make", ALL_FIGURES)
+    def test_refines_steensgaard(self, make):
+        prog = make()
+        of = OneFlow(prog).run()
+        st = Steensgaard(prog).run()
+        assert precision_refines(of, st, prog.pointers)
+
+    @pytest.mark.parametrize("make", ALL_FIGURES)
+    def test_coarsens_andersen(self, make):
+        prog = make()
+        of = OneFlow(prog).run()
+        an = Andersen(prog).run()
+        assert precision_refines(an, of, prog.pointers)
+
+    @pytest.mark.parametrize("make", ALL_FIGURES)
+    def test_sound_vs_oracle(self, make):
+        prog = make()
+        of = OneFlow(prog).run()
+        orc = execute(prog)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= of.points_to(p), str(p)
+
+
+class TestDirectionality:
+    def test_top_level_flow_is_directional(self):
+        """The defining improvement over Steensgaard: figure 2's p keeps
+        a one-element points-to set."""
+        of = OneFlow(figure2_program()).run()
+        assert pts_names(of, v("p", "main")) == ["main::a"]
+        assert pts_names(of, v("q", "main")) == \
+            ["main::a", "main::b", "main::c"]
+
+    def test_below_top_is_unified(self):
+        """Store-level flow falls back to unification: coarser than
+        Andersen on the stored values."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("x", "m")
+            f.addr("y", "n")
+            f.addr("a", "o1")
+            f.addr("b", "o2")
+            f.store("x", "a")   # m's content ⊇ {o1}
+            f.store("y", "b")   # n's content ⊇ {o2}
+            f.load("t", "x")
+        prog = b.build()
+        of = OneFlow(prog).run()
+        an = Andersen(prog).run()
+        # Andersen keeps the two cells apart.
+        assert pts_names(an, v("t", "main")) == ["main::o1"]
+        # One-Flow is sound (must include o1); may include o2.
+        assert "main::o1" in pts_names(of, v("t", "main"))
+
+    def test_statement_subset(self):
+        prog = figure2_program()
+        stmts = [s for _, s in prog.statements()][:4]
+        of = OneFlow(prog, statements=stmts).run()
+        assert pts_names(of, v("q", "main")) == ["main::b"]
+
+    def test_empty_program(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.skip()
+        of = OneFlow(b.build()).run()
+        assert of.as_dict() == {}

@@ -1,0 +1,128 @@
+"""The bounded concrete executor used as a soundness oracle."""
+
+import pytest
+
+from repro.analysis import execute
+from repro.ir import Loc, ProgramBuilder, Var
+
+from .helpers import diamond_program, exit_loc, v
+
+
+class TestSemantics:
+    def test_addr_and_copy(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.copy("q", "p")
+        orc = execute(b.build())
+        assert orc.points_to(v("q", "main")) == frozenset({v("a", "main")})
+
+    def test_store_and_load(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("pp", "x")
+            f.addr("t", "a")
+            f.store("pp", "t")
+            f.load("y", "pp")
+        orc = execute(b.build())
+        assert orc.points_to(v("y", "main")) == frozenset({v("a", "main")})
+
+    def test_store_through_uninitialized_is_noop(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("t", "a")
+            f.store("pp", "t")   # pp uninitialized: UB, modeled as no-op
+            f.load("y", "pp")
+        orc = execute(b.build())
+        assert orc.points_to(v("y", "main")) == frozenset()
+
+    def test_null_clears(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.null("p")
+        prog = b.build()
+        orc = execute(prog)
+        cfg = prog.cfg_of("main")
+        assert orc.pts_after(Loc("main", cfg.exit), v("p", "main")) == \
+            frozenset()
+
+    def test_branches_explore_both(self):
+        orc = execute(diamond_program())
+        names = sorted(str(o) for o in orc.points_to(v("q", "main")))
+        assert names == ["main::a", "main::b"]
+
+    def test_flow_sensitive_recording(self):
+        prog = diamond_program()
+        orc = execute(prog)
+        end = exit_loc(prog)
+        assert orc.pts_after(end, v("p", "main")) == \
+            frozenset({v("c", "main")})
+
+    def test_call_and_return(self):
+        from .helpers import call_chain_program
+        prog = call_chain_program()
+        orc = execute(prog)
+        assert orc.points_to(v("q", "main")) == \
+            frozenset({v("obj", "main")})
+
+    def test_loop_bounded(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.loop():
+                f.addr("p", "a")
+                f.copy("q", "p")
+        orc = execute(b.build(), max_steps=50, max_paths=50)
+        assert orc.truncated or orc.paths_explored > 0
+
+    def test_recursion_truncates_not_crashes(self):
+        b = ProgramBuilder()
+        with b.function("f") as fb:
+            fb.call("f")
+        with b.function("main") as fb:
+            fb.call("f")
+        orc = execute(b.build(), max_steps=100, max_paths=10)
+        assert orc.truncated
+
+    def test_may_alias(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.copy("q", "p")
+            f.addr("r", "b")
+        orc = execute(b.build())
+        assert orc.may_alias(v("p", "main"), v("q", "main"))
+        assert not orc.may_alias(v("p", "main"), v("r", "main"))
+
+    def test_aliased_at(self):
+        prog = diamond_program()
+        orc = execute(prog)
+        end = exit_loc(prog)
+        # p re-pointed to c at the end; q still points to a/b.
+        assert not orc.aliased_at(end, v("p", "main"), v("q", "main"))
+
+    def test_indirect_call_explores_all_targets(self):
+        from repro.ir import function_sentinel, resolve_indirect_calls
+        from repro.analysis import Steensgaard
+        b = ProgramBuilder()
+        b.global_var("out")
+        with b.function("fa") as f:
+            f.addr("out", "oa")
+        with b.function("fb") as f:
+            f.addr("out", "ob")
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("fp", function_sentinel("fa"))
+                with br.otherwise():
+                    f.addr("fp", function_sentinel("fb"))
+            f.call_indirect("fp")
+        prog = b.build()
+        resolve_indirect_calls(prog, Steensgaard(prog).run().points_to)
+        orc = execute(prog)
+        names = sorted(str(o) for o in orc.points_to(Var("out")))
+        assert names == ["fa::oa", "fb::ob"]
+
+    def test_paths_counted(self):
+        orc = execute(diamond_program())
+        assert orc.paths_explored >= 2

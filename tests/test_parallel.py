@@ -1,0 +1,115 @@
+"""The greedy parallel schedule and runner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BootstrapAnalyzer,
+    Cluster,
+    ParallelRunner,
+    RelevantSlice,
+    greedy_parts,
+)
+from repro.ir import Var
+
+from .helpers import figure5_program
+
+
+def make_clusters(sizes):
+    out = []
+    for i, s in enumerate(sizes):
+        members = frozenset(Var(f"c{i}v{j}") for j in range(s))
+        sl = RelevantSlice(cluster=members, vp=members,
+                           statements=frozenset())
+        out.append(Cluster(members=members, slice=sl,
+                           origin="steensgaard", parent_size=s))
+    return out
+
+
+class TestGreedyParts:
+    def test_every_cluster_scheduled_once(self):
+        clusters = make_clusters([5, 3, 8, 1, 1, 4, 2])
+        parts = greedy_parts(clusters, 3)
+        flat = [c for p in parts for c in p]
+        assert len(flat) == len(clusters)
+        assert {id(c) for c in flat} == {id(c) for c in clusters}
+
+    def test_at_most_requested_parts(self):
+        clusters = make_clusters([1] * 20)
+        assert len(greedy_parts(clusters, 5)) <= 5
+
+    def test_single_part(self):
+        clusters = make_clusters([3, 3, 3])
+        parts = greedy_parts(clusters, 1)
+        assert len(parts) == 1
+
+    def test_part_closes_when_target_exceeded(self):
+        """The paper's rule: close the part as soon as the accumulated
+        pointer count strictly exceeds total/k."""
+        clusters = make_clusters([7, 7, 7, 7])  # total 28, target 7
+        parts = greedy_parts(clusters, 4)
+        target = 28 / 4
+        for part in parts[:-1]:
+            acc = sum(c.size for c in part)
+            assert acc > target                       # it closed because...
+            assert acc - part[-1].size <= target      # ...of its last cluster
+
+    def test_empty_cluster_list(self):
+        assert greedy_parts([], 5) == [[]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            greedy_parts(make_clusters([1]), 0)
+
+    def test_more_parts_than_clusters(self):
+        clusters = make_clusters([2, 2])
+        parts = greedy_parts(clusters, 10)
+        assert sum(len(p) for p in parts) == 2
+
+
+class TestParallelRunner:
+    def test_simulated_run(self):
+        clusters = make_clusters([2, 3, 4])
+        runner = ParallelRunner(parts=2, simulate=True)
+        report = runner.run(clusters, lambda c: c.size)
+        assert sorted(report.results) == [2, 3, 4]
+        assert len(report.cluster_times) == 3
+        assert report.max_part_time <= report.total_time + 1e-9
+
+    def test_threaded_run(self):
+        clusters = make_clusters([2, 3, 4, 5])
+        runner = ParallelRunner(parts=2, simulate=False)
+        report = runner.run(clusters, lambda c: c.size * 10)
+        assert sorted(report.results) == [20, 30, 40, 50]
+
+    def test_results_order_matches_clusters(self):
+        clusters = make_clusters([1, 2, 3])
+        runner = ParallelRunner(parts=3)
+        report = runner.run(clusters, lambda c: c.size)
+        assert report.results == [1, 2, 3]
+
+    def test_integration_with_bootstrap(self):
+        prog = figure5_program()
+        boot = BootstrapAnalyzer(prog).run()
+        report = boot.analyze_all(simulate=False)
+        assert all(isinstance(r, dict) for r in report.results)
+
+
+class TestGreedyProperties:
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=40),
+           st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_invariants(self, sizes, parts):
+        clusters = make_clusters(sizes)
+        schedule = greedy_parts(clusters, parts)
+        # Order-preserving coverage, no duplication, part-count cap.
+        flat = [c for p in schedule for c in p]
+        assert [id(c) for c in flat] == [id(c) for c in clusters]
+        assert 1 <= len(schedule) <= parts
+        # The paper's closing rule: every non-final part exceeded the
+        # target only because of its last cluster.
+        target = sum(sizes) / parts
+        for part in schedule[:-1]:
+            acc = sum(c.size for c in part)
+            assert acc - part[-1].size <= target

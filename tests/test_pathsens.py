@@ -1,0 +1,262 @@
+"""Path sensitivity (paper Section 3): assumes, refinement, constraints."""
+
+import pytest
+
+from repro import parse_program
+from repro.analysis import (
+    FSCI,
+    Andersen,
+    ClusterFSCS,
+    SatOracle,
+    Steensgaard,
+    execute,
+    null_atom,
+    whole_program_fscs,
+)
+from repro.analysis.summaries import ObjTerm, SummaryEngine
+from repro.ir import Assume, Loc, ProgramBuilder, Var
+
+from .helpers import exit_loc, v
+
+
+class TestAssumeStatement:
+    def test_str_forms(self):
+        assert str(Assume(Var("p"))) == "assume p == NULL"
+        assert str(Assume(Var("p"), Var("q"), False)) == "assume p != q"
+
+    def test_not_canonical(self):
+        from repro.ir import is_canonical
+        assert not is_canonical(Assume(Var("p")))
+
+    def test_builder_helper(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.assume("p", equal=False)
+        prog = b.build()
+        stmts = [s for _, s in prog.statements()
+                 if isinstance(s, Assume)]
+        assert stmts == [Assume(v("p", "main"), None, False)]
+
+
+class TestFrontendEmission:
+    def assumes_of(self, src):
+        prog = parse_program(src)
+        return prog, [s for _, s in prog.statements()
+                      if isinstance(s, Assume)]
+
+    def test_truthiness_test(self):
+        prog, assumes = self.assumes_of(
+            "int *p; int main() { if (p) { } return 0; }")
+        assert Assume(Var("p"), None, False) in assumes  # then: p != NULL
+        assert Assume(Var("p"), None, True) in assumes   # else: p == NULL
+
+    def test_negated_truthiness(self):
+        prog, assumes = self.assumes_of(
+            "int *p; int main() { if (!p) { } return 0; }")
+        assert assumes[0] == Assume(Var("p"), None, True)
+
+    def test_null_comparison(self):
+        prog, assumes = self.assumes_of(
+            "int *p; int main() { if (p == NULL) { } return 0; }")
+        assert Assume(Var("p"), None, True) in assumes
+
+    def test_zero_comparison(self):
+        prog, assumes = self.assumes_of(
+            "int *p; int main() { if (p != 0) { } return 0; }")
+        assert Assume(Var("p"), None, False) in assumes
+
+    def test_pointer_equality(self):
+        prog, assumes = self.assumes_of(
+            "int *p, *q; int main() { if (p == q) { } return 0; }")
+        assert Assume(Var("p"), Var("q"), True) in assumes
+        assert Assume(Var("p"), Var("q"), False) in assumes
+
+    def test_while_condition(self):
+        prog, assumes = self.assumes_of(
+            "int *p; int main() { while (p != NULL) { p = NULL; } "
+            "return 0; }")
+        assert Assume(Var("p"), None, False) in assumes  # body arm
+        assert Assume(Var("p"), None, True) in assumes   # exit arm
+
+    def test_non_pointer_condition_ignored(self):
+        prog, assumes = self.assumes_of(
+            "int x; int main() { if (x > 3) { } return 0; }")
+        assert assumes == []
+
+
+class TestFSCIRefinement:
+    def test_nonnull_arm_refined(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                if (a) p = &a; else p = NULL;
+                if (p != NULL) { int *q = p; }
+                return 0;
+            }
+        """)
+        fsci = FSCI(prog).run()
+        assert fsci.points_to(Var("q", "main")) == \
+            frozenset({Var("a")})
+
+    def test_null_arm_refined(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                if (a) p = &a; else p = NULL;
+                if (p == NULL) { int *r = p; }
+                return 0;
+            }
+        """)
+        fsci = FSCI(prog).run()
+        assert fsci.points_to(Var("r", "main")) == frozenset()
+
+    def test_equality_refines_both_sides(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("p", "a")
+                with br.otherwise():
+                    f.addr("p", "b")
+            f.addr("q", "a")
+            f.assume("p", "q", equal=True)
+            f.copy("w", "p")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        assert fsci.points_to(v("w", "main")) == \
+            frozenset({v("a", "main")})
+
+    def test_uninit_blocks_refinement(self):
+        """Garbage can compare equal to NULL: no refinement, soundly."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.addr("p", "a")
+                with br.otherwise():
+                    f.skip()  # p stays uninit
+            f.assume("p", equal=False)   # p != NULL
+            f.copy("q", "p")
+        prog = b.build()
+        fsci = FSCI(prog).run()
+        # p may be uninit at the assume, so {a} must survive.
+        assert v("a", "main") in fsci.points_to(v("q", "main"))
+
+
+class TestOraclePathFiltering:
+    def test_infeasible_path_dropped(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                p = &a;
+                if (p == NULL) { int *dead = p; }
+                return 0;
+            }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("dead", "main")) == frozenset()
+
+    def test_feasible_path_kept(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                p = &a;
+                if (p != NULL) { int *live = p; }
+                return 0;
+            }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("live", "main")) == \
+            frozenset({Var("a")})
+
+    def test_uninit_never_blocks(self):
+        prog = parse_program("""
+            int a; int *p;
+            int main() {
+                if (p != NULL) { int *x = &a; }
+                return 0;
+            }
+        """)
+        orc = execute(prog)
+        assert orc.points_to(Var("x", "main")) == frozenset({Var("a")})
+
+
+class TestSummaryBranchConstraints:
+    def test_branch_constraint_recorded(self):
+        b = ProgramBuilder()
+        b.global_var("p")
+        b.global_var("g")
+        with b.function("main") as f:
+            with f.branch() as br:
+                with br.then():
+                    f.assume("p", equal=False)
+                    f.addr("g", "a")
+                with br.otherwise():
+                    f.assume("p", equal=True)
+                    f.null("g")
+        prog = b.build()
+        eng = SummaryEngine(prog, fsci=FSCI(prog).run())
+        entries = eng.exit_summary("main", ObjTerm(Var("g")))
+        conds = {str(t): c for t, c in entries}
+        # The &a tuple carries the p != NULL branch constraint.
+        addr_conds = [c for t, c in entries if str(t) == "&main::a"]
+        assert addr_conds and any("$NULL$" in str(a)
+                                  for c in addr_conds for a in c)
+
+    def test_path_sensitivity_can_be_disabled(self):
+        b = ProgramBuilder()
+        b.global_var("p")
+        b.global_var("g")
+        with b.function("main") as f:
+            f.assume("p", equal=False)
+            f.addr("g", "a")
+        prog = b.build()
+        eng = SummaryEngine(prog, fsci=FSCI(prog).run(),
+                            path_sensitive=False)
+        entries = eng.exit_summary("main", ObjTerm(Var("g")))
+        assert all(not c for _t, c in entries)
+
+    def test_infeasible_tuple_pruned_by_oracle(self):
+        """A tuple guarded by `p == NULL` is dropped when FSCI proves p
+        can never be NULL there."""
+        prog = parse_program("""
+            int a, b; int *p; int *g;
+            int main() {
+                p = &a;                  /* p is never NULL */
+                if (p == NULL) { g = &a; } else { g = &b; }
+                return 0;
+            }
+        """)
+        ca = whole_program_fscs(prog)
+        end = exit_loc(prog)
+        assert ca.points_to(Var("g"), end) == frozenset({Var("b")})
+
+    def test_fscs_sound_with_assumes(self):
+        prog = parse_program("""
+            int a, b; int *p; int *g;
+            int main() {
+                if (a) p = &a;
+                if (p == NULL) { g = &b; } else { g = p; }
+                return 0;
+            }
+        """)
+        orc = execute(prog)
+        ca = whole_program_fscs(prog)
+        end = exit_loc(prog)
+        cfg = prog.cfg_of("main")
+        concrete = orc.pts_after(Loc("main", cfg.exit), Var("g"))
+        assert concrete <= ca.points_to(Var("g"), end)
+
+
+class TestFlowInsensitiveIgnoreAssumes:
+    def test_steensgaard_and_andersen_unaffected(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.assume("p", equal=True)
+            f.copy("q", "p")
+        prog = b.build()
+        an = Andersen(prog).run()
+        assert an.points_to(v("q", "main")) == frozenset({v("a", "main")})
+        st = Steensgaard(prog).run()
+        assert st.same_partition(v("p", "main"), v("q", "main"))

@@ -1,0 +1,274 @@
+"""Property-based tests: random programs vs. the concrete oracle.
+
+The generator builds small but adversarial IR programs (multi-function,
+branches, loops, all four canonical forms, heap allocation, NULL); the
+oracle enumerates their concrete executions.  Every analysis must
+over-approximate every observed fact, and the structural theorems from
+the paper (disjoint/disjunctive alias covers, precision ordering) must
+hold on every sample.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    FSCI,
+    Andersen,
+    OneFlow,
+    Steensgaard,
+    execute,
+    whole_program_fscs,
+)
+from repro.core import relevant_statements, run_cascade
+from repro.ir import Loc, ProgramBuilder, Var
+
+VARS = [f"v{i}" for i in range(8)]
+OBJS = [f"o{i}" for i in range(4)]
+
+# One random action inside a function body.
+_action = st.one_of(
+    st.tuples(st.just("addr"), st.sampled_from(VARS), st.sampled_from(OBJS)),
+    st.tuples(st.just("copy"), st.sampled_from(VARS), st.sampled_from(VARS)),
+    st.tuples(st.just("load"), st.sampled_from(VARS), st.sampled_from(VARS)),
+    st.tuples(st.just("store"), st.sampled_from(VARS), st.sampled_from(VARS)),
+    st.tuples(st.just("addrv"), st.sampled_from(VARS), st.sampled_from(VARS)),
+    st.tuples(st.just("null"), st.sampled_from(VARS), st.just("")),
+    st.tuples(st.just("alloc"), st.sampled_from(VARS), st.just("")),
+    st.tuples(st.just("assume_n"), st.sampled_from(VARS),
+              st.sampled_from(["==", "!="])),
+    st.tuples(st.just("assume_v"), st.sampled_from(VARS),
+              st.sampled_from(VARS)),
+)
+
+
+@st.composite
+def programs(draw):
+    """A random program: main + up to 2 helpers, all vars global so the
+    pieces interact."""
+    n_helpers = draw(st.integers(0, 2))
+    helper_bodies = [draw(st.lists(_action, min_size=1, max_size=6))
+                     for _ in range(n_helpers)]
+    main_parts = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("stmt"), _action),
+            st.tuples(st.just("call"),
+                      st.integers(0, max(0, n_helpers - 1))),
+            st.tuples(st.just("branch"),
+                      st.tuples(st.lists(_action, max_size=3),
+                                st.lists(_action, max_size=3))),
+        ),
+        min_size=1, max_size=8))
+
+    b = ProgramBuilder()
+    for v in VARS + OBJS:
+        b.global_var(v)
+
+    def emit(f, action):
+        kind, x, y = action
+        if kind == "addr":
+            f.addr(x, y)
+        elif kind == "addrv":
+            f.addr(x, y)
+        elif kind == "copy":
+            f.copy(x, y)
+        elif kind == "load":
+            f.load(x, y)
+        elif kind == "store":
+            f.store(x, y)
+        elif kind == "null":
+            f.null(x)
+        elif kind == "alloc":
+            f.alloc(x)
+        elif kind == "assume_n":
+            f.assume(x, equal=(y == "=="))
+        elif kind == "assume_v":
+            f.assume(x, y, equal=True)
+
+    for i, body in enumerate(helper_bodies):
+        with b.function(f"h{i}") as f:
+            for action in body:
+                emit(f, action)
+    with b.function("main") as f:
+        for part in main_parts:
+            if part[0] == "stmt":
+                emit(f, part[1])
+            elif part[0] == "call":
+                if n_helpers:
+                    f.call(f"h{part[1]}")
+            else:
+                arm1, arm2 = part[1]
+                with f.branch() as br:
+                    with br.then():
+                        for action in arm1:
+                            emit(f, action)
+                    with br.otherwise():
+                        for action in arm2:
+                            emit(f, action)
+    return b.build()
+
+
+COMMON = dict(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+
+
+class TestSoundness:
+    """oracle ⊆ analysis, for every analysis in the cascade."""
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_steensgaard_sound(self, prog):
+        st_ = Steensgaard(prog).run()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= st_.points_to(p), str(p)
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_andersen_sound(self, prog):
+        an = Andersen(prog).run()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= an.points_to(p), str(p)
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_oneflow_sound(self, prog):
+        of = OneFlow(prog).run()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= of.points_to(p), str(p)
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_fsci_sound_per_location(self, prog):
+        fsci = FSCI(prog).run()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        for (loc, cell), objs in orc.pts_at.items():
+            assert frozenset(objs) <= fsci.pts_after(loc, cell), \
+                f"{cell} at {loc}"
+
+    @given(programs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_fscs_sound_at_main_exit(self, prog):
+        orc = execute(prog, max_steps=200, max_paths=600)
+        ca = whole_program_fscs(prog)
+        cfg = prog.cfg_of("main")
+        end = Loc("main", cfg.exit)
+        for p in sorted(prog.pointers, key=str)[:6]:
+            concrete = orc.pts_after(end, p)
+            assert concrete <= ca.points_to(p, end), str(p)
+
+
+class TestPrecisionOrdering:
+    """Each cascade stage refines the previous one."""
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_andersen_refines_oneflow_refines_steensgaard(self, prog):
+        st_ = Steensgaard(prog).run()
+        of = OneFlow(prog).run()
+        an = Andersen(prog).run()
+        for p in prog.pointers:
+            assert an.points_to(p) <= of.points_to(p), str(p)
+            assert of.points_to(p) <= st_.points_to(p), str(p)
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_fsci_refines_andersen(self, prog):
+        an = Andersen(prog).run()
+        fsci = FSCI(prog).run()
+        for p in prog.pointers:
+            assert fsci.points_to(p) <= an.points_to(p), str(p)
+
+
+class TestCoverTheorems:
+    @given(programs())
+    @settings(**COMMON)
+    def test_partitions_are_disjoint_cover(self, prog):
+        """Theorem 6 prerequisite: Steensgaard partitions are disjoint
+        and confine aliasing (checked against the concrete oracle)."""
+        st_ = Steensgaard(prog).run()
+        seen = set()
+        for part in st_.partitions():
+            assert not (part & seen)
+            seen |= part
+        orc = execute(prog, max_steps=200, max_paths=600)
+        ptrs = sorted(prog.pointers, key=str)
+        for i, p in enumerate(ptrs):
+            for q in ptrs[i + 1:]:
+                if orc.may_alias(p, q):
+                    assert st_.same_partition(p, q), f"{p} ~ {q}"
+
+    @given(programs())
+    @settings(**COMMON)
+    def test_andersen_clusters_disjunctive_cover(self, prog):
+        """Theorem 7: concrete aliases share an Andersen cluster."""
+        an = Andersen(prog).run()
+        clusters = an.clusters()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        ptrs = sorted(prog.pointers, key=str)
+        for i, p in enumerate(ptrs):
+            for q in ptrs[i + 1:]:
+                if orc.may_alias(p, q):
+                    assert any(p in c and q in c for c in clusters), \
+                        f"{p} ~ {q}"
+
+    @given(programs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_slicing_preserves_cluster_facts(self, prog):
+        """Theorem 6, dynamically: FSCI restricted to a partition's slice
+        computes the same points-to sets for partition members."""
+        st_ = Steensgaard(prog).run()
+        full = FSCI(prog).run()
+        for part in st_.partitions()[:4]:
+            members = [m for m in part if isinstance(m, Var)]
+            if not members:
+                continue
+            slice_ = relevant_statements(prog, st_, part)
+            sliced = FSCI(prog, tracked=slice_.vp,
+                          relevant=slice_.statements).run()
+            for m in members:
+                assert full.points_to(m) == sliced.points_to(m), str(m)
+
+    @given(programs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_cascade_clusters_cover_pointers(self, prog):
+        result = run_cascade(prog)
+        covered = set()
+        for c in result.clusters:
+            covered |= c.members
+        assert covered >= prog.pointers
+
+
+class TestMustAliasProperty:
+    @given(programs())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_must_facts_hold_on_every_path(self, prog):
+        """Must-points-to is an *under*-approximation: every definite
+        value must match every concrete observation at that point."""
+        from repro.analysis import MustAlias
+        from repro.analysis.mustalias import MUST_NULL, MUST_UNINIT, TOP
+        ma = MustAlias(prog).run()
+        orc = execute(prog, max_steps=200, max_paths=600)
+        for (loc, cell), objs in orc.pts_at.items():
+            definite = ma.value_after(loc, cell)
+            if definite in (TOP, MUST_UNINIT):
+                continue
+            if definite is MUST_NULL:
+                assert not objs, f"{cell} at {loc}: must-null but {objs}"
+            else:
+                assert objs <= {definite}, f"{cell} at {loc}"

@@ -1,0 +1,90 @@
+"""IR JSON round-tripping."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import parse_program
+from repro.analysis import Andersen, execute
+from repro.bench import sources
+from repro.ir import (
+    format_program,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+from .helpers import (
+    call_chain_program,
+    diamond_program,
+    figure2_program,
+    figure5_program,
+    recursive_program,
+)
+from .test_properties import programs
+
+
+ALL = [figure2_program, figure5_program, diamond_program,
+       call_chain_program, recursive_program]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", ALL)
+    def test_text_identical(self, make):
+        prog = make()
+        again = program_from_dict(program_to_dict(prog))
+        assert format_program(again) == format_program(prog)
+
+    @pytest.mark.parametrize("make", ALL)
+    def test_analysis_identical(self, make):
+        prog = make()
+        again = program_from_dict(program_to_dict(prog))
+        a1, a2 = Andersen(prog).run(), Andersen(again).run()
+        for p in prog.pointers:
+            assert a1.points_to(p) == a2.points_to(p), str(p)
+
+    def test_json_serializable(self):
+        data = program_to_dict(figure5_program())
+        json.loads(json.dumps(data))
+
+    def test_file_round_trip(self, tmp_path):
+        prog = figure2_program()
+        path = str(tmp_path / "prog.json")
+        save_program(prog, path)
+        again = load_program(path)
+        assert format_program(again) == format_program(prog)
+
+    def test_frontend_program_round_trips(self):
+        prog = sources.load("char_device")
+        again = program_from_dict(program_to_dict(prog))
+        assert format_program(again) == format_program(prog)
+
+    def test_indirect_targets_preserved(self):
+        prog = sources.load("fops_dispatch")
+        again = program_from_dict(program_to_dict(prog))
+        from repro.ir import CallStmt
+        t1 = sorted(tuple(s.targets) for _, s in prog.statements()
+                    if isinstance(s, CallStmt))
+        t2 = sorted(tuple(s.targets) for _, s in again.statements()
+                    if isinstance(s, CallStmt))
+        assert t1 == t2
+
+    def test_version_checked(self):
+        data = program_to_dict(figure2_program())
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            program_from_dict(data)
+
+    @given(programs())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    def test_random_programs_round_trip(self, prog):
+        again = program_from_dict(program_to_dict(prog))
+        assert format_program(again) == format_program(prog)
+        orc1 = execute(prog, max_steps=150, max_paths=200)
+        orc2 = execute(again, max_steps=150, max_paths=200)
+        for p in prog.pointers:
+            assert orc1.points_to(p) == orc2.points_to(p)

@@ -1,0 +1,195 @@
+"""Steensgaard analysis: partitions, hierarchy, depth, cyclic cases."""
+
+import pytest
+
+from repro.analysis import Steensgaard, execute
+from repro.ir import AllocSite, ProgramBuilder, Var
+
+from .helpers import (
+    figure2_program,
+    figure3_program,
+    figure5_program,
+    pts_names,
+    v,
+)
+
+
+def parts(result, min_size=2):
+    return sorted(sorted(str(m) for m in p)
+                  for p in result.partitions() if len(p) >= min_size)
+
+
+class TestPaperFigures:
+    def test_figure2_partitions(self):
+        st = Steensgaard(figure2_program()).run()
+        assert parts(st) == [
+            ["main::a", "main::b", "main::c"],
+            ["main::p", "main::q", "main::r"],
+        ]
+
+    def test_figure2_points_to(self):
+        st = Steensgaard(figure2_program()).run()
+        # Unification smears: every top pointer may point to all of a,b,c.
+        assert pts_names(st, v("q", "main")) == \
+            ["main::a", "main::b", "main::c"]
+
+    def test_figure3_partitions(self):
+        """The paper: partitions are {a,b}, {y}, {p,x} (our temp t lands
+        with a and b)."""
+        st = Steensgaard(figure3_program()).run()
+        assert ["main::a", "main::b", "main::t"] in parts(st)
+        assert ["main::p", "main::x"] in parts(st)
+        y_part = sorted(str(m) for m in st.partition_of(v("y", "main")))
+        assert y_part == ["main::y"]
+
+    def test_figure3_hierarchy(self):
+        st = Steensgaard(figure3_program()).run()
+        x, y, a, b = (v(n, "main") for n in "xyab")
+        assert st.higher_than(x, a)
+        assert st.higher_than(y, b)
+        assert not st.higher_than(a, x)
+        assert not st.higher_than(x, y)
+
+    def test_figure3_depths(self):
+        st = Steensgaard(figure3_program()).run()
+        assert st.depth_of(v("x", "main")) == 0
+        assert st.depth_of(v("y", "main")) == 0
+        assert st.depth_of(v("a", "main")) == 1
+        assert st.depth_of(v("b", "main")) == 1
+
+    def test_figure5_partitions(self):
+        st = Steensgaard(figure5_program()).run()
+        p = parts(st)
+        assert ["u", "w", "x", "z"] in p
+        assert ["d", "main::bm", "main::c"] in p
+
+    def test_figure5_hierarchy(self):
+        st = Steensgaard(figure5_program()).run()
+        assert st.higher_than(Var("x"), Var("d"))
+        assert st.same_partition(Var("x"), Var("z"))
+
+
+class TestInvariants:
+    def test_out_degree_at_most_one(self):
+        """The paper's headline structural claim about the class graph."""
+        for prog in (figure2_program(), figure3_program(),
+                     figure5_program()):
+            st = Steensgaard(prog).run()
+            sources = [tuple(sorted(map(str, src)))
+                       for src, _ in st.class_graph()]
+            assert len(sources) == len(set(sources))
+
+    def test_partitions_are_disjoint_and_cover(self):
+        prog = figure5_program()
+        st = Steensgaard(prog).run()
+        seen = set()
+        for p in st.partitions():
+            assert not (p & seen)
+            seen |= p
+        assert seen == prog.objects
+
+    def test_partition_of_unknown_var_is_singleton(self):
+        st = Steensgaard(figure2_program()).run()
+        ghost = Var("ghost")
+        assert st.partition_of(ghost) == frozenset({ghost})
+
+    def test_may_alias_is_same_partition(self):
+        st = Steensgaard(figure2_program()).run()
+        assert st.may_alias(v("p", "main"), v("q", "main"))
+        assert not st.may_alias(v("p", "main"), v("a", "main"))
+
+    def test_self_alias(self):
+        st = Steensgaard(figure2_program()).run()
+        assert st.may_alias(v("p", "main"), v("p", "main"))
+
+
+class TestCyclicCases:
+    def test_store_self_creates_self_loop(self):
+        """*p = p puts p and *p in one partition (paper's cyclic case)."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.store("p", "p")
+        prog = b.build()
+        st = Steensgaard(prog).run()
+        p, a = v("p", "main"), v("a", "main")
+        assert st.same_partition(p, a)
+        assert st.is_cyclic_partition(p)
+        assert st.pointee_partition(p) == st.partition_of(p)
+
+    def test_mutual_address_cycle_collapsed(self):
+        """x=&y; y=&x: the two-partition cycle is merged so that depth
+        stays well-defined."""
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("x", "y")
+            f.addr("y", "x")
+        prog = b.build()
+        st = Steensgaard(prog).run()
+        x, y = v("x", "main"), v("y", "main")
+        assert st.same_partition(x, y)
+        assert st.is_cyclic_partition(x)
+        # Depth is defined (no infinite walk).
+        assert st.depth_of(x) == st.depth_of(y)
+
+    def test_three_cycle_collapsed(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("x", "y")
+            f.addr("y", "z")
+            f.addr("z", "x")
+        st = Steensgaard(b.build()).run()
+        assert st.same_partition(v("x", "main"), v("z", "main"))
+
+    def test_self_address(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("x", "x")
+        st = Steensgaard(b.build()).run()
+        assert st.is_cyclic_partition(v("x", "main"))
+
+
+class TestMisc:
+    def test_alloc_sites_partition_with_pointees(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.alloc("p", "h1")
+            f.addr("q", "a")
+            f.copy("p", "q")
+        st = Steensgaard(b.build()).run()
+        assert st.same_partition(AllocSite("h1"), v("a", "main"))
+
+    def test_null_assign_no_effect(self):
+        b = ProgramBuilder()
+        with b.function("main") as f:
+            f.addr("p", "a")
+            f.null("p")
+            f.addr("q", "b")
+        st = Steensgaard(b.build()).run()
+        assert not st.same_partition(v("p", "main"), v("q", "main"))
+
+    def test_statement_subset_mode(self):
+        prog = figure2_program()
+        stmts = [s for _, s in prog.statements()][:3]  # only p=&a; q=&b
+        st = Steensgaard(prog, statements=stmts).run()
+        # Without the q=p / q=r copies, p q r stay separate.
+        assert not st.same_partition(v("p", "main"), v("q", "main"))
+
+    def test_soundness_vs_oracle_figure2(self):
+        prog = figure2_program()
+        st = Steensgaard(prog).run()
+        orc = execute(prog)
+        for p in prog.pointers:
+            assert orc.points_to(p) <= st.points_to(p) | {p}
+
+    def test_max_partition_size(self):
+        st = Steensgaard(figure2_program()).run()
+        assert st.max_partition_size() == 3
+
+    def test_interprocedural_unification(self):
+        from .helpers import call_chain_program
+        prog = call_chain_program()
+        st = Steensgaard(prog).run()
+        # p flows main -> mid -> leaf -> back: all carriers unified.
+        assert st.same_partition(v("p", "main"), v("q", "main"))
+        assert st.same_partition(v("p", "main"), v("lp", "leaf"))

@@ -1,0 +1,138 @@
+"""The mini-C type system and struct flattening."""
+
+import pytest
+
+from repro.errors import NormalizationError
+from repro.frontend.types import (
+    INT,
+    VOID,
+    ArrayType,
+    FloatType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructTable,
+    StructType,
+    element_type,
+    is_pointerish,
+    pointee,
+)
+
+
+class TestBasics:
+    def test_int_not_pointerish(self):
+        assert not is_pointerish(INT)
+
+    def test_pointer_is_pointerish(self):
+        assert is_pointerish(PointerType(INT))
+
+    def test_function_type_pointerish(self):
+        assert is_pointerish(FuncType(INT))
+
+    def test_array_of_pointers_pointerish(self):
+        assert is_pointerish(ArrayType(PointerType(INT), 4))
+
+    def test_array_of_ints_not(self):
+        assert not is_pointerish(ArrayType(INT, 4))
+
+    def test_pointee(self):
+        assert pointee(PointerType(INT)) == INT
+
+    def test_pointee_of_array(self):
+        assert pointee(ArrayType(PointerType(INT))) == PointerType(INT)
+
+    def test_pointee_of_int_raises(self):
+        with pytest.raises(NormalizationError):
+            pointee(INT)
+
+    def test_element_type_nested(self):
+        assert element_type(ArrayType(ArrayType(INT, 2), 3)) == INT
+
+    def test_structural_equality(self):
+        assert PointerType(INT) == PointerType(IntType("int"))
+        assert PointerType(INT) != PointerType(VOID)
+
+    def test_str_forms(self):
+        assert str(PointerType(PointerType(INT))) == "int**"
+        assert str(StructType("S")) == "struct S"
+        assert "int" in str(FuncType(INT, (PointerType(INT),)))
+
+
+class TestStructTable:
+    def make(self):
+        t = StructTable()
+        t.declare("In", [("x", PointerType(INT)), ("y", INT)])
+        t.declare("Out", [("i", StructType("In")), ("z", INT)])
+        return t
+
+    def test_declare_and_lookup(self):
+        t = self.make()
+        assert t.is_defined("In")
+        assert t.field_type(StructType("In"), "y") == INT
+
+    def test_missing_field(self):
+        t = self.make()
+        with pytest.raises(NormalizationError):
+            t.field_type(StructType("In"), "nope")
+
+    def test_undefined_struct(self):
+        t = StructTable()
+        with pytest.raises(NormalizationError):
+            t.fields_of(StructType("Ghost"))
+
+    def test_flatten_simple(self):
+        t = self.make()
+        flat = t.flatten(StructType("In"), "s")
+        assert flat == [("s__x", PointerType(INT)), ("s__y", INT)]
+
+    def test_flatten_nested(self):
+        t = self.make()
+        flat = t.flatten(StructType("Out"), "o")
+        assert [f[0] for f in flat] == ["o__i__x", "o__i__y", "o__z"]
+
+    def test_flatten_array_field_collapses(self):
+        t = StructTable()
+        t.declare("A", [("buf", ArrayType(PointerType(INT), 8))])
+        flat = t.flatten(StructType("A"), "a")
+        assert flat == [("a__buf", PointerType(INT))]
+
+    def test_flatten_rejects_by_value_recursion(self):
+        t = StructTable()
+        t.declare("R", [("self", StructType("R"))])
+        with pytest.raises(NormalizationError):
+            t.flatten(StructType("R"), "r")
+
+    def test_pointer_recursion_fine(self):
+        t = StructTable()
+        t.declare("node", [("next", PointerType(StructType("node"))),
+                           ("v", INT)])
+        flat = t.flatten(StructType("node"), "n")
+        assert [f[0] for f in flat] == ["n__next", "n__v"]
+
+
+class TestShadowLeaves:
+    def test_shadow_types_scale_with_depth(self):
+        from repro.frontend.normalize import base_struct, shadow_leaves
+        t = StructTable()
+        t.declare("S", [("f", PointerType(INT)), ("g", INT)])
+        one = shadow_leaves(PointerType(StructType("S")), t)
+        assert dict(one)["f"] == PointerType(PointerType(INT))
+        assert dict(one)["g"] == PointerType(INT)
+        two = shadow_leaves(PointerType(PointerType(StructType("S"))), t)
+        assert dict(two)["g"] == PointerType(PointerType(INT))
+
+    def test_non_struct_has_no_shadows(self):
+        from repro.frontend.normalize import shadow_leaves
+        t = StructTable()
+        assert shadow_leaves(PointerType(INT), t) == []
+
+    def test_base_struct_detection(self):
+        from repro.frontend.normalize import base_struct
+        t = StructTable()
+        t.declare("S", [("f", INT)])
+        assert base_struct(PointerType(StructType("S")), t) == \
+            (1, StructType("S"))
+        assert base_struct(PointerType(INT), t) is None
+        assert base_struct(StructType("S"), t) == (0, StructType("S"))
+        # Undeclared struct: treated as opaque.
+        assert base_struct(PointerType(StructType("Ghost")), t) is None

@@ -1,0 +1,126 @@
+"""Unit and property tests for the union-find substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singleton_on_find(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert "a" in uf
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.same("a", "b")
+        assert not uf.same("a", "c")
+
+    def test_union_returns_root(self):
+        uf = UnionFind()
+        root = uf.union("a", "b")
+        assert root in ("a", "b")
+        assert uf.find("a") == root
+
+    def test_members_cover_class(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert sorted(uf.members("a")) == ["a", "b", "c"]
+        assert sorted(uf.members("c")) == ["a", "b", "c"]
+
+    def test_members_includes_self_for_singleton(self):
+        uf = UnionFind()
+        uf.add("x")
+        assert uf.members("x") == ["x"]
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        r1 = uf.find("a")
+        uf.union("a", "b")
+        assert uf.find("a") == r1
+        assert len(uf.members("a")) == 2
+
+    def test_classes_partition_items(self):
+        uf = UnionFind("abcdef")
+        uf.union("a", "b")
+        uf.union("c", "d")
+        classes = [sorted(c) for c in uf.classes()]
+        assert sorted(map(tuple, classes)) == [
+            ("a", "b"), ("c", "d"), ("e",), ("f",)]
+
+    def test_class_count(self):
+        uf = UnionFind("abc")
+        assert uf.class_count() == 3
+        uf.union("a", "b")
+        assert uf.class_count() == 2
+
+    def test_len_and_iter(self):
+        uf = UnionFind("ab")
+        uf.union("a", "b")
+        assert len(uf) == 2
+        assert sorted(uf) == ["a", "b"]
+
+    def test_union_by_size_keeps_larger_root(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        big_root = uf.find("a")
+        uf.union("c", big_root)
+        assert uf.find("c") == big_root
+
+    def test_init_from_iterable(self):
+        uf = UnionFind(["x", "y"])
+        assert uf.class_count() == 2
+
+
+@st.composite
+def union_ops(draw):
+    n = draw(st.integers(2, 12))
+    items = list(range(n))
+    ops = draw(st.lists(
+        st.tuples(st.sampled_from(items), st.sampled_from(items)),
+        max_size=30))
+    return items, ops
+
+
+class TestProperties:
+    @given(union_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_hold(self, data):
+        items, ops = data
+        uf = UnionFind(items)
+        for a, b in ops:
+            uf.union(a, b)
+        uf.validate()
+
+    @given(union_ops())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_connectivity(self, data):
+        """Union-find equivalence == connectivity in the op graph."""
+        items, ops = data
+        uf = UnionFind(items)
+        adj = {i: {i} for i in items}
+        for a, b in ops:
+            uf.union(a, b)
+            merged = adj[a] | adj[b]
+            for m in merged:
+                adj[m] = merged
+        for a in items:
+            for b in items:
+                assert uf.same(a, b) == (b in adj[a])
+
+    @given(union_ops())
+    @settings(max_examples=60, deadline=None)
+    def test_members_partition(self, data):
+        items, ops = data
+        uf = UnionFind(items)
+        for a, b in ops:
+            uf.union(a, b)
+        seen = []
+        for c in uf.classes():
+            seen.extend(c)
+        assert sorted(seen) == sorted(items)
