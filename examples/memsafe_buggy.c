@@ -1,0 +1,16 @@
+// Three memory-safety bugs in one file, one per checker:
+// a null dereference, a use-after-free through an alias, and a
+// double free.  `python -m repro check examples/memsafe_buggy.c`
+// should report exactly three findings.
+
+int main() {
+    int *p, *q, *d;
+    p = 0;
+    *p = 1;
+    q = malloc(4);
+    d = q;
+    free(q);
+    *d = 2;
+    free(d);
+    return 0;
+}

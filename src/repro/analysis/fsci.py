@@ -171,6 +171,26 @@ class FSCIResult(PointsToResult):
     def must_null_before(self, loc: Loc, p: MemObject) -> bool:
         return _value(self._state_before(loc), p) == NULL_SET
 
+    def explicit_null_before(self, loc: Loc, p: MemObject) -> bool:
+        """May ``p`` hold an explicitly-assigned NULL before ``loc``?
+
+        Unlike :meth:`may_null_before` this ignores UNINIT: a pointer
+        that was merely never initialized on some path does not count.
+        Checkers use this to separate "dereference of NULL" from
+        "dereference of garbage"."""
+        return NULL_VALUE in _value(self._state_before(loc), p)
+
+    def maybe_uninit_only_before(self, loc: Loc, p: MemObject) -> bool:
+        """Is ``p`` *definitely* uninitialized garbage before ``loc``?"""
+        return _value(self._state_before(loc), p) == UNINIT_SET
+
+    def cells_after(self, loc: Loc) -> Dict[MemObject, FrozenSet[MemObject]]:
+        """Every tracked cell's (sentinel-stripped) value after ``loc``.
+
+        Used by escape checks: scanning the state at a function's exit
+        reveals which outliving cells still hold addresses of locals."""
+        return {k: _strip(v) for k, v in self._state_after(loc).items()}
+
     def may_point_to(self, p: MemObject, obj: MemObject, loc: Loc) -> bool:
         return obj in self.pts_before(loc, p)
 

@@ -10,16 +10,18 @@ from .lockset import (
     lock_pointers,
 )
 from .races import (
+    RACE_RULE_ID,
     Access,
     RaceDetector,
     RaceWarning,
     collect_accesses,
+    race_diagnostics,
     thread_assignment,
 )
 
 __all__ = [
     "Access", "LOCK_FUNCTIONS", "LockSite", "LocksetAnalysis",
-    "LocksetResult", "RaceDetector", "RaceWarning", "UNLOCK_FUNCTIONS",
-    "collect_accesses", "find_lock_sites", "lock_pointers",
-    "thread_assignment",
+    "LocksetResult", "RACE_RULE_ID", "RaceDetector", "RaceWarning",
+    "UNLOCK_FUNCTIONS", "collect_accesses", "find_lock_sites",
+    "lock_pointers", "race_diagnostics", "thread_assignment",
 ]

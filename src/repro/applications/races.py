@@ -33,12 +33,22 @@ from .lockset import LocksetAnalysis, LocksetResult
 
 @dataclass(frozen=True)
 class Access:
-    """One shared-memory access."""
+    """One shared-memory access.
+
+    ``threads`` is the set of thread entries whose execution can reach
+    the access — a *set* because a function called from several thread
+    entries runs in each of them.
+    """
 
     loc: Loc
     obj: MemObject
     is_write: bool
-    thread: str
+    threads: FrozenSet[str]
+
+    @property
+    def thread(self) -> str:
+        """Back-compat label: the sorted thread set joined with ``+``."""
+        return "+".join(sorted(self.threads))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kind = "write" if self.is_write else "read"
@@ -62,52 +72,53 @@ def _is_shared(obj: MemObject) -> bool:
 
 
 def collect_accesses(program: Program, fsci: FSCIResult,
-                     thread_entries: Dict[str, str]) -> List[Access]:
+                     thread_entries: Dict[str, FrozenSet[str]]
+                     ) -> List[Access]:
     """Shared accesses per location.
 
-    ``thread_entries`` maps every reachable function to its thread label
-    (use :func:`thread_assignment`).  Direct reads/writes of globals and
-    stores/loads through pointers (resolved with the flow-sensitive
-    points-to) are collected.
+    ``thread_entries`` maps every reachable function to the set of
+    thread entries reaching it (use :func:`thread_assignment`).  Direct
+    reads/writes of globals and stores/loads through pointers (resolved
+    with the flow-sensitive points-to) are collected.
     """
     accesses: List[Access] = []
     for loc, stmt in program.statements():
-        thread = thread_entries.get(loc.function)
-        if thread is None:
+        threads = thread_entries.get(loc.function)
+        if not threads:
             continue
         if isinstance(stmt, Store):
             for obj in fsci.pts_before(loc, stmt.lhs):
                 if _is_shared(obj):
-                    accesses.append(Access(loc, obj, True, thread))
+                    accesses.append(Access(loc, obj, True, threads))
             if _is_shared(stmt.rhs):
-                accesses.append(Access(loc, stmt.rhs, False, thread))
+                accesses.append(Access(loc, stmt.rhs, False, threads))
         elif isinstance(stmt, Load):
             for obj in fsci.pts_before(loc, stmt.rhs):
                 if _is_shared(obj):
-                    accesses.append(Access(loc, obj, False, thread))
+                    accesses.append(Access(loc, obj, False, threads))
         elif isinstance(stmt, Copy):
             if _is_shared(stmt.rhs):
-                accesses.append(Access(loc, stmt.rhs, False, thread))
+                accesses.append(Access(loc, stmt.rhs, False, threads))
             if _is_shared(stmt.lhs):
-                accesses.append(Access(loc, stmt.lhs, True, thread))
+                accesses.append(Access(loc, stmt.lhs, True, threads))
     return accesses
 
 
 def thread_assignment(program: Program,
-                      entries: Iterable[str]) -> Dict[str, str]:
-    """Map each function to the thread entry it is reachable from.
+                      entries: Iterable[str]) -> Dict[str, FrozenSet[str]]:
+    """Map each function to the *set* of thread entries it is reachable
+    from.
 
-    Functions reachable from several entries are tagged with each (the
-    map keeps one label per function per entry via suffixing)."""
+    Representing shared callees as honest sets (not merged labels like
+    ``"t1+t2"``) matters for soundness: two accesses inside a helper
+    called from both threads can still race with each other, which a
+    label-equality check would miss."""
     cg = CallGraph(program)
-    assignment: Dict[str, str] = {}
+    assignment: Dict[str, Set[str]] = {}
     for entry in entries:
         for fn in cg.reachable_from(entry):
-            if fn in assignment and assignment[fn] != entry:
-                assignment[fn] = f"{assignment[fn]}+{entry}"
-            else:
-                assignment.setdefault(fn, entry)
-    return assignment
+            assignment.setdefault(fn, set()).add(entry)
+    return {fn: frozenset(s) for fn, s in assignment.items()}
 
 
 class RaceDetector:
@@ -132,7 +143,11 @@ class RaceDetector:
         for obj, group in sorted(by_obj.items(), key=lambda kv: str(kv[0])):
             for i, a in enumerate(group):
                 for b in group[i + 1:]:
-                    if a.thread == b.thread:
+                    if len(a.threads | b.threads) <= 1:
+                        # Only a single thread can ever reach both
+                        # accesses; any multi-entry overlap (including a
+                        # shared helper reachable from both threads) can
+                        # interleave and must be checked.
                         continue
                     if not (a.is_write or b.is_write):
                         continue
@@ -145,3 +160,38 @@ class RaceDetector:
                     first, second = sorted((a, b), key=lambda x: x.loc)
                     warnings.append(RaceWarning(first, second))
         return warnings
+
+
+RACE_RULE_ID = "repro-data-race"
+
+
+def race_diagnostics(program: Program,
+                     warnings: List[RaceWarning]) -> List["Diagnostic"]:
+    """Render race warnings through the shared diagnostic pipeline, so
+    the CLI emits them with the same text/JSON/SARIF machinery as the
+    memory-safety checkers."""
+    from ..core.report import Diagnostic, TraceStep
+    out: List[Diagnostic] = []
+    for w in warnings:
+        first, second = w.first, w.second
+        kind1 = "write" if first.is_write else "read"
+        kind2 = "write" if second.is_write else "read"
+        out.append(Diagnostic(
+            rule_id=RACE_RULE_ID,
+            severity="warning",
+            message=(f"possible data race on {first.obj}: {kind1} in "
+                     f"{first.loc.function} [{first.thread}] vs {kind2} "
+                     f"in {second.loc.function} [{second.thread}] with "
+                     "no common lock"),
+            loc=first.loc,
+            span=program.span_at(first.loc),
+            file=program.source_path,
+            checker="races",
+            subject=str(first.obj),
+            trace=(TraceStep(loc=second.loc,
+                             span=program.span_at(second.loc),
+                             note=f"conflicting {kind2} in "
+                                  f"{second.loc.function} "
+                                  f"[{second.thread}]"),),
+        ))
+    return out

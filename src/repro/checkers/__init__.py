@@ -1,0 +1,29 @@
+"""Static-analysis checkers driven by the bootstrapped cascade.
+
+Each checker is a demand-driven client of :class:`~repro.core.bootstrap.
+BootstrapAnalyzer`: it declares which pointers it cares about, the
+framework selects only the clusters containing them (the paper's
+flexibility pitch), runs a sliced FSCI over the union of their slices,
+and the checker reports findings through the shared
+:class:`~repro.core.report.Diagnostic` pipeline (text / JSON / SARIF).
+"""
+
+from .base import (
+    CHECKER_REGISTRY,
+    Checker,
+    CheckerContext,
+    CheckerStats,
+    CheckReport,
+    register_checker,
+    run_checkers,
+)
+from .doublefree import DoubleFreeChecker
+from .heapfacts import FreeFacts
+from .nullderef import NullDerefChecker
+from .useafterfree import UseAfterFreeChecker
+
+__all__ = [
+    "CHECKER_REGISTRY", "CheckReport", "Checker", "CheckerContext",
+    "CheckerStats", "DoubleFreeChecker", "FreeFacts", "NullDerefChecker",
+    "UseAfterFreeChecker", "register_checker", "run_checkers",
+]

@@ -1,0 +1,211 @@
+"""Checker framework: base class, registry, demand-driven plumbing.
+
+The framework owns what every checker would otherwise reimplement:
+
+* **demand-driven cluster selection** — a checker names its interesting
+  pointers; :meth:`CheckerContext.demand_fsci` selects only the clusters
+  containing them (``core.queries.select_clusters``) and runs one sliced
+  FSCI over the union of their ``V_P`` / ``St_P`` (sound: Algorithm 1's
+  slice contains every statement that can affect a member's value);
+* **free-provenance facts** — shared between the use-after-free and
+  double-free checkers, and used by null-deref to stay out of their way;
+* **deduplication and suppression** — shadow variables and normalizer
+  temporaries produce textual duplicates that collapse by (rule,
+  function, line, subject); ``// repro:ignore`` lines are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..analysis.fsci import FSCI, FSCIResult
+from ..core.bootstrap import BootstrapAnalyzer, BootstrapResult
+from ..core.queries import DemandSelection, select_clusters
+from ..core.report import (
+    Diagnostic,
+    TraceStep,
+    dedup_diagnostics,
+    suppress_diagnostics,
+)
+from ..ir import Load, Loc, Program, Statement, Store, Var
+from .heapfacts import FreeFacts
+
+
+def root_name(var: Var) -> str:
+    """The user-visible name behind a (possibly shadow) variable:
+    ``p__next`` names ``p``; renamed block-scoped locals keep their
+    source name."""
+    name = var.name.split("__", 1)[0]
+    return name.split("$", 1)[0] if not name.startswith("$") else name
+
+
+def display_name(var: Var) -> str:
+    """``root_name`` with normalizer temporaries rendered generically."""
+    name = root_name(var)
+    if name.startswith("$t"):
+        return "<expression>"
+    return name
+
+
+def dereferences(program: Program) -> List[Tuple[Loc, Var]]:
+    """Every (location, pointer) pair where memory is read or written
+    through the pointer: ``x = *p`` and ``*p = x``."""
+    out: List[Tuple[Loc, Var]] = []
+    for loc, stmt in program.statements():
+        if isinstance(stmt, Load):
+            out.append((loc, stmt.rhs))
+        elif isinstance(stmt, Store):
+            out.append((loc, stmt.lhs))
+    return out
+
+
+class CheckerContext:
+    """Shared state for one ``run_checkers`` invocation."""
+
+    def __init__(self, program: Program, result: BootstrapResult) -> None:
+        self.program = program
+        self.result = result
+        self._fsci_cache: Dict[FrozenSet[Var], Tuple[Optional[FSCIResult],
+                                                     DemandSelection]] = {}
+        self._free_cache: Dict[int, FreeFacts] = {}
+
+    def demand_fsci(self, interesting: Iterable[Var]
+                    ) -> Tuple[Optional[FSCIResult], DemandSelection]:
+        """A sliced FSCI covering exactly the clusters that contain an
+        interesting pointer.  Returns ``(None, selection)`` when no
+        cluster qualifies (nothing to check — everything was skipped)."""
+        wanted = frozenset(v for v in interesting if isinstance(v, Var))
+        cached = self._fsci_cache.get(wanted)
+        if cached is not None:
+            return cached
+        selection = select_clusters(self.result, wanted)
+        fsci: Optional[FSCIResult] = None
+        if selection.selected:
+            tracked: Set[object] = set(wanted)
+            relevant: Set[Loc] = set()
+            for cluster in selection.selected:
+                tracked |= cluster.slice.vp
+                relevant |= cluster.slice.statements
+            fsci = FSCI(self.program, tracked=tracked, relevant=relevant,
+                        callgraph=self.result.callgraph).run()
+        self._fsci_cache[wanted] = (fsci, selection)
+        return fsci, selection
+
+    def free_facts(self, fsci: FSCIResult) -> FreeFacts:
+        """Free-provenance facts over ``fsci``'s points-to view (cached)."""
+        key = id(fsci)
+        facts = self._free_cache.get(key)
+        if facts is None:
+            facts = FreeFacts(self.program, fsci)
+            self._free_cache[key] = facts
+        return facts
+
+    def trace_step(self, loc: Loc, note: str) -> TraceStep:
+        return TraceStep(loc=loc, span=self.program.span_at(loc), note=note)
+
+    def diagnostic(self, rule_id: str, severity: str, message: str,
+                   loc: Loc, checker: str, subject: str,
+                   trace: Tuple[TraceStep, ...] = ()) -> Diagnostic:
+        return Diagnostic(
+            rule_id=rule_id, severity=severity, message=message, loc=loc,
+            span=self.program.span_at(loc),
+            file=self.program.source_path,
+            checker=checker, subject=subject, trace=trace)
+
+
+class Checker:
+    """Base class: subclass, set the class attributes, implement
+    :meth:`interesting` and :meth:`check`."""
+
+    name: str = ""
+    rule_id: str = ""
+    description: str = ""
+
+    def interesting(self, program: Program) -> Set[Var]:
+        """The pointers whose aliases this checker needs (drives
+        demand-driven cluster selection)."""
+        raise NotImplementedError
+
+    def check(self, ctx: CheckerContext) -> List[Diagnostic]:
+        raise NotImplementedError
+
+
+CHECKER_REGISTRY: Dict[str, type] = {}
+
+
+def register_checker(cls: type) -> type:
+    """Class decorator adding a checker to the registry."""
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    CHECKER_REGISTRY[cls.name] = cls
+    return cls
+
+
+@dataclass
+class CheckerStats:
+    """Per-checker demand-driven accounting (the paper's savings pitch)."""
+
+    checker: str
+    findings: int
+    suppressed: int
+    clusters_selected: int
+    clusters_total: int
+    pointers_selected: int
+    pointers_total: int
+
+    @property
+    def clusters_skipped(self) -> int:
+        return self.clusters_total - self.clusters_selected
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``run_checkers`` call produced."""
+
+    diagnostics: List[Diagnostic]
+    stats: List[CheckerStats]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.severity] = out.get(d.severity, 0) + 1
+        return out
+
+
+def run_checkers(program: Program,
+                 names: Optional[Iterable[str]] = None,
+                 result: Optional[BootstrapResult] = None) -> CheckReport:
+    """Run the selected checkers (default: all registered) and return the
+    deduplicated, suppression-filtered report."""
+    if result is None:
+        result = BootstrapAnalyzer(program).run()
+    ctx = CheckerContext(program, result)
+    selected = list(names) if names is not None \
+        else sorted(CHECKER_REGISTRY)
+    diagnostics: List[Diagnostic] = []
+    stats: List[CheckerStats] = []
+    for name in selected:
+        cls = CHECKER_REGISTRY.get(name)
+        if cls is None:
+            raise ValueError(
+                f"unknown checker {name!r} (have: "
+                f"{', '.join(sorted(CHECKER_REGISTRY))})")
+        checker = cls()
+        raw = checker.check(ctx)
+        _, selection = ctx.demand_fsci(checker.interesting(program))
+        deduped = dedup_diagnostics(raw)
+        kept, dropped = suppress_diagnostics(deduped, program)
+        diagnostics.extend(kept)
+        stats.append(CheckerStats(
+            checker=name,
+            findings=len(kept),
+            suppressed=dropped,
+            clusters_selected=len(selection.selected),
+            clusters_total=selection.total_clusters,
+            pointers_selected=selection.selected_pointers,
+            pointers_total=selection.total_pointers,
+        ))
+    return CheckReport(diagnostics=dedup_diagnostics(diagnostics),
+                       stats=stats)

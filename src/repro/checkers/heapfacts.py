@@ -1,0 +1,159 @@
+"""Free-provenance dataflow: which frees poisoned which cells.
+
+The paper models ``free(p)`` as ``p = NULL``, which is exactly right for
+alias analysis but collapses two different bugs into one: a dereference
+after ``free(p)`` would look like a null-dereference.  The frontend
+tags free-lowered nulls (:attr:`NullAssign.is_free`), and this forward
+may-analysis tracks what those tags mean:
+
+* ``("freed", site)`` — the allocation site may have been freed at the
+  recorded locations (killed when the same abstract site is re-allocated,
+  so a ``malloc``/``free`` loop does not accuse itself);
+* ``("prov", cell)`` — the cell's *value* is a NULL that came from a
+  free at the recorded locations (propagated through copies, loads and
+  stores via the FSCI points-to facts; cleared by a genuine ``= NULL``).
+
+Clients: the use-after-free checker reports dereferences whose pointer
+either carries provenance or may point at a freed site; the double-free
+checker reports frees of already-poisoned operands; the null-dereference
+checker *skips* pointers with provenance so each bug is reported once,
+with the right rule id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..analysis.dataflow import ForwardDataflow, Supergraph
+from ..analysis.fsci import FSCIResult
+from ..ir import (
+    AddrOf,
+    AllocSite,
+    Copy,
+    Load,
+    Loc,
+    NullAssign,
+    Program,
+    Statement,
+    Store,
+    Var,
+)
+
+FreeState = Dict[Tuple[str, object], FrozenSet[Loc]]
+
+_EMPTY: FrozenSet[Loc] = frozenset()
+
+
+def _join(a: Optional[FreeState], b: Optional[FreeState]
+          ) -> Optional[FreeState]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    out = dict(a)
+    for k, v in b.items():
+        prev = out.get(k)
+        out[k] = v if prev is None else prev | v
+    return out
+
+
+class FreeFacts:
+    """Forward may-analysis over the supergraph; see module docstring."""
+
+    def __init__(self, program: Program, fsci: FSCIResult) -> None:
+        self.program = program
+        self.fsci = fsci
+        graph = Supergraph(program)
+        self._engine: ForwardDataflow[Optional[FreeState]] = ForwardDataflow(
+            graph, self._transfer, _join, initial={}, bottom=None)
+        self._engine.run()
+
+    # ------------------------------------------------------------------
+    # transfer
+    # ------------------------------------------------------------------
+    def _transfer(self, loc: Loc, stmt: Statement,
+                  state: Optional[FreeState]) -> Optional[FreeState]:
+        state = state if state is not None else {}
+        if isinstance(stmt, NullAssign):
+            out = dict(state)
+            if stmt.is_free:
+                for obj in self.fsci.pts_before(loc, stmt.lhs):
+                    if isinstance(obj, AllocSite):
+                        key = ("freed", obj)
+                        out[key] = state.get(key, _EMPTY) | {loc}
+                out[("prov", stmt.lhs)] = frozenset({loc})
+            else:
+                out.pop(("prov", stmt.lhs), None)
+            return out
+        if isinstance(stmt, Copy):
+            src = state.get(("prov", stmt.rhs))
+            out = dict(state)
+            if src:
+                out[("prov", stmt.lhs)] = src
+            else:
+                out.pop(("prov", stmt.lhs), None)
+            return out
+        if isinstance(stmt, AddrOf):
+            out = dict(state)
+            out.pop(("prov", stmt.lhs), None)
+            if isinstance(stmt.target, AllocSite):
+                # Re-allocation of the abstract site: the new object is
+                # live, so drop the freed mark (a may-analysis is free to
+                # forget; keeping it would accuse loop re-allocations).
+                out.pop(("freed", stmt.target), None)
+            return out
+        if isinstance(stmt, Load):
+            gathered: FrozenSet[Loc] = _EMPTY
+            for cell in self.fsci.pts_before(loc, stmt.rhs):
+                gathered |= state.get(("prov", cell), _EMPTY)
+            out = dict(state)
+            if gathered:
+                out[("prov", stmt.lhs)] = gathered
+            else:
+                out.pop(("prov", stmt.lhs), None)
+            return out
+        if isinstance(stmt, Store):
+            src = state.get(("prov", stmt.rhs), _EMPTY)
+            if not src:
+                return state  # weak: never clears (sound over-approx)
+            out = dict(state)
+            for cell in self.fsci.pts_before(loc, stmt.lhs):
+                key = ("prov", cell)
+                out[key] = out.get(key, _EMPTY) | src
+            return out
+        return state
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _before(self, loc: Loc) -> FreeState:
+        state = self._engine.state_before(loc)
+        return state if state is not None else {}
+
+    def prov_before(self, loc: Loc, cell: object) -> FrozenSet[Loc]:
+        """Free locations whose NULL may be ``cell``'s value at ``loc``."""
+        return self._before(loc).get(("prov", cell), _EMPTY)
+
+    def freed_before(self, loc: Loc, site: AllocSite) -> FrozenSet[Loc]:
+        """Free locations that may have already freed ``site`` at ``loc``."""
+        return self._before(loc).get(("freed", site), _EMPTY)
+
+    def freed_sites_hit(self, loc: Loc, ptr: Var
+                        ) -> List[Tuple[AllocSite, FrozenSet[Loc]]]:
+        """Allocation sites ``ptr`` may point at that may already be
+        freed when ``loc`` executes, with the responsible free sites."""
+        out: List[Tuple[AllocSite, FrozenSet[Loc]]] = []
+        for obj in sorted(self.fsci.pts_before(loc, ptr),
+                          key=str):
+            if isinstance(obj, AllocSite):
+                frees = self.freed_before(loc, obj)
+                if frees:
+                    out.append((obj, frees))
+        return out
+
+    def free_sites(self) -> List[Tuple[Loc, NullAssign]]:
+        """Every free-lowered null assignment in the program."""
+        return [(loc, stmt) for loc, stmt in self.program.statements()
+                if isinstance(stmt, NullAssign) and stmt.is_free]

@@ -7,6 +7,7 @@ Examples::
     python -m repro analyze driver.c --aliases p q   # alias query
     python -m repro partitions driver.c              # Steensgaard view
     python -m repro races driver.c --threads t1,t2   # race detection
+    python -m repro check driver.c --sarif out.sarif # memory-safety scan
     python -m repro table1 --scale 0.02              # the paper's table
     python -m repro figure1                          # the paper's figure
 """
@@ -30,9 +31,12 @@ from .ir import Loc, Program, Var
 
 def _load(path: str, entry: str) -> Program:
     from .frontend import parse_program
-    with open(path, "r") as handle:
-        source = handle.read()
-    return parse_program(source, entry=entry)
+    try:
+        with open(path, "r") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read {path}: {exc.strerror}")
+    return parse_program(source, entry=entry, path=path)
 
 
 def _find_var(program: Program, name: str) -> Var:
@@ -137,6 +141,16 @@ def cmd_races(args: argparse.Namespace) -> int:
     threads = args.threads.split(",") if args.threads else []
     if not threads:
         raise SystemExit("--threads f1,f2 is required")
+    warnings = RaceDetector(program, threads).run()
+    if args.json:
+        import json
+
+        from .applications import race_diagnostics
+        from .core import diagnostics_to_dict
+        diags = race_diagnostics(program, warnings)
+        print(json.dumps(diagnostics_to_dict(diags), indent=2,
+                         sort_keys=True))
+        return 1 if warnings and args.fail_on_race else 0
     locks = lock_pointers(program)
     print(f"{len(find_lock_sites(program))} lock/unlock sites; "
           f"lock pointers: {sorted(map(str, locks))}")
@@ -144,11 +158,60 @@ def cmd_races(args: argparse.Namespace) -> int:
     sel = select_clusters(result, locks)
     print(f"demand-driven: {len(sel.selected)}/{sel.total_clusters} "
           f"clusters involve lock pointers")
-    warnings = RaceDetector(program, threads).run()
     print(f"{len(warnings)} race warning(s)")
     for w in warnings:
         print("  " + str(w))
     return 1 if warnings and args.fail_on_race else 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .checkers import CHECKER_REGISTRY, run_checkers
+    from .core import (
+        diagnostics_to_dict,
+        diagnostics_to_sarif,
+        render_diagnostics_text,
+    )
+    names = list(dict.fromkeys(args.checkers)) if args.checkers else None
+    if names:
+        unknown = [n for n in names if n not in CHECKER_REGISTRY]
+        if unknown:
+            raise SystemExit(
+                f"unknown checker(s): {', '.join(unknown)} "
+                f"(have: {', '.join(sorted(CHECKER_REGISTRY))})")
+    program = _load(args.file, args.entry)
+    report = run_checkers(program, names=names)
+    diags = report.diagnostics
+    if args.sarif:
+        try:
+            with open(args.sarif, "w") as handle:
+                json.dump(diagnostics_to_sarif(diags), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise SystemExit(
+                f"repro: cannot write {args.sarif}: {exc.strerror}")
+    if args.json:
+        print(json.dumps(diagnostics_to_dict(diags), indent=2,
+                         sort_keys=True))
+    else:
+        if diags:
+            print(render_diagnostics_text(diags))
+        counts = report.counts
+        summary = ", ".join(f"{counts[s]} {s}(s)" for s in
+                            ("error", "warning", "note") if s in counts)
+        print(f"{args.file}: {len(diags)} finding(s)"
+              + (f" ({summary})" if summary else ""))
+        for st in report.stats:
+            print(f"  {st.checker}: {st.findings} finding(s), "
+                  f"{st.suppressed} suppressed; analyzed "
+                  f"{st.clusters_selected}/{st.clusters_total} clusters "
+                  f"({st.clusters_skipped} skipped), "
+                  f"{st.pointers_selected}/{st.pointers_total} pointers")
+        if args.sarif:
+            print(f"SARIF written to {args.sarif}")
+    return 1 if diags and args.fail_on_finding else 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -213,7 +276,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--entry", default="main")
     p.add_argument("--threads", help="comma-separated thread entries")
     p.add_argument("--fail-on-race", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit warnings as JSON diagnostics")
     p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser(
+        "check", help="run the memory-safety checkers on a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--checkers", nargs="+", metavar="NAME",
+                   help="subset of checkers to run (default: all)")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="write findings as SARIF 2.1.0 to OUT")
+    p.add_argument("--json", action="store_true",
+                   help="print findings as JSON instead of text")
+    p.add_argument("--fail-on-finding", action="store_true",
+                   help="exit non-zero when any finding remains")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p.add_argument("--scale", type=float, default=0.05)

@@ -17,15 +17,27 @@ from .clusters import (
 from .parallel import ParallelReport, ParallelRunner, greedy_parts
 from .partitions import Partitioning, PartitionStats
 from .queries import DemandSelection, demand_alias_sets, select_clusters
-from .report import cascade_summary, render_report
+from .report import (
+    Diagnostic,
+    TraceStep,
+    cascade_summary,
+    dedup_diagnostics,
+    diagnostics_to_dict,
+    diagnostics_to_sarif,
+    render_diagnostics_text,
+    render_report,
+    suppress_diagnostics,
+)
 from .relevant import RelevantSlice, dovetail_schedule, relevant_statements
 
 __all__ = [
     "BootstrapAnalyzer", "BootstrapConfig", "BootstrapResult",
     "CascadeConfig", "CascadeResult", "Cluster",
-    "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "ParallelReport",
+    "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "Diagnostic",
+    "ParallelReport",
     "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
-    "andersen_refine", "demand_alias_sets", "greedy_parts",
-    "cascade_summary", "context_count", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_report", "run_cascade",
-    "select_clusters",
+    "TraceStep", "andersen_refine", "demand_alias_sets", "greedy_parts",
+    "cascade_summary", "context_count", "dedup_diagnostics",
+    "diagnostics_to_dict", "diagnostics_to_sarif", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_diagnostics_text", "render_report", "run_cascade",
+    "select_clusters", "suppress_diagnostics",
 ]

@@ -4,7 +4,7 @@ from typing import Optional, Set
 
 from ..ir import Program, resolve_indirect_calls
 from .ast_nodes import TranslationUnit
-from .lexer import Token, tokenize
+from .lexer import Token, scan_suppressions, tokenize
 from .normalize import Normalizer, normalize
 from .parser import Parser, parse_source
 from .types import (
@@ -22,20 +22,25 @@ __all__ = [
     "ArrayType", "CType", "FuncType", "IntType", "Normalizer", "Parser",
     "PointerType", "Program", "StructTable", "StructType", "Token",
     "TranslationUnit", "VoidType", "normalize", "parse_program",
-    "parse_source", "tokenize",
+    "parse_source", "scan_suppressions", "tokenize",
 ]
 
 
 def parse_program(source: str, entry: str = "main",
-                  resolve_function_pointers: bool = True) -> Program:
+                  resolve_function_pointers: bool = True,
+                  path: Optional[str] = None) -> Program:
     """Parse + normalize mini-C source into an analyzable program.
 
     Function pointers are resolved Emami-style against a quick
     Steensgaard pass so that indirect call sites carry candidate targets
-    before any client analysis runs.
+    before any client analysis runs.  ``path`` (when known) is recorded
+    on the program for diagnostics, along with any ``// repro:ignore``
+    suppression lines found in the source.
     """
     unit, structs = parse_source(source)
     program = normalize(unit, structs, entry=entry)
+    program.source_path = path
+    program.suppressed_lines = scan_suppressions(source)
     if resolve_function_pointers and getattr(program, "_indirect_plumbing", None):
         from ..analysis.steensgaard import Steensgaard
         pts = Steensgaard(program).run()

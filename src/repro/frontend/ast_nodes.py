@@ -1,7 +1,7 @@
 """Abstract syntax for the mini-C subset.
 
 Plain dataclasses; the parser builds these, the normalizer consumes them.
-Every node carries the source line for diagnostics.
+Every node carries the source line and column for diagnostics.
 """
 
 from __future__ import annotations
@@ -32,23 +32,27 @@ class Stmt(Node):
 class Ident(Expr):
     name: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class IntLit(Expr):
     value: int
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class StrLit(Expr):
     text: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class NullLit(Expr):
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -58,6 +62,7 @@ class Unary(Expr):
     op: str
     operand: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -66,6 +71,7 @@ class Binary(Expr):
     left: Expr
     right: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -76,6 +82,7 @@ class Assign(Expr):
     rhs: Expr
     op: str = "="
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -83,6 +90,7 @@ class Call(Expr):
     fn: Expr
     args: List[Expr]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -93,6 +101,7 @@ class Member(Expr):
     field: str
     arrow: bool
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -100,6 +109,7 @@ class Index(Expr):
     base: Expr
     index: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -107,11 +117,13 @@ class Cast(Expr):
     type: CType
     operand: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class SizeOf(Expr):
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -120,12 +132,14 @@ class Ternary(Expr):
     then: Expr
     otherwise: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Comma(Expr):
     parts: List[Expr]
     line: int = 0
+    col: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -140,24 +154,28 @@ class Declarator:
     type: CType
     init: Optional[Expr] = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class DeclStmt(Stmt):
     decls: List[Declarator]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class ExprStmt(Stmt):
     expr: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Block(Stmt):
     body: List[Stmt]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -166,6 +184,7 @@ class If(Stmt):
     then: Stmt
     otherwise: Optional[Stmt] = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -174,6 +193,7 @@ class While(Stmt):
     body: Stmt
     do_while: bool = False
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -183,6 +203,7 @@ class For(Stmt):
     step: Optional[Expr]
     body: Stmt
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -190,27 +211,32 @@ class Switch(Stmt):
     cond: Expr
     arms: List[Stmt]  # one Stmt (usually Block) per case/default arm
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Return(Stmt):
     value: Optional[Expr] = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Break(Stmt):
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Continue(Stmt):
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Empty(Stmt):
     line: int = 0
+    col: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +256,7 @@ class FuncDef(Node):
     params: List[Param]
     body: Block
     line: int = 0
+    col: int = 0
 
 
 @dataclass

@@ -150,3 +150,33 @@ def tokenize(source: str) -> List[Token]:
             raise error(f"unexpected character {ch!r}")
     tokens.append(Token("eof", "", line, col))
     return tokens
+
+
+def scan_suppressions(source: str, marker: str = "repro:ignore") -> frozenset:
+    """Line numbers suppressed with ``marker`` comments.
+
+    A marker in a trailing comment suppresses its own line; a marker on a
+    comment-only line suppresses the next line (the annotated statement)::
+
+        *p = 1;  // repro:ignore       <- this line suppressed
+        // repro:ignore
+        *q = 2;                        <- this line suppressed
+
+    Both ``//`` and ``/* */`` comment styles are recognized; the scan is
+    line-wise and deliberately forgiving (markers inside string literals
+    would also count, which is harmless for analysis fixtures).
+    """
+    suppressed = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if marker not in text:
+            continue
+        comment_pos = len(text)
+        for opener in ("//", "/*"):
+            pos = text.find(opener)
+            if pos != -1:
+                comment_pos = min(comment_pos, pos)
+        if marker not in text[comment_pos:]:
+            continue
+        code = text[:comment_pos].strip()
+        suppressed.add(lineno if code else lineno + 1)
+    return frozenset(suppressed)

@@ -39,6 +39,7 @@ from ..ir import (
     Copy,
     Program,
     ProgramBuilder,
+    Span,
     Var,
 )
 from ..ir.builder import FunctionBuilder
@@ -310,6 +311,8 @@ class Normalizer:
     # ------------------------------------------------------------------
     def _lower_stmt(self, stmt: A.Stmt) -> None:
         em = self._em
+        if getattr(stmt, "line", 0):
+            em.default_span = Span(stmt.line, getattr(stmt, "col", 0))
         if em.terminated() and not isinstance(stmt, (A.Block, A.Empty)):
             # Unreachable code after return/break; still lower it into the
             # CFG as dead nodes? Simpler and sound: skip it.
@@ -613,6 +616,8 @@ class Normalizer:
     # ------------------------------------------------------------------
     def _lower_expr(self, expr: A.Expr) -> Val:
         em = self._em
+        if getattr(expr, "line", 0):
+            em.default_span = Span(expr.line, getattr(expr, "col", 0))
         if isinstance(expr, A.IntLit):
             if expr.value == 0:
                 return Val(kind="null", ctype=INT)
@@ -1060,9 +1065,9 @@ class Normalizer:
             for a in expr.args:
                 val = self._lower_expr(a)
                 if val.kind == "var" and val.var is not None:
-                    em.null(val.var)
+                    em.free(val.var)
                     for sv in val.shadows.values():
-                        em.null(sv)
+                        em.free(sv)
             return Val(kind="opaque", ctype=VOID)
         # Direct call to a defined or declared function.
         if isinstance(fn, A.Ident):

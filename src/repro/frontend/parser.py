@@ -115,7 +115,7 @@ class Parser:
         base = self._parse_type_specifier()
         if self.peek().is_punct(";"):  # bare struct definition
             self.next()
-            return A.DeclStmt(decls=[], line=self.peek().line)
+            return A.DeclStmt(decls=[], line=self.peek().line, col=self.peek().column)
         name, full_type, params = self._parse_declarator(base)
         if isinstance(full_type, FuncType) and self.peek().is_punct("{"):
             if name is None:
@@ -123,7 +123,7 @@ class Parser:
             body = self._parse_block()
             return A.FuncDef(name=name, ret=full_type.ret,
                              params=params or [], body=body,
-                             line=self.peek().line)
+                             line=self.peek().line, col=self.peek().column)
         # Global declaration (possibly several declarators).
         decls = [self._finish_declarator(name, full_type)]
         while self.peek().is_punct(","):
@@ -131,7 +131,7 @@ class Parser:
             n2, t2, _ = self._parse_declarator(base)
             decls.append(self._finish_declarator(n2, t2))
         self.expect_punct(";")
-        return A.DeclStmt(decls=decls, line=self.peek().line)
+        return A.DeclStmt(decls=decls, line=self.peek().line, col=self.peek().column)
 
     def _finish_declarator(self, name: Optional[str], typ: CType
                            ) -> A.Declarator:
@@ -139,16 +139,18 @@ class Parser:
             raise self.error("declaration requires a name")
         init = None
         line = self.peek().line
+        col = self.peek().column
         if self.peek().is_punct("="):
             self.next()
             init = self._parse_initializer()
-        return A.Declarator(name=name, type=typ, init=init, line=line)
+        return A.Declarator(name=name, type=typ, init=init, line=line, col=col)
 
     def _parse_initializer(self) -> A.Expr:
         if self.peek().is_punct("{"):
             # Aggregate initializer: parse and collapse to a comma expr of
             # its parts (the normalizer pairs them with flattened fields).
             line = self.peek().line
+            col = self.peek().column
             self.next()
             parts: List[A.Expr] = []
             while not self.peek().is_punct("}"):
@@ -156,7 +158,7 @@ class Parser:
                 if self.peek().is_punct(","):
                     self.next()
             self.expect_punct("}")
-            return A.Comma(parts=parts, line=line)
+            return A.Comma(parts=parts, line=line, col=col)
         return self._parse_assignment()
 
     def _parse_typedef(self) -> None:
@@ -346,21 +348,23 @@ class Parser:
     # ------------------------------------------------------------------
     def _parse_block(self) -> A.Block:
         line = self.peek().line
+        col = self.peek().column
         self.expect_punct("{")
         body: List[A.Stmt] = []
         while not self.peek().is_punct("}"):
             body.append(self._parse_stmt())
         self.expect_punct("}")
-        return A.Block(body=body, line=line)
+        return A.Block(body=body, line=line, col=col)
 
     def _parse_stmt(self) -> A.Stmt:
         tok = self.peek()
         line = tok.line
+        col = tok.column
         if tok.is_punct("{"):
             return self._parse_block()
         if tok.is_punct(";"):
             self.next()
-            return A.Empty(line=line)
+            return A.Empty(line=line, col=col)
         if tok.is_kw("if"):
             self.next()
             self.expect_punct("(")
@@ -371,14 +375,14 @@ class Parser:
             if self.peek().is_kw("else"):
                 self.next()
                 otherwise = self._parse_stmt()
-            return A.If(cond=cond, then=then, otherwise=otherwise, line=line)
+            return A.If(cond=cond, then=then, otherwise=otherwise, line=line, col=col)
         if tok.is_kw("while"):
             self.next()
             self.expect_punct("(")
             cond = self._parse_expr()
             self.expect_punct(")")
             body = self._parse_stmt()
-            return A.While(cond=cond, body=body, line=line)
+            return A.While(cond=cond, body=body, line=line, col=col)
         if tok.is_kw("do"):
             self.next()
             body = self._parse_stmt()
@@ -389,7 +393,7 @@ class Parser:
             cond = self._parse_expr()
             self.expect_punct(")")
             self.expect_punct(";")
-            return A.While(cond=cond, body=body, do_while=True, line=line)
+            return A.While(cond=cond, body=body, do_while=True, line=line, col=col)
         if tok.is_kw("for"):
             self.next()
             self.expect_punct("(")
@@ -398,7 +402,7 @@ class Parser:
                 if self.at_type_start():
                     init = self._parse_decl_stmt()
                 else:
-                    init = A.ExprStmt(expr=self._parse_expr(), line=line)
+                    init = A.ExprStmt(expr=self._parse_expr(), line=line, col=col)
                     self.expect_punct(";")
             else:
                 self.next()
@@ -411,7 +415,7 @@ class Parser:
                 step = self._parse_expr()
             self.expect_punct(")")
             body = self._parse_stmt()
-            return A.For(init=init, cond=cond, step=step, body=body, line=line)
+            return A.For(init=init, cond=cond, step=step, body=body, line=line, col=col)
         if tok.is_kw("switch"):
             return self._parse_switch()
         if tok.is_kw("return"):
@@ -420,22 +424,22 @@ class Parser:
             if not self.peek().is_punct(";"):
                 value = self._parse_expr()
             self.expect_punct(";")
-            return A.Return(value=value, line=line)
+            return A.Return(value=value, line=line, col=col)
         if tok.is_kw("break"):
             self.next()
             self.expect_punct(";")
-            return A.Break(line=line)
+            return A.Break(line=line, col=col)
         if tok.is_kw("continue"):
             self.next()
             self.expect_punct(";")
-            return A.Continue(line=line)
+            return A.Continue(line=line, col=col)
         if tok.is_kw("goto"):
             # Unsupported control flow: treated as an early return, which
             # over-approximates by ending the path (documented limit).
             self.next()
             self.expect_id()
             self.expect_punct(";")
-            return A.Return(line=line)
+            return A.Return(line=line, col=col)
         if self.at_type_start():
             return self._parse_decl_stmt()
         if tok.kind == "id" and self.peek(1).is_punct(":"):
@@ -445,10 +449,11 @@ class Parser:
             return self._parse_stmt()
         expr = self._parse_expr()
         self.expect_punct(";")
-        return A.ExprStmt(expr=expr, line=line)
+        return A.ExprStmt(expr=expr, line=line, col=col)
 
     def _parse_decl_stmt(self) -> A.DeclStmt:
         line = self.peek().line
+        col = self.peek().column
         self._skip_qualifiers()
         base = self._parse_type_specifier()
         decls: List[A.Declarator] = []
@@ -461,10 +466,11 @@ class Parser:
                     continue
                 break
         self.expect_punct(";")
-        return A.DeclStmt(decls=decls, line=line)
+        return A.DeclStmt(decls=decls, line=line, col=col)
 
     def _parse_switch(self) -> A.Switch:
         line = self.peek().line
+        col = self.peek().column
         self.next()  # switch
         self.expect_punct("(")
         cond = self._parse_expr()
@@ -476,7 +482,7 @@ class Parser:
         while not self.peek().is_punct("}"):
             if self.peek().is_kw("case", "default"):
                 if saw_arm and current:
-                    arms.append(A.Block(body=current, line=line))
+                    arms.append(A.Block(body=current, line=line, col=col))
                     current = []
                 saw_arm = True
                 if self.next().text == "case":
@@ -486,14 +492,14 @@ class Parser:
             stmt = self._parse_stmt()
             if isinstance(stmt, A.Break):
                 if current:
-                    arms.append(A.Block(body=current, line=line))
+                    arms.append(A.Block(body=current, line=line, col=col))
                     current = []
                 continue
             current.append(stmt)
         if current:
-            arms.append(A.Block(body=current, line=line))
+            arms.append(A.Block(body=current, line=line, col=col))
         self.expect_punct("}")
-        return A.Switch(cond=cond, arms=arms, line=line)
+        return A.Switch(cond=cond, arms=arms, line=line, col=col)
 
     # ------------------------------------------------------------------
     # expressions (precedence ladder)
@@ -505,7 +511,8 @@ class Parser:
             while self.peek().is_punct(","):
                 self.next()
                 parts.append(self._parse_assignment())
-            return A.Comma(parts=parts, line=parts[0].line)
+            return A.Comma(parts=parts, line=parts[0].line,
+                           col=parts[0].col)
         return expr
 
     def _parse_assignment(self) -> A.Expr:
@@ -514,18 +521,18 @@ class Parser:
         if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
             self.next()
             rhs = self._parse_assignment()
-            return A.Assign(lhs=lhs, rhs=rhs, op=tok.text, line=tok.line)
+            return A.Assign(lhs=lhs, rhs=rhs, op=tok.text, line=tok.line, col=tok.column)
         return lhs
 
     def _parse_ternary(self) -> A.Expr:
         cond = self._parse_binary(1)
         if self.peek().is_punct("?"):
-            line = self.next().line
+            qtok = self.next()
             then = self._parse_expr()
             self.expect_punct(":")
             otherwise = self._parse_assignment()
             return A.Ternary(cond=cond, then=then, otherwise=otherwise,
-                             line=line)
+                             line=qtok.line, col=qtok.column)
         return cond
 
     def _parse_binary(self, min_prec: int) -> A.Expr:
@@ -538,18 +545,18 @@ class Parser:
             self.next()
             right = self._parse_binary(prec + 1)
             left = A.Binary(op=tok.text, left=left, right=right,
-                            line=tok.line)
+                            line=tok.line, col=tok.column)
 
     def _parse_unary(self) -> A.Expr:
         tok = self.peek()
         if tok.is_punct("*", "&", "-", "+", "!", "~"):
             self.next()
             operand = self._parse_unary()
-            return A.Unary(op=tok.text, operand=operand, line=tok.line)
+            return A.Unary(op=tok.text, operand=operand, line=tok.line, col=tok.column)
         if tok.is_punct("++", "--"):
             self.next()
             operand = self._parse_unary()
-            return A.Unary(op=tok.text, operand=operand, line=tok.line)
+            return A.Unary(op=tok.text, operand=operand, line=tok.line, col=tok.column)
         if tok.is_kw("sizeof"):
             self.next()
             if self.peek().is_punct("(") and self._looks_like_type(1):
@@ -558,13 +565,13 @@ class Parser:
                 self.expect_punct(")")
             else:
                 self._parse_unary()
-            return A.SizeOf(line=tok.line)
+            return A.SizeOf(line=tok.line, col=tok.column)
         if tok.is_punct("(") and self._looks_like_type(1):
             self.next()
             typ = self._parse_type_name()
             self.expect_punct(")")
             operand = self._parse_unary()
-            return A.Cast(type=typ, operand=operand, line=tok.line)
+            return A.Cast(type=typ, operand=operand, line=tok.line, col=tok.column)
         return self._parse_postfix()
 
     def _looks_like_type(self, offset: int) -> bool:
@@ -602,26 +609,26 @@ class Parser:
                     if self.peek().is_punct(","):
                         self.next()
                 self.expect_punct(")")
-                expr = A.Call(fn=expr, args=args, line=tok.line)
+                expr = A.Call(fn=expr, args=args, line=tok.line, col=tok.column)
             elif tok.is_punct("["):
                 self.next()
                 idx = self._parse_expr()
                 self.expect_punct("]")
-                expr = A.Index(base=expr, index=idx, line=tok.line)
+                expr = A.Index(base=expr, index=idx, line=tok.line, col=tok.column)
             elif tok.is_punct("."):
                 self.next()
                 field = self.expect_id().text
                 expr = A.Member(base=expr, field=field, arrow=False,
-                                line=tok.line)
+                                line=tok.line, col=tok.column)
             elif tok.is_punct("->"):
                 self.next()
                 field = self.expect_id().text
                 expr = A.Member(base=expr, field=field, arrow=True,
-                                line=tok.line)
+                                line=tok.line, col=tok.column)
             elif tok.is_punct("++", "--"):
                 self.next()
                 expr = A.Unary(op="p" + tok.text, operand=expr,
-                               line=tok.line)
+                               line=tok.line, col=tok.column)
             else:
                 return expr
 
@@ -638,16 +645,16 @@ class Parser:
                 value = int(tok.text.rstrip("uUlL"), 0)
             except ValueError:
                 value = 0
-            return A.IntLit(value=value, line=tok.line)
+            return A.IntLit(value=value, line=tok.line, col=tok.column)
         if tok.kind in ("str", "char"):
             self.next()
-            return A.StrLit(text=tok.text, line=tok.line)
+            return A.StrLit(text=tok.text, line=tok.line, col=tok.column)
         if tok.is_kw("NULL"):
             self.next()
-            return A.NullLit(line=tok.line)
+            return A.NullLit(line=tok.line, col=tok.column)
         if tok.kind == "id":
             self.next()
-            return A.Ident(name=tok.text, line=tok.line)
+            return A.Ident(name=tok.text, line=tok.line, col=tok.column)
         raise self.error("expected an expression")
 
 

@@ -2,7 +2,7 @@
 
 from .builder import FunctionBuilder, ProgramBuilder
 from .callgraph import CallGraph, function_sentinel, resolve_indirect_calls
-from .cfg import CFG, Loc, location_labels, straight_line
+from .cfg import CFG, Loc, Span, location_labels, straight_line
 from .dot import andersen_dot, callgraph_dot, cfg_dot, steensgaard_dot
 from .printer import format_cfg, format_program
 from .serialize import load_program, program_from_dict, program_to_dict, save_program
@@ -28,7 +28,7 @@ __all__ = [
     "AddrOf", "AllocSite", "Assume", "CFG", "CallGraph", "CallStmt",
     "Copy", "Function", "FunctionBuilder", "Load", "Loc", "MemObject",
     "NullAssign", "Program", "ProgramBuilder", "ReturnStmt", "Skip",
-    "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "format_cfg", "format_program", "steensgaard_dot",
+    "Span", "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "format_cfg", "format_program", "steensgaard_dot",
     "function_sentinel", "is_canonical", "location_labels", "param_var",
     "load_program", "program_from_dict", "program_to_dict", "resolve_indirect_calls", "retval_var", "save_program", "straight_line",
 ]

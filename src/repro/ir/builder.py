@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
-from .cfg import CFG
+from .cfg import CFG, Span
 from .program import Function, Program, param_var, retval_var
 from .statements import (
     AddrOf,
@@ -53,6 +53,9 @@ class FunctionBuilder:
         # User-facing parameter names are locals initialized from conduits.
         self._cfg: CFG = self.fn.cfg
         self._frontier: List[int] = [self._cfg.entry]
+        #: Span attached to emitted statements when none is given
+        #: explicitly; the normalizer updates it as it walks the AST.
+        self.default_span: Optional[Span] = None
         for i, p in enumerate(params):
             self.copy(p, self.fn.params[i])
 
@@ -69,8 +72,9 @@ class FunctionBuilder:
         return v
 
     # -- statement emission ----------------------------------------------
-    def emit(self, stmt: Statement) -> int:
-        node = self._cfg.add_node(stmt)
+    def emit(self, stmt: Statement, span: Optional[Span] = None) -> int:
+        node = self._cfg.add_node(stmt, span if span is not None
+                                  else self.default_span)
         for f in self._frontier:
             self._cfg.add_edge(f, node)
         self._frontier = [node]
@@ -94,8 +98,12 @@ class FunctionBuilder:
     def store(self, lhs: NameOrVar, rhs: NameOrVar) -> int:
         return self.emit(Store(self.var(lhs), self.var(rhs)))
 
-    def null(self, lhs: NameOrVar) -> int:
-        return self.emit(NullAssign(self.var(lhs)))
+    def null(self, lhs: NameOrVar, reason: str = "null") -> int:
+        return self.emit(NullAssign(self.var(lhs), reason=reason))
+
+    def free(self, lhs: NameOrVar) -> int:
+        """``free(lhs)`` under the paper's model: a free-tagged null."""
+        return self.null(lhs, reason="free")
 
     def assume(self, lhs: NameOrVar, rhs: Optional[NameOrVar] = None,
                equal: bool = True) -> int:

@@ -30,6 +30,26 @@ class Loc:
         return f"{self.function}:{self.index}"
 
 
+@dataclass(frozen=True, order=True)
+class Span:
+    """A source span (1-based line/column) attached to a CFG node.
+
+    The frontend plumbs token positions through the parser and normalizer
+    so diagnostics point at real source lines; programs built directly
+    through the builder API simply have no spans (``None``).
+    """
+
+    line: int
+    column: int = 0
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.column:
+            return f"{self.line}:{self.column}"
+        return str(self.line)
+
+
 class CFG:
     """A single function's control-flow graph.
 
@@ -42,6 +62,7 @@ class CFG:
     def __init__(self, function: str) -> None:
         self.function = function
         self._stmts: List[Statement] = []
+        self._spans: List[Optional[Span]] = []
         self._succs: List[List[int]] = []
         self._preds: List[List[int]] = []
         self.entry: int = self.add_node(Skip("entry"))
@@ -50,10 +71,11 @@ class CFG:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_node(self, stmt: Statement) -> int:
+    def add_node(self, stmt: Statement, span: Optional[Span] = None) -> int:
         """Append a node holding ``stmt``; returns its index."""
         idx = len(self._stmts)
         self._stmts.append(stmt)
+        self._spans.append(span)
         self._succs.append([])
         self._preds.append([])
         return idx
@@ -65,6 +87,9 @@ class CFG:
 
     def set_stmt(self, idx: int, stmt: Statement) -> None:
         self._stmts[idx] = stmt
+
+    def set_span(self, idx: int, span: Optional[Span]) -> None:
+        self._spans[idx] = span
 
     def seal(self) -> None:
         """Finalize the graph: create the exit node if missing and route
@@ -95,6 +120,11 @@ class CFG:
 
     def loc(self, idx: int) -> Loc:
         return Loc(self.function, idx)
+
+    def span(self, idx: int) -> Optional[Span]:
+        """The source span of node ``idx`` (``None`` for synthetic
+        nodes and builder-constructed programs)."""
+        return self._spans[idx]
 
     def statements(self) -> Iterator[Tuple[int, Statement]]:
         """Iterate over ``(index, statement)`` pairs."""

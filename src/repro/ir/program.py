@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .cfg import CFG, Loc
+from .cfg import CFG, Loc, Span
 from .statements import (
     AddrOf,
     AllocSite,
@@ -80,6 +80,11 @@ class Program:
         if entry is None or entry not in self.functions:
             raise ValueError(f"entry function {entry!r} not in program")
         self.entry: str = entry
+        #: Source file the program was parsed from, when known (set by
+        #: :func:`repro.frontend.parse_program`); used by diagnostics.
+        self.source_path: Optional[str] = None
+        #: Source lines suppressed with ``// repro:ignore`` comments.
+        self.suppressed_lines: frozenset = frozenset()
         self._pointers: Optional[Set[Var]] = None
         self._objects: Optional[Set[MemObject]] = None
         self._assign_sites: Optional[Dict[Var, List[Loc]]] = None
@@ -98,6 +103,11 @@ class Program:
 
     def stmt_at(self, loc: Loc) -> Statement:
         return self.functions[loc.function].cfg.stmt(loc.index)
+
+    def span_at(self, loc: Loc) -> Optional[Span]:
+        """The source span recorded for ``loc`` (``None`` when the
+        program was built without frontend position information)."""
+        return self.functions[loc.function].cfg.span(loc.index)
 
     def cfg_of(self, name: str) -> CFG:
         return self.functions[name].cfg

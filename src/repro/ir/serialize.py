@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from .cfg import CFG
+from .cfg import CFG, Span
 from .program import Function, Program
 from .statements import (
     AddrOf,
@@ -32,7 +32,10 @@ from .statements import (
     Var,
 )
 
-FORMAT_VERSION = 1
+#: Version 2 added optional source spans and the NullAssign reason tag;
+#: version-1 dumps (no spans, all nulls plain) still load.
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _var(v: Var) -> Dict[str, Any]:
@@ -65,7 +68,10 @@ def _stmt(stmt: Statement) -> Dict[str, Any]:
     if isinstance(stmt, Store):
         return {"k": "store", "l": _var(stmt.lhs), "r": _var(stmt.rhs)}
     if isinstance(stmt, NullAssign):
-        return {"k": "null", "l": _var(stmt.lhs)}
+        out: Dict[str, Any] = {"k": "null", "l": _var(stmt.lhs)}
+        if stmt.reason != "null":
+            out["reason"] = stmt.reason
+        return out
     if isinstance(stmt, Assume):
         return {"k": "assume", "l": _var(stmt.lhs),
                 "r": _var(stmt.rhs) if stmt.rhs is not None else None,
@@ -92,7 +98,7 @@ def _load_stmt(d: Dict[str, Any]) -> Statement:
     if kind == "store":
         return Store(_load_var(d["l"]), _load_var(d["r"]))
     if kind == "null":
-        return NullAssign(_load_var(d["l"]))
+        return NullAssign(_load_var(d["l"]), reason=d.get("reason", "null"))
     if kind == "assume":
         rhs = _load_var(d["r"]) if d.get("r") is not None else None
         return Assume(_load_var(d["l"]), rhs, d["eq"])
@@ -106,6 +112,18 @@ def _load_stmt(d: Dict[str, Any]) -> Statement:
     if kind == "skip":
         return Skip(d.get("note", ""))
     raise ValueError(f"unknown statement kind {kind!r}")
+
+
+def _span(span: Optional[Span]) -> Optional[List[Any]]:
+    if span is None:
+        return None
+    return [span.line, span.column, span.end_line, span.end_column]
+
+
+def _load_span(data: Optional[List[Any]]) -> Optional[Span]:
+    if data is None:
+        return None
+    return Span(data[0], data[1], data[2], data[3])
 
 
 def program_to_dict(program: Program) -> Dict[str, Any]:
@@ -122,6 +140,9 @@ def program_to_dict(program: Program) -> Dict[str, Any]:
             "stmts": [_stmt(cfg.stmt(i)) for i in cfg.nodes()],
             "succs": [list(cfg.successors(i)) for i in cfg.nodes()],
         }
+        spans = [_span(cfg.span(i)) for i in cfg.nodes()]
+        if any(s is not None for s in spans):
+            functions[name]["spans"] = spans
     return {
         "version": FORMAT_VERSION,
         "entry": program.entry,
@@ -133,7 +154,7 @@ def program_to_dict(program: Program) -> Dict[str, Any]:
 
 def program_from_dict(data: Dict[str, Any]) -> Program:
     """Inverse of :func:`program_to_dict`."""
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported IR format version "
                          f"{data.get('version')!r}")
     functions: Dict[str, Function] = {}
@@ -148,6 +169,8 @@ def program_from_dict(data: Dict[str, Any]) -> Program:
         for src, succs in enumerate(fd["succs"]):
             for dst in succs:
                 cfg.add_edge(src, dst)
+        for idx, span_data in enumerate(fd.get("spans", ())):
+            cfg.set_span(idx, _load_span(span_data))
         cfg.entry = fd["entry"]
         cfg.exit = fd["exit"]
         fn = Function(name=name,

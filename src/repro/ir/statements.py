@@ -167,11 +167,24 @@ class Store(Statement):
 
 @dataclass(frozen=True)
 class NullAssign(Statement):
-    """``lhs = NULL`` (also models ``free``, per the paper)."""
+    """``lhs = NULL`` (also models ``free``, per the paper).
+
+    ``reason`` records *why* the null was assigned: ``"null"`` for a
+    genuine null store and ``"free"`` when the normalizer lowered a
+    deallocator call.  Alias analyses never look at it (it is excluded
+    from equality), but memory-safety checkers need the distinction —
+    a dereference after ``free(p)`` is a use-after-free, not a
+    null-dereference.
+    """
 
     lhs: Var
+    reason: str = field(default="null", compare=False)
 
     is_pointer_assign = True
+
+    @property
+    def is_free(self) -> bool:
+        return self.reason == "free"
 
     def defined_var(self) -> Optional[Var]:
         return self.lhs

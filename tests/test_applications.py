@@ -112,7 +112,7 @@ class TestRaces:
 
     def test_warnings_cross_threads(self, warnings):
         for w in warnings:
-            assert w.first.thread != w.second.thread
+            assert len(w.first.threads | w.second.threads) > 1
 
     def test_at_least_one_write_involved(self, warnings):
         for w in warnings:
@@ -122,8 +122,8 @@ class TestRaces:
 class TestThreadAssignment:
     def test_reachability_based(self, driver):
         threads = thread_assignment(driver, ["thread1", "thread2"])
-        assert threads["thread1"] == "thread1"
-        assert threads["thread2"] == "thread2"
+        assert threads["thread1"] == frozenset({"thread1"})
+        assert threads["thread2"] == frozenset({"thread2"})
 
     def test_shared_callee_tagged_with_both(self):
         prog = parse_program(r"""
@@ -145,11 +145,10 @@ class TestThreadAssignment:
             int main() { t1(); t2(); return 0; }
         """)
         warnings = RaceDetector(prog, ["t1", "t2"]).run()
-        # Threads resolve to the combined tag, which differs per entry
-        # only when reachable sets differ; the shared helper is one
-        # function so it cannot race against itself here — but direct
-        # accesses in t1/t2 would.  Just check the pipeline runs.
-        assert isinstance(warnings, list)
+        # The helper runs in both threads, so its unlocked increment of
+        # the shared global races with itself — the thread *sets* make
+        # this visible (a merged "t1+t2" label used to hide it).
+        assert any(str(w.first.obj) == "g" for w in warnings)
 
 
 class TestHeapRaces:
