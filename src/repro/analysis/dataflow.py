@@ -52,7 +52,11 @@ class Supergraph:
         self._succs: Dict[Loc, List[Loc]] = {}
         self._preds: Dict[Loc, List[Loc]] = {}
         self.entry = Loc(program.entry, program.cfg_of(program.entry).entry)
-        for name in names:
+        # Sorted for determinism: node order must not depend on the set's
+        # hash-seeded iteration order, or worker processes (with their own
+        # PYTHONHASHSEED) would traverse the supergraph differently than
+        # the parent.
+        for name in sorted(names):
             cfg = program.cfg_of(name)
             for idx, stmt in cfg.statements():
                 loc = Loc(name, idx)

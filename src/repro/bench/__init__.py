@@ -10,6 +10,7 @@ from .corpus import (
     corpus_configs,
 )
 from .figure1 import Figure1Data, compute_figure1, run_figure1
+from .parallel import run_parallel_bench
 from .metrics import (
     TIMEOUT,
     Timed,
@@ -29,5 +30,6 @@ __all__ = [
     "ascii_histogram", "autofs_like", "build", "compute_figure1",
     "corpus_configs", "format_csv", "format_table", "generate",
     "generate_source", "measure_program", "ratio", "run_figure1",
-    "run_table1", "shape_report", "timed", "timed_with_budget",
+    "run_parallel_bench", "run_table1", "shape_report", "timed",
+    "timed_with_budget",
 ]

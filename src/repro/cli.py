@@ -5,6 +5,8 @@ Examples::
 
     python -m repro analyze driver.c                 # cascade report
     python -m repro analyze driver.c --aliases p q   # alias query
+    python -m repro analyze driver.c --backend processes --jobs 4 \
+        --cache .repro-cache                         # real parallel run
     python -m repro partitions driver.c              # Steensgaard view
     python -m repro races driver.c --threads t1,t2   # race detection
     python -m repro check driver.c --sarif out.sarif # memory-safety scan
@@ -87,11 +89,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         loc = Loc(program.entry, program.cfg_of(program.entry).exit)
         objs = sorted(str(o) for o in result.points_to(p, loc))
         print(f"points_to({p}) at end of {program.entry}: {objs}")
-    if args.summaries:
-        report = result.analyze_all()
-        print(f"summaries built for all clusters: "
-              f"max part time {report.max_part_time:.3f}s over "
-              f"{args.parts} simulated machines")
+    backend_requested = (args.backend != "simulate" or args.cache
+                         or args.jobs is not None)
+    if args.summaries or backend_requested:
+        report = result.analyze_all(backend=args.backend, jobs=args.jobs,
+                                    scheduler=args.scheduler,
+                                    cache=args.cache)
+        if report.backend == "simulate":
+            print(f"summaries built for all clusters: "
+                  f"max part time {report.max_part_time:.3f}s over "
+                  f"{args.parts} simulated machines")
+        else:
+            jobs = args.jobs if args.jobs is not None else args.parts
+            print(f"summaries built for all clusters: "
+                  f"{report.wall_time:.3f}s wall "
+                  f"(max part {report.max_part_time:.3f}s) on "
+                  f"{jobs} {report.backend} worker(s), "
+                  f"{args.scheduler} schedule")
+        if args.cache:
+            print(f"summary cache: {report.cache_hits} hit(s), "
+                  f"{report.cache_misses} miss(es) in {args.cache}")
     if args.report:
         from .core import render_report
         print()
@@ -255,6 +272,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query the points-to set of a pointer")
     p.add_argument("--summaries", action="store_true",
                    help="precompute summaries for every cluster")
+    p.add_argument("--backend",
+                   choices=["simulate", "threads", "processes"],
+                   default="simulate",
+                   help="how to execute the per-cluster analyses "
+                        "(default: simulate, the paper's accounting)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker count for threads/processes backends "
+                        "(default: --parts)")
+    p.add_argument("--scheduler", choices=["greedy", "lpt"],
+                   default="greedy",
+                   help="cluster-to-part assignment (default: the "
+                        "paper's greedy sweep)")
+    p.add_argument("--cache", metavar="DIR",
+                   help="on-disk summary cache; unchanged clusters are "
+                        "skipped on repeat runs")
     p.add_argument("--report", action="store_true",
                    help="print a markdown analysis report")
     p.add_argument("--json", action="store_true",

@@ -14,8 +14,24 @@ from .clusters import (
     andersen_refine,
     oneflow_refine,
 )
-from .parallel import ParallelReport, ParallelRunner, greedy_parts
+from .parallel import (
+    ParallelReport,
+    ParallelRunner,
+    cluster_cost,
+    greedy_parts,
+    lpt_parts,
+    schedule_indices,
+)
 from .partitions import Partitioning, PartitionStats
+from .shipping import (
+    analyze_payload,
+    analyze_payload_batch,
+    build_payload,
+    cluster_outcome,
+    cluster_subprogram,
+    payload_fingerprint,
+)
+from .summary_cache import SummaryCache
 from .queries import DemandSelection, demand_alias_sets, select_clusters
 from .report import (
     Diagnostic,
@@ -36,7 +52,11 @@ __all__ = [
     "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "Diagnostic",
     "ParallelReport",
     "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
-    "TraceStep", "andersen_refine", "demand_alias_sets", "greedy_parts",
+    "SummaryCache",
+    "TraceStep", "analyze_payload", "analyze_payload_batch",
+    "andersen_refine", "build_payload", "cluster_cost", "cluster_outcome",
+    "cluster_subprogram", "demand_alias_sets", "greedy_parts", "lpt_parts",
+    "payload_fingerprint", "schedule_indices",
     "cascade_summary", "context_count", "dedup_diagnostics",
     "diagnostics_to_dict", "diagnostics_to_sarif", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_diagnostics_text", "render_report", "run_cascade",
     "select_clusters", "suppress_diagnostics",

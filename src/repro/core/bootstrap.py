@@ -26,6 +26,8 @@ from ..ir import CallGraph, Loc, MemObject, Program, Var
 from .cascade import CascadeConfig, CascadeResult, run_cascade
 from .clusters import Cluster
 from .parallel import ParallelReport, ParallelRunner
+from .shipping import build_payload, cluster_outcome, payload_fingerprint
+from .summary_cache import SummaryCache
 
 
 @dataclass
@@ -133,13 +135,91 @@ class BootstrapResult:
     # bulk analysis (the Table 1 workload)
     # ------------------------------------------------------------------
     def analyze_all(self, clusters: Optional[Sequence[Cluster]] = None,
-                    simulate: bool = True) -> ParallelReport:
-        """Build summaries for every cluster (or a selected subset) under
-        the greedy ``parts``-way schedule; returns per-part timings."""
+                    simulate: bool = True,
+                    backend: Optional[str] = None,
+                    jobs: Optional[int] = None,
+                    scheduler: str = "greedy",
+                    cache: "Optional[object]" = None) -> ParallelReport:
+        """Build summaries for every cluster (or a selected subset).
+
+        ``backend`` picks execution (``simulate``/``threads``/
+        ``processes``; the legacy ``simulate`` flag covers the first two
+        when ``backend`` is omitted); ``scheduler`` picks the part
+        assignment (``greedy``/``lpt``); ``jobs`` sets the worker (and,
+        for ``processes``, part) count; ``cache`` — a
+        :class:`~repro.core.summary_cache.SummaryCache` or a directory
+        path — skips every cluster whose sliced sub-program fingerprint
+        already has a stored outcome.  Results are per-cluster outcome
+        dicts (``{"stats", "points_to"}``) in input order.
+        """
         targets = list(clusters) if clusters is not None else self.clusters
-        runner: ParallelRunner[Dict[str, int]] = ParallelRunner(
-            parts=self.config.parts, simulate=simulate)
-        return runner.run(targets, lambda c: self.analysis_for(c).analyze())
+        if backend is None:
+            backend = "simulate" if simulate else "threads"
+        cache_obj = SummaryCache(cache) if isinstance(cache, str) else cache
+        parts = self.config.parts
+        if backend == "processes" and jobs is not None:
+            parts = jobs  # one worker per part
+
+        # Payloads/fingerprints are only built when something consumes
+        # them: the processes backend or the cache.
+        payloads = fingerprints = None
+        if backend == "processes" or cache_obj is not None:
+            subcache: Dict[int, Dict] = {}
+            payloads = [build_payload(self.program, c, self.callgraph,
+                                      max_cond_atoms=self.config.max_cond_atoms,
+                                      budget=self.config.fscs_budget,
+                                      subprogram_cache=subcache)
+                        for c in targets]
+            fingerprints = [payload_fingerprint(p) for p in payloads]
+
+        cached: Dict[int, Dict] = {}
+        if cache_obj is not None:
+            for i, fp in enumerate(fingerprints):
+                outcome = cache_obj.get(fp)
+                if outcome is not None:
+                    cached[i] = outcome
+        pending = [i for i in range(len(targets)) if i not in cached]
+
+        runner: ParallelRunner[Dict] = ParallelRunner(
+            parts=parts, backend=backend, scheduler=scheduler, jobs=jobs)
+        if pending:
+            sub = [targets[i] for i in pending]
+            if backend == "processes":
+                report = runner.run_payloads(
+                    [payloads[i] for i in pending], sub)
+            else:
+                report = runner.run(
+                    sub, lambda c: cluster_outcome(self.analysis_for(c)))
+        else:
+            report = ParallelReport(part_times=[], cluster_times={},
+                                    results=[], backend=backend,
+                                    scheduler=scheduler)
+        if not cached and len(pending) == len(targets):
+            # Fast path: nothing came from the cache, indices align.
+            report.cache_misses = len(pending) if cache_obj is not None else 0
+            if cache_obj is not None:
+                for i in pending:
+                    cache_obj.put(fingerprints[i], report.results[i])
+            return report
+
+        # Merge cached outcomes (cost 0.0 — no work was done) with the
+        # freshly computed ones, restoring input-order indexing.
+        results: List[object] = [None] * len(targets)
+        cluster_times: Dict[int, float] = {}
+        schedule = [[pending[j] for j in part] for part in report.schedule]
+        for j, i in enumerate(pending):
+            results[i] = report.results[j]
+            cluster_times[i] = report.cluster_times.get(j, 0.0)
+            if cache_obj is not None:
+                cache_obj.put(fingerprints[i], report.results[j])
+        for i, outcome in cached.items():
+            results[i] = outcome
+            cluster_times[i] = 0.0
+        return ParallelReport(
+            part_times=report.part_times, cluster_times=cluster_times,
+            results=results, backend=backend, scheduler=scheduler,
+            schedule=schedule, wall_time=report.wall_time,
+            cache_hits=len(cached), cache_misses=len(pending))
 
 
 class BootstrapAnalyzer:

@@ -1,24 +1,125 @@
-"""Cluster scheduling and (simulated) parallel execution.
+"""Cluster scheduling and parallel execution.
 
 Clusters are analyzable independently, so the paper simulates running on
 5 machines: divide the total pointer count by 5 to get a target part
 size, then sweep the clusters greedily, closing a part whenever the
 accumulated pointer count exceeds the target; report the *maximum* part
 time as the parallel wall-clock.  :func:`greedy_parts` reproduces that
-heuristic verbatim; :class:`ParallelRunner` additionally offers a real
-thread pool for users who want actual concurrency.
+heuristic verbatim.
+
+This module additionally provides real execution backends behind one
+:class:`ParallelRunner` API:
+
+* ``simulate`` — the paper's setup: run sequentially, account time per
+  scheduled part;
+* ``threads`` — a thread pool (CPython threads share the GIL, so this
+  demonstrates the API rather than true speedup);
+* ``processes`` — a ``ProcessPoolExecutor``: each part's clusters are
+  shipped to a worker as sliced sub-programs
+  (:mod:`~repro.core.shipping`) and analyzed there, which is the real
+  multi-core execution the paper's Table 1 "5 machines" column
+  simulates.
+
+and a second scheduler: :func:`lpt_parts` assigns clusters
+longest-processing-time-first by a per-cluster cost estimate
+(slice-statement count x cluster size), falling back to the paper's
+greedy sweep whenever the sweep happens to balance better, so its
+maximum part cost is never worse than the paper's heuristic.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from .clusters import Cluster
 
 T = TypeVar("T")
+
+#: The execution backends ``ParallelRunner`` (and the CLI) accept.
+BACKENDS = ("simulate", "threads", "processes")
+
+#: The schedulers mapping clusters to parts.
+SCHEDULERS = ("greedy", "lpt")
+
+
+def cluster_cost(cluster: Cluster) -> int:
+    """Cost estimate driving the LPT scheduler: the FSCS work on a
+    cluster grows with both its sliced program and its pointer count, so
+    ``slice statements x members`` (floored at 1 so empty-slice clusters
+    still count as work units)."""
+    return max(1, cluster.size * max(1, cluster.slice.size))
+
+
+# ----------------------------------------------------------------------
+# schedulers (index-based; cluster lists are thin wrappers)
+# ----------------------------------------------------------------------
+
+def greedy_index_parts(costs: Sequence[float], parts: int) -> List[List[int]]:
+    """The paper's greedy sweep over item indices: accumulate in listed
+    order, closing a part as soon as its cost exceeds ``total/parts``."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    total = sum(costs)
+    target = total / parts
+    out: List[List[int]] = []
+    current: List[int] = []
+    acc = 0.0
+    for i, cost in enumerate(costs):
+        current.append(i)
+        acc += cost
+        if acc > target and len(out) < parts - 1:
+            out.append(current)
+            current = []
+            acc = 0.0
+    if current or not out:
+        out.append(current)
+    return out
+
+
+def lpt_index_parts(costs: Sequence[float], parts: int) -> List[List[int]]:
+    """Longest-processing-time-first over item indices, with a greedy
+    fallback: items are placed largest-first onto the least-loaded part;
+    if the paper's sweep (:func:`greedy_index_parts`) happens to achieve
+    a strictly smaller maximum part cost, its schedule is returned
+    instead.  The result's max part cost is therefore never worse than
+    the greedy heuristic's — a property the test suite checks.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if not costs:
+        return [[]]
+    loads = [(0.0, k) for k in range(min(parts, len(costs)))]
+    heapq.heapify(loads)
+    assignment: List[List[int]] = [[] for _ in range(len(loads))]
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for i in order:
+        load, k = heapq.heappop(loads)
+        assignment[k].append(i)
+        heapq.heappush(loads, (load + costs[i], k))
+    lpt = [part for part in assignment if part]
+
+    def max_cost(schedule: List[List[int]]) -> float:
+        return max((sum(costs[i] for i in part) for part in schedule),
+                   default=0.0)
+
+    greedy = greedy_index_parts(costs, parts)
+    if max_cost(greedy) < max_cost(lpt):
+        return greedy
+    return lpt
 
 
 def greedy_parts(clusters: Sequence[Cluster], parts: int = 5
@@ -32,32 +133,55 @@ def greedy_parts(clusters: Sequence[Cluster], parts: int = 5
     combine all clusters processed so far into a single part at which
     point we re-start the processing."
     """
-    if parts <= 0:
-        raise ValueError("parts must be positive")
-    total = sum(c.size for c in clusters)
-    target = total / parts if parts else total
-    out: List[List[Cluster]] = []
-    current: List[Cluster] = []
-    acc = 0
-    for c in clusters:
-        current.append(c)
-        acc += c.size
-        if acc > target and len(out) < parts - 1:
-            out.append(current)
-            current = []
-            acc = 0
-    if current or not out:
-        out.append(current)
-    return out
+    schedule = greedy_index_parts([c.size for c in clusters], parts)
+    return [[clusters[i] for i in part] for part in schedule]
 
+
+def lpt_parts(clusters: Sequence[Cluster], parts: int = 5,
+              cost: Callable[[Cluster], float] = cluster_cost
+              ) -> List[List[Cluster]]:
+    """LPT schedule over clusters using ``cost`` (default
+    :func:`cluster_cost`); never worse than :func:`greedy_parts` on its
+    own cost measure (see :func:`lpt_index_parts`)."""
+    schedule = lpt_index_parts([cost(c) for c in clusters], parts)
+    return [[clusters[i] for i in part] for part in schedule]
+
+
+def schedule_indices(clusters: Sequence[Cluster], parts: int,
+                     scheduler: str = "greedy") -> List[List[int]]:
+    """Cluster indices per part under the chosen scheduler.  Index-based
+    so duplicate (equal or even identical) clusters in the input keep
+    distinct schedule slots."""
+    if scheduler == "greedy":
+        return greedy_index_parts([c.size for c in clusters], parts)
+    if scheduler == "lpt":
+        return lpt_index_parts([cluster_cost(c) for c in clusters], parts)
+    raise ValueError(f"unknown scheduler {scheduler!r} "
+                     f"(have: {', '.join(SCHEDULERS)})")
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
 
 @dataclass
 class ParallelReport:
-    """Timing of a (simulated) parallel run."""
+    """Timing and results of one (possibly parallel) cluster run.
+
+    ``results`` and ``cluster_times`` are keyed by the cluster's *index
+    in the input sequence* — a stable key that survives duplicate
+    clusters and pickling, unlike object identity.
+    """
 
     part_times: List[float]
     cluster_times: Dict[int, float]  # index into the cluster list -> secs
     results: List[object]
+    backend: str = "simulate"
+    scheduler: str = "greedy"
+    schedule: List[List[int]] = field(default_factory=list)
+    wall_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def max_part_time(self) -> float:
@@ -70,53 +194,98 @@ class ParallelReport:
 
 
 class ParallelRunner(Generic[T]):
-    """Run one task per cluster, aggregating times per greedy part.
+    """Run one task per cluster, aggregating times per scheduled part.
 
-    ``simulate=True`` (the paper's setup) runs everything sequentially
-    and *accounts* time per part; ``simulate=False`` uses a thread pool
-    (CPython threads share the GIL, so this demonstrates the API rather
-    than true speedup).
+    ``backend`` selects execution: ``"simulate"`` (the paper's setup —
+    sequential, time *accounted* per part), ``"threads"`` (thread pool;
+    GIL-bound), or ``"processes"`` (real multiprocess execution; requires
+    per-cluster payloads, see :meth:`run_payloads`).  The legacy
+    ``simulate`` flag maps to the first two.  ``jobs`` caps worker count
+    (defaults to ``parts``).
     """
 
-    def __init__(self, parts: int = 5, simulate: bool = True) -> None:
+    def __init__(self, parts: int = 5, simulate: bool = True,
+                 backend: Optional[str] = None,
+                 scheduler: str = "greedy",
+                 jobs: Optional[int] = None) -> None:
+        if backend is None:
+            backend = "simulate" if simulate else "threads"
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r} "
+                             f"(have: {', '.join(BACKENDS)})")
         self.parts = parts
-        self.simulate = simulate
+        self.backend = backend
+        self.scheduler = scheduler
+        self.jobs = jobs if jobs is not None else parts
+        self.simulate = backend == "simulate"
 
+    # ------------------------------------------------------------------
     def run(self, clusters: Sequence[Cluster],
             task: Callable[[Cluster], T]) -> ParallelReport:
-        schedule = greedy_parts(clusters, self.parts)
-        index_of = {id(c): i for i, c in enumerate(clusters)}
+        """Execute ``task`` per cluster under the ``simulate`` or
+        ``threads`` backend (in-process callables cannot cross a process
+        boundary; use :meth:`run_payloads` for ``processes``)."""
+        if self.backend == "processes":
+            raise ValueError(
+                "the processes backend ships serialized payloads, not "
+                "callables; use ParallelRunner.run_payloads or "
+                "BootstrapResult.analyze_all(backend='processes')")
+        t0 = time.perf_counter()
+        schedule = schedule_indices(clusters, self.parts, self.scheduler)
         cluster_times: Dict[int, float] = {}
         results: List[object] = [None] * len(clusters)
 
-        def timed(c: Cluster) -> Tuple[float, T]:
-            t0 = time.perf_counter()
-            value = task(c)
-            return time.perf_counter() - t0, value
+        def run_part(part: List[int]) -> float:
+            acc = 0.0
+            for idx in part:
+                t1 = time.perf_counter()
+                value = task(clusters[idx])
+                elapsed = time.perf_counter() - t1
+                cluster_times[idx] = elapsed
+                results[idx] = value
+                acc += elapsed
+            return acc
 
-        part_times: List[float] = []
-        if self.simulate:
-            for part in schedule:
-                acc = 0.0
-                for c in part:
-                    elapsed, value = timed(c)
-                    idx = index_of[id(c)]
-                    cluster_times[idx] = elapsed
-                    results[idx] = value
-                    acc += elapsed
-                part_times.append(acc)
+        if self.backend == "simulate":
+            part_times = [run_part(part) for part in schedule]
         else:
-            with ThreadPoolExecutor(max_workers=self.parts) as pool:
-                def run_part(part: List[Cluster]) -> float:
-                    acc = 0.0
-                    for c in part:
-                        elapsed, value = timed(c)
-                        idx = index_of[id(c)]
-                        cluster_times[idx] = elapsed
-                        results[idx] = value
-                        acc += elapsed
-                    return acc
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
                 part_times = list(pool.map(run_part, schedule))
-        return ParallelReport(part_times=part_times,
-                              cluster_times=cluster_times,
-                              results=results)
+        return ParallelReport(
+            part_times=part_times, cluster_times=cluster_times,
+            results=results, backend=self.backend,
+            scheduler=self.scheduler, schedule=schedule,
+            wall_time=time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def run_payloads(self, payloads: Sequence[Dict[str, Any]],
+                     clusters: Sequence[Cluster]) -> ParallelReport:
+        """Execute the ``processes`` backend: each scheduled part's
+        payloads go to one ``ProcessPoolExecutor`` worker, which rebuilds
+        the sliced sub-programs and returns per-cluster outcomes."""
+        from .shipping import analyze_payload_batch
+        t0 = time.perf_counter()
+        schedule = schedule_indices(clusters, self.parts, self.scheduler)
+        cluster_times: Dict[int, float] = {}
+        results: List[object] = [None] * len(clusters)
+        part_times: List[float] = [0.0] * len(schedule)
+        workers = max(1, min(self.jobs, len(schedule)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(analyze_payload_batch,
+                            [payloads[i] for i in part])
+                for part in schedule
+            ]
+            for part_no, (part, future) in enumerate(zip(schedule, futures)):
+                timed = future.result()
+                acc = 0.0
+                for idx, (elapsed, outcome) in zip(part, timed):
+                    cluster_times[idx] = elapsed
+                    results[idx] = outcome
+                    acc += elapsed
+                part_times[part_no] = acc
+        return ParallelReport(
+            part_times=part_times, cluster_times=cluster_times,
+            results=results, backend="processes",
+            scheduler=self.scheduler, schedule=schedule,
+            wall_time=time.perf_counter() - t0)

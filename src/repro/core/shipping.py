@@ -1,0 +1,263 @@
+"""Shipping clusters to worker processes.
+
+The paper's scalability story rests on clusters being independent work
+units: "the clusters can be analyzed independently of each other ...
+making the analysis embarrassingly parallel".  A CPython thread pool
+cannot demonstrate that (the GIL serializes the workers), so the real
+backend sends each cluster to a ``ProcessPoolExecutor`` worker.  What
+travels is not the whole program but the cluster's *sliced sub-program*
+(the paper's reduced program ``Prog_P``), rebuilt on the worker side via
+the versioned IR serializer:
+
+* :func:`cluster_subprogram` — restrict the program to the functions
+  from which the cluster's slice is reachable, replacing irrelevant
+  pointer assignments with skips.  Control flow, calls, returns and
+  assumes are preserved, so FSCI/FSCS on the sub-program compute exactly
+  what they compute on the full program restricted to the slice
+  (Theorem 6).
+* :func:`build_payload` — one JSON-safe dict per cluster: sub-program,
+  cluster, analysis knobs.
+* :func:`payload_fingerprint` — content hash of a payload; the summary
+  cache key.  Source spans are dropped from sub-programs, so edits that
+  do not change a cluster's sliced sub-program (touching other
+  functions, or only line numbers) keep its fingerprint — and its cached
+  summary — valid.
+* :func:`analyze_payload` / :func:`analyze_payload_batch` — the worker
+  entry points (module-level, hence picklable).  A worker-local FSCI
+  cache keyed by the parent slice's fingerprint reproduces the
+  sibling-cluster sharing :meth:`BootstrapResult.analysis_for` does in
+  process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..analysis.fscs import ClusterFSCS
+from ..ir import CallGraph, CFG, Loc, Program, Var
+from ..ir.program import Function
+from ..ir.serialize import (
+    cluster_from_dict,
+    cluster_to_dict,
+    program_from_dict,
+    program_to_dict,
+)
+from ..ir.statements import AddrOf, CallStmt, ReturnStmt, Skip, Statement
+from .clusters import Cluster
+from .relevant import RelevantSlice
+
+#: Bump when the payload layout or the analysis semantics behind cached
+#: outcomes change; part of every fingerprint, so stale cache entries
+#: simply stop matching.
+PAYLOAD_VERSION = 1
+
+_SLICED = Skip("sliced")
+
+
+def _base_slice(cluster: Cluster) -> RelevantSlice:
+    """The slice the shared FSCI pass runs on: the parent partition's
+    when present (siblings share it), else the cluster's own."""
+    return cluster.parent_slice if cluster.parent_slice is not None \
+        else cluster.slice
+
+
+def _stmt_vars(stmt: Statement) -> Set[Var]:
+    out: Set[Var] = set(stmt.used_vars())
+    defined = stmt.defined_var()
+    if defined is not None:
+        out.add(defined)
+    if isinstance(stmt, AddrOf) and isinstance(stmt.target, Var):
+        out.add(stmt.target)
+    return out
+
+
+def cluster_subprogram(program: Program, cluster: Cluster,
+                       callgraph: Optional[CallGraph] = None) -> Program:
+    """The cluster's shippable reduced program ``Prog_P``.
+
+    Kept functions are exactly the ones the cluster's FSCI would visit on
+    the full program: ancestors of the slice's functions, plus the entry.
+    Within them, CFG shape is preserved node-for-node (``Loc`` indices in
+    the slice stay valid), calls/returns/assumes survive, and pointer
+    assignments outside the slice become skips — which is precisely how
+    the sliced FSCI treats them on the full program, so the sub-program
+    is observationally identical for this cluster.  Source spans are
+    intentionally dropped: they do not affect analysis and would make
+    fingerprints churn on unrelated edits.
+
+    Functions a kept function calls but that are not themselves kept are
+    retained as empty *stubs*.  A non-kept callee is no ancestor of a
+    slice function, so nothing in its call subtree is relevant — it acts
+    as the identity for the cluster.  The stub preserves exactly that:
+    the summary engine sees a transparent callee (an identity disjunct at
+    every multi-target call site — dropping it loses points-to facts),
+    and the supergraph keeps the call's flow-through path.
+    """
+    cg = callgraph or CallGraph(program)
+    base = _base_slice(cluster)
+    keep = cg.ancestors_of(base.functions())
+    keep.add(program.entry)
+    relevant = base.statements
+    used: Set[Var] = set(base.vp) | set(cluster.members)
+
+    functions: Dict[str, Function] = {}
+    stub_names: Set[str] = set()
+    for name in sorted(keep):
+        src = program.cfg_of(name)
+        cfg = CFG(name)
+        for idx in src.nodes():
+            stmt = src.stmt(idx)
+            if stmt.is_pointer_assign and Loc(name, idx) not in relevant:
+                stmt = _SLICED
+            else:
+                used |= _stmt_vars(stmt)
+            if isinstance(stmt, CallStmt):
+                stub_names.update(t for t in stmt.targets
+                                  if t not in keep and t in program.functions)
+            if idx == 0:
+                cfg.set_stmt(0, stmt)
+            else:
+                cfg.add_node(stmt)
+        for idx in src.nodes():
+            for succ in src.successors(idx):
+                cfg.add_edge(idx, succ)
+        cfg.entry = src.entry
+        cfg.exit = src.exit
+        fn = program.functions[name]
+        functions[name] = Function(name=name, params=list(fn.params),
+                                   locals=set(fn.locals), cfg=cfg)
+    for name in sorted(stub_names):
+        cfg = CFG(name)
+        cfg.exit = cfg.add_node(ReturnStmt())
+        cfg.add_edge(cfg.entry, cfg.exit)
+        fn = program.functions[name]
+        functions[name] = Function(name=name, params=list(fn.params),
+                                   locals=set(), cfg=cfg)
+    globals_ = {g for g in program.globals if g in used}
+    return Program(functions, entry=program.entry, globals_=globals_)
+
+
+def build_payload(program: Program, cluster: Cluster,
+                  callgraph: Optional[CallGraph] = None,
+                  max_cond_atoms: int = 4,
+                  budget: Optional[int] = None,
+                  subprogram_cache: Optional[Dict[int, Dict[str, Any]]] = None,
+                  ) -> Dict[str, Any]:
+    """Everything a worker needs to analyze one cluster, JSON-safe.
+
+    Sibling clusters of one partition share a base slice and hence a
+    sub-program; pass one ``subprogram_cache`` dict across a batch of
+    ``build_payload`` calls to serialize each sub-program only once (the
+    cache is keyed by base-slice identity, so it is only valid while the
+    cluster objects it served are alive).
+    """
+    base = _base_slice(cluster)
+    sub_dict = None
+    if subprogram_cache is not None:
+        sub_dict = subprogram_cache.get(id(base))
+    if sub_dict is None:
+        sub = cluster_subprogram(program, cluster, callgraph)
+        sub_dict = program_to_dict(sub)
+        if subprogram_cache is not None:
+            subprogram_cache[id(base)] = sub_dict
+    return {
+        "version": PAYLOAD_VERSION,
+        "subprogram": sub_dict,
+        "cluster": cluster_to_dict(cluster),
+        "config": {"max_cond_atoms": max_cond_atoms, "budget": budget},
+    }
+
+
+def _digest(data: Any) -> str:
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def payload_fingerprint(payload: Dict[str, Any]) -> str:
+    """Content hash of a payload — the summary-cache key.
+
+    Two clusters (across runs, across edited sources) share a
+    fingerprint iff their sliced sub-programs, members, slices and
+    analysis knobs are identical, which is exactly when their cached
+    outcomes are interchangeable.
+    """
+    return _digest(payload)
+
+
+def _fsci_fingerprint(payload: Dict[str, Any]) -> str:
+    """Key for the worker-local shared-FSCI cache: sibling clusters of
+    one partition ship identical sub-programs and parent slices."""
+    cluster = payload["cluster"]
+    parent = cluster.get("parent_slice", cluster["slice"])
+    return _digest({"subprogram": payload["subprogram"], "parent": parent})
+
+
+def cluster_outcome(analysis: ClusterFSCS) -> Dict[str, Any]:
+    """The canonical, picklable result of analyzing one cluster.
+
+    ``stats`` is the summary-construction accounting
+    (:meth:`ClusterFSCS.analyze`); ``points_to`` maps every cluster
+    pointer to its sorted points-to set at the end of the program entry —
+    the observable the differential suite compares bit-for-bit across
+    backends.
+    """
+    stats = analysis.analyze()
+    program = analysis.program
+    exit_loc = Loc(program.entry, program.cfg_of(program.entry).exit)
+    points_to: Dict[str, List[str]] = {}
+    for p in sorted(analysis.cluster, key=str):
+        objs = analysis.points_to(p, exit_loc)
+        points_to[str(p)] = sorted(str(o) for o in objs)
+    return {"stats": stats, "points_to": points_to}
+
+
+#: Worker-local cache: parent-slice fingerprint -> (program, callgraph,
+#: FSCI result).  Mirrors the sibling sharing of the in-process path and
+#: lives for the worker's lifetime.
+_FSCI_CACHE: Dict[str, Tuple[Program, CallGraph, object]] = {}
+
+
+def analyze_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: rebuild the sub-program and analyze the
+    cluster, mirroring :meth:`BootstrapResult.analysis_for` exactly."""
+    key = _fsci_fingerprint(payload)
+    cached = _FSCI_CACHE.get(key)
+    cluster = cluster_from_dict(payload["cluster"])
+    if cached is None:
+        program = program_from_dict(payload["subprogram"])
+        callgraph = CallGraph(program)
+        parent = _base_slice(cluster)
+        probe = ClusterFSCS(program, cluster=(), tracked=parent.vp,
+                            relevant=parent.statements, callgraph=callgraph)
+        cached = (program, callgraph, probe.fsci)
+        _FSCI_CACHE[key] = cached
+    program, callgraph, fsci = cached
+    config = payload["config"]
+    analysis = ClusterFSCS(
+        program,
+        cluster=cluster.pointer_members,
+        tracked=cluster.slice.vp,
+        relevant=cluster.slice.statements,
+        callgraph=callgraph,
+        fsci=fsci,
+        max_cond_atoms=config["max_cond_atoms"],
+        budget=config["budget"],
+    )
+    return cluster_outcome(analysis)
+
+
+def analyze_payload_batch(payloads: List[Dict[str, Any]]
+                          ) -> List[Tuple[float, Dict[str, Any]]]:
+    """Run one scheduled part's clusters in a worker, timing each; the
+    per-part sum is the 'machine time' the report aggregates.  CPU time,
+    not wall: concurrent workers sharing cores would otherwise bill each
+    other's time slices to their own clusters."""
+    out: List[Tuple[float, Dict[str, Any]]] = []
+    for payload in payloads:
+        t0 = time.process_time()
+        outcome = analyze_payload(payload)
+        out.append((time.process_time() - t0, outcome))
+    return out

@@ -1,0 +1,103 @@
+"""On-disk per-cluster FSCS summary cache.
+
+Khedker et al.'s lazy pointer analysis motivates not recomputing what a
+previous run already established.  Clusters make that easy: a cluster's
+analysis outcome is a pure function of its sliced sub-program, its
+member/slice sets and the analysis knobs — all of which
+:func:`~repro.core.shipping.payload_fingerprint` hashes into one content
+key.  Repeated ``repro analyze`` runs therefore skip every cluster whose
+fingerprint is already on disk, and editing a source file invalidates
+only the clusters whose sliced sub-programs actually changed.
+
+Directory layout (documented in README "Parallel execution"):
+
+    <cache-dir>/
+        <aa>/<fingerprint>.json    # one outcome per cluster fingerprint
+
+where ``<aa>`` is the fingerprint's first two hex digits (keeps any
+single directory small).  Entries are self-contained JSON outcome dicts
+(``{"stats": ..., "points_to": ...}``); there is no index to corrupt,
+and writes go through a temp file + ``os.replace`` so concurrent runs
+sharing a cache directory never observe torn entries.  Invalidation is
+purely key-based: nothing is ever rewritten in place, and
+:meth:`SummaryCache.prune` deletes entries untouched for a given number
+of days.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+
+class SummaryCache:
+    """Content-addressed store of per-cluster analysis outcomes."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome for ``key``, or ``None``; counts the
+        hit/miss either way."""
+        try:
+            with open(self._path(key), "r") as handle:
+                outcome = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Store ``outcome`` under ``key`` atomically."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(outcome, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        n = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            n += sum(1 for f in files if f.endswith(".json"))
+        return n
+
+    def prune(self, max_age_days: float) -> int:
+        """Delete entries written more than ``max_age_days`` ago; returns
+        the number removed.  Entries are immutable, so mtime is write
+        time; pruning bounds disk use and never affects correctness."""
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = 0
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    continue
+        return removed

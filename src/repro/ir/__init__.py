@@ -5,7 +5,16 @@ from .callgraph import CallGraph, function_sentinel, resolve_indirect_calls
 from .cfg import CFG, Loc, Span, location_labels, straight_line
 from .dot import andersen_dot, callgraph_dot, cfg_dot, steensgaard_dot
 from .printer import format_cfg, format_program
-from .serialize import load_program, program_from_dict, program_to_dict, save_program
+from .serialize import (
+    cluster_from_dict,
+    cluster_to_dict,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+    slice_from_dict,
+    slice_to_dict,
+)
 from .program import Function, Program, param_var, retval_var
 from .statements import (
     AddrOf,
@@ -29,6 +38,8 @@ __all__ = [
     "Copy", "Function", "FunctionBuilder", "Load", "Loc", "MemObject",
     "NullAssign", "Program", "ProgramBuilder", "ReturnStmt", "Skip",
     "Span", "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "format_cfg", "format_program", "steensgaard_dot",
+    "cluster_from_dict", "cluster_to_dict",
     "function_sentinel", "is_canonical", "location_labels", "param_var",
-    "load_program", "program_from_dict", "program_to_dict", "resolve_indirect_calls", "retval_var", "save_program", "straight_line",
+    "load_program", "program_from_dict", "program_to_dict", "resolve_indirect_calls", "retval_var", "save_program",
+    "slice_from_dict", "slice_to_dict", "straight_line",
 ]

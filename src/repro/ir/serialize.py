@@ -1,4 +1,4 @@
-"""JSON (de)serialization of IR programs.
+"""JSON (de)serialization of IR programs, clusters and slices.
 
 Lets tools cache normalized programs (frontend runs once), ship programs
 between processes for real parallel analysis, and snapshot regression
@@ -7,6 +7,15 @@ inputs.  The format is versioned and round-trips exactly:
     data = program_to_dict(prog)
     prog2 = program_from_dict(data)
     assert format_program(prog) == format_program(prog2)
+
+Beyond whole programs, the module round-trips the cascade's work units so
+the process-pool backend can ship one cluster per task:
+:func:`slice_to_dict` / :func:`slice_from_dict` handle Algorithm 1
+slices, and :func:`cluster_to_dict` / :func:`cluster_from_dict` handle
+:class:`~repro.core.clusters.Cluster` (members, slice, origin, parent
+provenance).  All collection fields are emitted in a canonical sorted
+order, so equal values serialize to byte-identical JSON — the summary
+cache hashes these dicts.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from .cfg import CFG, Span
+from .cfg import CFG, Loc, Span
 from .program import Function, Program
 from .statements import (
     AddrOf,
@@ -190,3 +199,67 @@ def save_program(program: Program, path: str) -> None:
 def load_program(path: str) -> Program:
     with open(path, "r") as handle:
         return program_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# clusters and slices (the parallel backend's unit of shipment)
+# ----------------------------------------------------------------------
+
+def _obj_key(d: Dict[str, Any]) -> tuple:
+    """Canonical sort key for a serialized MemObject dict."""
+    if "alloc" in d:
+        return (1, d["alloc"], "")
+    return (0, d["n"], d["f"] or "")
+
+
+def _loc(loc: Loc) -> List[Any]:
+    return [loc.function, loc.index]
+
+
+def _load_loc(data: List[Any]) -> Loc:
+    return Loc(data[0], data[1])
+
+
+def slice_to_dict(slice_: "RelevantSlice") -> Dict[str, Any]:
+    """A JSON-safe dict for one Algorithm 1 slice (canonically sorted)."""
+    return {
+        "cluster": sorted((_obj(o) for o in slice_.cluster), key=_obj_key),
+        "vp": sorted((_obj(o) for o in slice_.vp), key=_obj_key),
+        "stmts": sorted(_loc(loc) for loc in slice_.statements),
+    }
+
+
+def slice_from_dict(data: Dict[str, Any]) -> "RelevantSlice":
+    """Inverse of :func:`slice_to_dict`."""
+    from ..core.relevant import RelevantSlice
+    return RelevantSlice(
+        cluster=frozenset(_load_obj(d) for d in data["cluster"]),
+        vp=frozenset(_load_obj(d) for d in data["vp"]),
+        statements=frozenset(_load_loc(d) for d in data["stmts"]))
+
+
+def cluster_to_dict(cluster: "Cluster") -> Dict[str, Any]:
+    """A JSON-safe dict for one cascade cluster, parent provenance
+    included (the process backend reconstructs the exact sibling-shared
+    FSCI setup from it)."""
+    out: Dict[str, Any] = {
+        "members": sorted((_obj(o) for o in cluster.members), key=_obj_key),
+        "slice": slice_to_dict(cluster.slice),
+        "origin": cluster.origin,
+        "parent_size": cluster.parent_size,
+    }
+    if cluster.parent_slice is not None:
+        out["parent_slice"] = slice_to_dict(cluster.parent_slice)
+    return out
+
+
+def cluster_from_dict(data: Dict[str, Any]) -> "Cluster":
+    """Inverse of :func:`cluster_to_dict`."""
+    from ..core.clusters import Cluster
+    parent = data.get("parent_slice")
+    return Cluster(
+        members=frozenset(_load_obj(d) for d in data["members"]),
+        slice=slice_from_dict(data["slice"]),
+        origin=data["origin"],
+        parent_size=data["parent_size"],
+        parent_slice=slice_from_dict(parent) if parent is not None else None)

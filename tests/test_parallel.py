@@ -1,4 +1,4 @@
-"""The greedy parallel schedule and runner."""
+"""The greedy/LPT parallel schedules and runner."""
 
 import pytest
 from hypothesis import given, settings
@@ -9,8 +9,12 @@ from repro.core import (
     Cluster,
     ParallelRunner,
     RelevantSlice,
+    cluster_cost,
     greedy_parts,
+    lpt_parts,
+    schedule_indices,
 )
+from repro.core.parallel import greedy_index_parts, lpt_index_parts
 from repro.ir import Var
 
 from .helpers import figure5_program
@@ -68,6 +72,74 @@ class TestGreedyParts:
         assert sum(len(p) for p in parts) == 2
 
 
+class TestLptParts:
+    def test_every_cluster_scheduled_once(self):
+        clusters = make_clusters([5, 3, 8, 1, 1, 4, 2])
+        parts = lpt_parts(clusters, 3)
+        flat = [c for p in parts for c in p]
+        assert len(flat) == len(clusters)
+        assert {id(c) for c in flat} == {id(c) for c in clusters}
+
+    def test_at_most_requested_parts(self):
+        clusters = make_clusters([1] * 20)
+        assert len(lpt_parts(clusters, 5)) <= 5
+
+    def test_empty_cluster_list(self):
+        assert lpt_parts([], 5) == [[]]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            lpt_parts(make_clusters([1]), 0)
+
+    def test_balances_adversarial_input(self):
+        """[5, 5, 4, 3, 3] on 2 parts separates the schedulers: the
+        paper's sweep closes {5,5,4}=14, LPT lands at {5,4}/{5,3,3}=11."""
+        costs = [5, 5, 4, 3, 3]
+        greedy = greedy_index_parts(costs, 2)
+        lpt = lpt_index_parts(costs, 2)
+
+        def max_cost(schedule):
+            return max(sum(costs[i] for i in p) for p in schedule)
+
+        assert max_cost(greedy) == 14
+        assert max_cost(lpt) == 11
+
+    def test_cluster_cost_floors_at_one(self):
+        (c,) = make_clusters([0])
+        assert c.slice.size == 0
+        assert cluster_cost(c) == 1
+
+    def test_schedule_indices_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            schedule_indices(make_clusters([1]), 2, scheduler="fifo")
+
+
+class TestLptProperties:
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=40),
+           st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_invariants(self, costs, parts):
+        schedule = lpt_index_parts(costs, parts)
+        flat = sorted(i for p in schedule for i in p)
+        # Coverage without drop or duplication, within the part cap.
+        assert flat == list(range(len(costs)))
+        assert 1 <= len(schedule) <= parts
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=40),
+           st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_never_worse_than_greedy(self, costs, parts):
+        """The portfolio guarantee: LPT's max part cost never exceeds
+        the paper's greedy sweep on the same costs."""
+        def max_cost(schedule):
+            return max((sum(costs[i] for i in p) for p in schedule),
+                       default=0.0)
+
+        lpt = max_cost(lpt_index_parts(costs, parts))
+        greedy = max_cost(greedy_index_parts(costs, parts))
+        assert lpt <= greedy
+
+
 class TestParallelRunner:
     def test_simulated_run(self):
         clusters = make_clusters([2, 3, 4])
@@ -88,6 +160,42 @@ class TestParallelRunner:
         runner = ParallelRunner(parts=3)
         report = runner.run(clusters, lambda c: c.size)
         assert report.results == [1, 2, 3]
+
+    def test_duplicate_clusters_keep_distinct_slots(self):
+        """Regression: results/cluster_times were once keyed by
+        ``id(cluster)``, so the same cluster listed twice collapsed to a
+        single slot.  Index keying must run the task once per listing."""
+        (c,) = make_clusters([3])
+        calls = []
+
+        def task(cluster):
+            calls.append(cluster)
+            return len(calls)
+
+        runner = ParallelRunner(parts=2, simulate=True)
+        report = runner.run([c, c], task)
+        assert report.results == [1, 2]
+        assert calls == [c, c]
+        assert sorted(report.cluster_times) == [0, 1]
+        assert sorted(i for p in report.schedule for i in p) == [0, 1]
+
+    def test_lpt_runner_restores_input_order(self):
+        """LPT visits clusters largest-first, but results still line up
+        with the input sequence."""
+        clusters = make_clusters([1, 5, 2, 4, 3])
+        runner = ParallelRunner(parts=2, scheduler="lpt")
+        report = runner.run(clusters, lambda c: c.size)
+        assert report.results == [1, 5, 2, 4, 3]
+        assert report.scheduler == "lpt"
+
+    def test_run_rejects_processes_backend(self):
+        runner = ParallelRunner(parts=2, backend="processes")
+        with pytest.raises(ValueError):
+            runner.run(make_clusters([1]), lambda c: c.size)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(backend="mpi")
 
     def test_integration_with_bootstrap(self):
         prog = figure5_program()

@@ -8,6 +8,7 @@ from hypothesis import HealthCheck, given, settings
 from repro import parse_program
 from repro.analysis import Andersen, execute
 from repro.bench import sources
+from repro.core import BootstrapAnalyzer, Cluster, RelevantSlice
 from repro.ir import (
     format_program,
     load_program,
@@ -15,6 +16,14 @@ from repro.ir import (
     program_to_dict,
     save_program,
 )
+from repro.ir.cfg import Loc
+from repro.ir.serialize import (
+    cluster_from_dict,
+    cluster_to_dict,
+    slice_from_dict,
+    slice_to_dict,
+)
+from repro.ir.statements import AllocSite, Var
 
 from .helpers import (
     call_chain_program,
@@ -88,3 +97,101 @@ class TestRoundTrip:
         orc2 = execute(again, max_steps=150, max_paths=200)
         for p in prog.pointers:
             assert orc1.points_to(p) == orc2.points_to(p)
+
+
+SPAN_SOURCE = """
+int x;
+int *p;
+
+int main() {
+    p = &x;
+    return 0;
+}
+"""
+
+
+class TestSpanRoundTrip:
+    def test_frontend_spans_survive(self):
+        """Format-version-2 spans: parsed programs carry source spans and
+        a dict round-trip preserves every one, position for position."""
+        prog = parse_program(SPAN_SOURCE)
+        data = program_to_dict(prog)
+        assert data["version"] == 2
+        assert any("spans" in fd for fd in data["functions"].values())
+        again = program_from_dict(data)
+        for name, fn in prog.functions.items():
+            cfg, cfg2 = fn.cfg, again.functions[name].cfg
+            for idx in cfg.nodes():
+                assert cfg2.span(idx) == cfg.span(idx)
+
+    def test_span_encoding_shape(self):
+        prog = parse_program(SPAN_SOURCE)
+        data = program_to_dict(prog)
+        for fd in data["functions"].values():
+            for span in fd.get("spans", []):
+                if span is not None:
+                    assert len(span) == 4  # line, col, end_line, end_col
+                    assert all(isinstance(n, int) for n in span[:2])
+                    assert all(n is None or isinstance(n, int)
+                               for n in span[2:])
+
+    def test_version1_dump_without_spans_loads(self):
+        data = program_to_dict(parse_program(SPAN_SOURCE))
+        for fd in data["functions"].values():
+            fd.pop("spans", None)
+        data["version"] = 1
+        again = program_from_dict(data)
+        assert all(again.cfg_of(f).span(i) is None
+                   for f in again.functions
+                   for i in again.cfg_of(f).nodes())
+
+
+def _sample_slice(reverse=False):
+    """One slice built from differently-ordered collections, to pin the
+    canonical-order guarantee."""
+    members = [Var("p"), Var("q", "f"), AllocSite("A1")]
+    locs = [Loc("main", 2), Loc("f", 0), Loc("main", 1)]
+    if reverse:
+        members = list(reversed(members))
+        locs = list(reversed(locs))
+    return RelevantSlice(cluster=frozenset(members),
+                         vp=frozenset(members + [Var("r")]),
+                         statements=frozenset(locs))
+
+
+class TestClusterRoundTrip:
+    def test_slice_round_trips(self):
+        sl = _sample_slice()
+        assert slice_from_dict(slice_to_dict(sl)) == sl
+
+    def test_cluster_round_trips(self):
+        sl = _sample_slice()
+        cluster = Cluster(members=sl.cluster, slice=sl, origin="andersen",
+                          parent_size=7, parent_slice=_sample_slice())
+        again = cluster_from_dict(cluster_to_dict(cluster))
+        assert again == cluster
+        assert again.parent_slice == cluster.parent_slice
+
+    def test_cluster_without_parent_round_trips(self):
+        sl = _sample_slice()
+        cluster = Cluster(members=sl.cluster, slice=sl,
+                          origin="steensgaard", parent_size=3)
+        again = cluster_from_dict(cluster_to_dict(cluster))
+        assert again == cluster
+        assert again.parent_slice is None
+
+    def test_equal_values_serialize_byte_identically(self):
+        """The summary cache hashes these dicts: set-iteration order must
+        never leak into the JSON."""
+        a, b = _sample_slice(), _sample_slice(reverse=True)
+        assert a == b
+        blob_a = json.dumps(slice_to_dict(a), sort_keys=True)
+        blob_b = json.dumps(slice_to_dict(b), sort_keys=True)
+        assert blob_a == blob_b
+
+    def test_cascade_clusters_round_trip(self):
+        """Every cluster the real cascade produces survives shipment."""
+        boot = BootstrapAnalyzer(parse_program(SPAN_SOURCE)).run()
+        for cluster in boot.clusters:
+            data = json.loads(json.dumps(cluster_to_dict(cluster)))
+            assert cluster_from_dict(data) == cluster

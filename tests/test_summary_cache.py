@@ -1,0 +1,156 @@
+"""The on-disk summary cache and its fingerprint-based invalidation."""
+
+import json
+import os
+import time
+
+from repro.core import (
+    BootstrapAnalyzer,
+    SummaryCache,
+    build_payload,
+    payload_fingerprint,
+)
+from repro.frontend import parse_program
+
+#: Two pointer groups with no flow between them: Steensgaard keeps
+#: ``ap/aq`` and ``bp/bq`` in separate partitions, so they land in
+#: separate clusters with separate slices — the unit of invalidation.
+SOURCE = """
+int ax, ay;
+int *ap, *aq;
+int bx;
+int *bp, *bq;
+
+void fa(void) {
+    ap = &ax;
+    aq = ap;
+}
+
+void fb(void) {
+    bp = &bx;
+    bq = bp;
+}
+
+int main() {
+    fa();
+    fb();
+    return 0;
+}
+"""
+
+#: Same program with one extra pointer assignment inside ``fa`` — an
+#: edit that must invalidate only the clusters sliced through ``fa``.
+EDITED = SOURCE.replace("aq = ap;", "aq = ap;\n    aq = &ay;")
+
+
+class TestSummaryCacheUnit:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        outcome = {"stats": {"k": 1}, "points_to": {"p": ["x"]}}
+        cache.put("ab" + "0" * 62, outcome)
+        assert cache.get("ab" + "0" * 62) == outcome
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.misses == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = "cd" + "1" * 62
+        cache.put(key, {})
+        assert os.path.exists(tmp_path / "cd" / (key + ".json"))
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = "ee" + "2" * 62
+        cache.put(key, {"ok": True})
+        path = tmp_path / "ee" / (key + ".json")
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_no_temp_file_debris(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        cache.put("aa" + "3" * 62, {"v": 1})
+        leftovers = [f for _d, _s, fs in os.walk(tmp_path) for f in fs
+                     if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_prune_removes_only_old_entries(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        old_key, new_key = "01" + "a" * 62, "02" + "b" * 62
+        cache.put(old_key, {})
+        cache.put(new_key, {})
+        stale = time.time() - 10 * 86400
+        os.utime(cache._path(old_key), (stale, stale))
+        assert cache.prune(max_age_days=5) == 1
+        assert old_key not in cache
+        assert new_key in cache
+
+    def test_entries_are_plain_json(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = "09" + "c" * 62
+        cache.put(key, {"points_to": {"p": []}, "stats": {}})
+        with open(cache._path(key)) as handle:
+            assert json.load(handle)["points_to"] == {"p": []}
+
+
+def _fingerprints(source):
+    """Cluster fingerprint per member set for one parsed program."""
+    boot = BootstrapAnalyzer(parse_program(source)).run()
+    out = {}
+    for c in boot.clusters:
+        payload = build_payload(boot.program, c, boot.callgraph)
+        out[c.members] = payload_fingerprint(payload)
+    return out
+
+
+class TestInvalidation:
+    def test_warm_run_hits_every_cluster(self, tmp_path):
+        program = parse_program(SOURCE)
+        cache = SummaryCache(str(tmp_path))
+        cold = BootstrapAnalyzer(program).run().analyze_all(cache=cache)
+        n = len(cold.results)
+        assert n >= 2
+        assert (cold.cache_hits, cold.cache_misses) == (0, n)
+        warm = BootstrapAnalyzer(program).run().analyze_all(cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (n, 0)
+        assert [r["points_to"] for r in warm.results] == \
+            [r["points_to"] for r in cold.results]
+        # Cached clusters report zero analysis time.
+        assert all(t == 0.0 for t in warm.cluster_times.values())
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        program = parse_program(SOURCE)
+        cdir = str(tmp_path / "summaries")
+        cold = BootstrapAnalyzer(program).run().analyze_all(cache=cdir)
+        warm = BootstrapAnalyzer(program).run().analyze_all(cache=cdir)
+        assert warm.cache_hits == len(cold.results)
+
+    def test_edit_invalidates_only_affected_clusters(self):
+        before = _fingerprints(SOURCE)
+        after = _fingerprints(EDITED)
+        changed = {m for m in before.keys() & after.keys()
+                   if before[m] != after[m]}
+        assert changed, "the edited function's clusters must re-key"
+        for members in changed:
+            assert any("a" in str(v) for v in members)
+        # The b-side clusters never slice through fa: same fingerprint,
+        # so a warm cache still serves them after the edit.
+        untouched = [m for m in before.keys() & after.keys()
+                     if all(str(v).startswith("b") for v in m)]
+        assert untouched
+        for members in untouched:
+            assert before[members] == after[members]
+
+    def test_edited_program_reuses_untouched_entries(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        boot = BootstrapAnalyzer(parse_program(SOURCE)).run()
+        boot.analyze_all(cache=cache)
+        edited = BootstrapAnalyzer(parse_program(EDITED)).run()
+        report = edited.analyze_all(cache=cache)
+        assert report.cache_hits >= 1      # the fb-side clusters
+        assert report.cache_misses >= 1    # the edited fa-side clusters
