@@ -1,0 +1,31 @@
+/* Four independent pointer webs, one per function: the query daemon's
+ * demo file.  Each web lands in its own cluster(s), so editing one
+ * bind_* function re-analyzes only that web's clusters — watch the
+ * "reanalyzed" count from:
+ *
+ *   python -m repro serve examples/server_demo.c --socket /tmp/r.sock &
+ *   python -m repro query --socket /tmp/r.sock points-to \
+ *       examples/server_demo.c u
+ *   sed -i 's/t = \&d;/t = \&b;/' examples/server_demo.c
+ *   python -m repro query --socket /tmp/r.sock invalidate \
+ *       examples/server_demo.c
+ */
+
+int a, b, c, d, e;
+int *p, *q;
+int *r, *s;
+int *t, *u;
+int *v, *w;
+
+void bind_rs(void) { r = &c; s = r; }
+void bind_tu(void) { t = &d; u = t; }
+void bind_vw(void) { v = &e; w = v; }
+
+int main() {
+    p = &a;
+    q = p;
+    bind_rs();
+    bind_tu();
+    bind_vw();
+    return 0;
+}

@@ -10,13 +10,23 @@ Examples::
     python -m repro partitions driver.c              # Steensgaard view
     python -m repro races driver.c --threads t1,t2   # race detection
     python -m repro check driver.c --sarif out.sarif # memory-safety scan
+    python -m repro demand driver.c --points-to p q  # demand Andersen
+    python -m repro serve --socket /tmp/repro.sock   # query daemon
+    python -m repro query --socket /tmp/repro.sock \
+        points-to driver.c p                         # ask the daemon
+    python -m repro cache stats .repro-cache         # summary-cache peek
     python -m repro table1 --scale 0.02              # the paper's table
     python -m repro figure1                          # the paper's figure
+
+Exit codes: 0 success, 1 findings/races with the ``--fail-on-*`` flags,
+2 usage errors, 3 an analysis budget was exceeded (clean message on
+stderr, never a traceback).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -26,9 +36,23 @@ from .core import (
     BootstrapAnalyzer,
     BootstrapConfig,
     CascadeConfig,
+    resolve_pointer,
     select_clusters,
 )
+from .errors import AnalysisBudgetExceeded
 from .ir import Loc, Program, Var
+
+#: Exit code for a clean :class:`AnalysisBudgetExceeded` failure.
+EXIT_BUDGET = 3
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        from . import __version__
+        return __version__
 
 
 def _load(path: str, entry: str) -> Program:
@@ -43,22 +67,10 @@ def _load(path: str, entry: str) -> Program:
 
 def _find_var(program: Program, name: str) -> Var:
     """Resolve ``name`` or ``func::name`` against the program."""
-    if "::" in name:
-        func, base = name.split("::", 1)
-        var = Var(base, func)
-    else:
-        var = Var(name)
-        if var not in program.pointers:
-            candidates = [p for p in program.pointers if p.name == name]
-            if len(candidates) == 1:
-                return candidates[0]
-            if candidates:
-                raise SystemExit(
-                    f"ambiguous name {name!r}: "
-                    + ", ".join(sorted(c.qualified for c in candidates)))
-    if var not in program.pointers:
-        raise SystemExit(f"unknown pointer {name!r}")
-    return var
+    try:
+        return resolve_pointer(program, name)
+    except LookupError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -66,7 +78,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     config = BootstrapConfig(
         cascade=CascadeConfig(andersen_threshold=args.threshold,
                               use_oneflow=args.oneflow),
-        parts=args.parts)
+        parts=args.parts,
+        fscs_budget=args.fscs_budget)
     result = BootstrapAnalyzer(program, config).run()
     counts = program.counts()
     print(f"{args.file}: {counts['functions']} functions, "
@@ -231,6 +244,138 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if diags and args.fail_on_finding else 0
 
 
+def cmd_demand(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.demand import DemandAndersen
+    program = _load(args.file, args.entry)
+    engine = DemandAndersen(program, budget=args.budget)
+    pointers = [_find_var(program, name) for name in args.points_to]
+    sets = {str(p): sorted(str(o) for o in engine.points_to(p))
+            for p in pointers}
+    if args.json:
+        print(json.dumps({"points_to": sets,
+                          "nodes_touched": engine.queries_touched(),
+                          "steps": engine.steps},
+                         indent=2, sort_keys=True))
+        return 0
+    for name, objs in sets.items():
+        print(f"points_to({name}): {objs}")
+    print(f"demand-driven: touched {engine.queries_touched()} graph "
+          f"node(s) in {engine.steps} step(s)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import AliasServer, ServerConfig
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(
+            "repro serve: pass exactly one of --socket PATH or --port N")
+    config = ServerConfig(
+        entry=args.entry, threshold=args.threshold, oneflow=args.oneflow,
+        parts=args.parts, backend=args.backend, jobs=args.jobs,
+        scheduler=args.scheduler, fscs_budget=args.fscs_budget,
+        max_clusters=args.max_clusters, max_files=args.max_files,
+        cache_dir=args.cache, watch=not args.no_watch)
+    from .server.protocol import RequestError
+    server = AliasServer(config, socket_path=args.socket,
+                         host=args.host, port=args.port)
+    for path in args.files:
+        try:
+            summary = server.files.get(os.path.abspath(path)).summary()
+        except RequestError as exc:
+            raise SystemExit(f"repro serve: {exc}")
+        print(f"preloaded {summary['path']}: "
+              f"{summary['clusters']} clusters, "
+              f"{summary['pointers']} pointers "
+              f"({summary['last_refresh']['seconds']:.3f}s)", flush=True)
+    print(f"repro serve: listening on {server.bind()}", flush=True)
+    server.serve_forever()
+    print("repro serve: drained, shut down cleanly")
+    return 0
+
+
+#: ``repro query`` positional-argument shapes per method.
+_QUERY_SPECS = {
+    "ping": (),
+    "stats": (),
+    "shutdown": (),
+    "invalidate": ("file",),
+    "points-to": ("file", "ptr"),
+    "alias": ("file", "p", "q"),
+    "must-alias": ("file", "p", "q"),
+    "diagnostics": ("file", "*checkers"),
+}
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .server import protocol
+    from .server.client import ServerClient, ServerError
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(
+            "repro query: pass exactly one of --socket PATH or --port N")
+    spec = _QUERY_SPECS.get(args.method)
+    if spec is None:
+        raise SystemExit(
+            f"repro query: unknown method {args.method!r} "
+            f"(have: {', '.join(sorted(_QUERY_SPECS))})")
+    params = {}
+    operands = list(args.args)
+    for slot in spec:
+        if slot.startswith("*"):
+            if operands:
+                params[slot[1:]] = operands
+                operands = []
+            break
+        if not operands:
+            raise SystemExit(
+                f"repro query {args.method}: missing "
+                f"{' '.join(s.upper().lstrip('*') for s in spec)}")
+        value = operands.pop(0)
+        if slot == "file":
+            value = os.path.abspath(value)
+        params[slot] = value
+    if operands:
+        raise SystemExit(
+            f"repro query {args.method}: unexpected extra arguments "
+            f"{operands}")
+    try:
+        with ServerClient(socket_path=args.socket, host=args.host,
+                          port=args.port, timeout=args.timeout) as client:
+            result = client.call(args.method.replace("-", "_"), **params)
+    except ServerError as exc:
+        print(f"repro query: {exc}", file=sys.stderr)
+        return EXIT_BUDGET if exc.code == protocol.BUDGET_EXCEEDED else 1
+    except OSError as exc:
+        raise SystemExit(f"repro query: cannot reach the daemon: {exc}")
+    try:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Downstream (e.g. ``| grep -q``) closed the pipe early; the
+        # query itself succeeded.  Point stdout at devnull so the
+        # interpreter's shutdown flush stays quiet too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import SummaryCache
+    if not os.path.isdir(args.dir):
+        raise SystemExit(f"repro cache: no cache directory at {args.dir}")
+    cache = SummaryCache(args.dir)
+    if args.cache_command == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    removed = cache.prune(args.max_age_days)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} older "
+          f"than {args.max_age_days:g} day(s) from {args.dir}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .bench.table1 import main as table1_main
     argv: List[str] = ["--scale", str(args.scale)]
@@ -256,6 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Bootstrapped flow/context-sensitive pointer alias "
                     "analysis (Kahlon, PLDI 2008)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="run the full cascade on a file")
@@ -287,6 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", metavar="DIR",
                    help="on-disk summary cache; unchanged clusters are "
                         "skipped on repeat runs")
+    p.add_argument("--fscs-budget", type=int, default=None, metavar="N",
+                   help="per-cluster FSCS step budget; exceeding it "
+                        f"exits with code {EXIT_BUDGET}")
     p.add_argument("--report", action="store_true",
                    help="print a markdown analysis report")
     p.add_argument("--json", action="store_true",
@@ -326,6 +476,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when any finding remains")
     p.set_defaults(func=cmd_check)
 
+    p = sub.add_parser(
+        "demand", help="demand-driven Andersen points-to queries")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--points-to", nargs="+", required=True, metavar="P",
+                   help="pointers to query (name or func::name)")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="fixpoint step budget; exceeding it exits with "
+                        f"code {EXIT_BUDGET}")
+    p.add_argument("--json", action="store_true",
+                   help="print the answers as JSON")
+    p.set_defaults(func=cmd_demand)
+
+    p = sub.add_parser(
+        "serve", help="run the persistent alias query daemon")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="source files to analyze before accepting "
+                        "connections")
+    p.add_argument("--socket", metavar="PATH",
+                   help="serve on a Unix domain socket at PATH")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="serve on TCP PORT (0 picks a free port)")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--threshold", type=int, default=60)
+    p.add_argument("--oneflow", action="store_true")
+    p.add_argument("--parts", type=int, default=5)
+    p.add_argument("--backend",
+                   choices=["simulate", "threads", "processes"],
+                   default="simulate",
+                   help="how (re)analysis executes clusters "
+                        "(processes = the PR-2 worker pool)")
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--scheduler", choices=["greedy", "lpt"],
+                   default="greedy")
+    p.add_argument("--cache", metavar="DIR",
+                   help="on-disk summary cache backing the in-memory "
+                        "LRU; restarts warm-start from it")
+    p.add_argument("--max-files", type=int, default=16,
+                   help="resident per-file analysis states (LRU)")
+    p.add_argument("--max-clusters", type=int, default=4096,
+                   help="resident per-cluster outcomes (LRU)")
+    p.add_argument("--fscs-budget", type=int, default=None, metavar="N")
+    p.add_argument("--no-watch", action="store_true",
+                   help="do not auto-reload files whose content changed "
+                        "(clients must send invalidate)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="query a running daemon (JSON to stdout)")
+    p.add_argument("method",
+                   help="one of: " + ", ".join(sorted(_QUERY_SPECS)))
+    p.add_argument("args", nargs="*",
+                   help="method operands, e.g. FILE PTR for points-to")
+    p.add_argument("--socket", metavar="PATH")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "cache", help="inspect or prune an on-disk summary cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("stats", help="entry count, bytes, ages")
+    pc.add_argument("dir", metavar="DIR")
+    pc.set_defaults(func=cmd_cache)
+    pc = cache_sub.add_parser(
+        "prune", help="delete entries older than --max-age-days")
+    pc.add_argument("dir", metavar="DIR")
+    pc.add_argument("--max-age-days", type=float, required=True,
+                    metavar="N")
+    pc.set_defaults(func=cmd_cache)
+
     p = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--programs")
@@ -345,7 +569,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except AnalysisBudgetExceeded as exc:
+        # A budget overrun is an expected outcome, not a crash: one
+        # clean line on stderr and a distinct exit code.
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,7 +32,12 @@ from .shipping import (
     payload_fingerprint,
 )
 from .summary_cache import SummaryCache
-from .queries import DemandSelection, demand_alias_sets, select_clusters
+from .queries import (
+    DemandSelection,
+    demand_alias_sets,
+    resolve_pointer,
+    select_clusters,
+)
 from .report import (
     Diagnostic,
     TraceStep,
@@ -56,7 +61,7 @@ __all__ = [
     "TraceStep", "analyze_payload", "analyze_payload_batch",
     "andersen_refine", "build_payload", "cluster_cost", "cluster_outcome",
     "cluster_subprogram", "demand_alias_sets", "greedy_parts", "lpt_parts",
-    "payload_fingerprint", "schedule_indices",
+    "payload_fingerprint", "resolve_pointer", "schedule_indices",
     "cascade_summary", "context_count", "dedup_diagnostics",
     "diagnostics_to_dict", "diagnostics_to_sarif", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_diagnostics_text", "render_report", "run_cascade",
     "select_clusters", "suppress_diagnostics",

@@ -197,6 +197,7 @@ class BootstrapResult:
         if not cached and len(pending) == len(targets):
             # Fast path: nothing came from the cache, indices align.
             report.cache_misses = len(pending) if cache_obj is not None else 0
+            report.fingerprints = fingerprints
             if cache_obj is not None:
                 for i in pending:
                     cache_obj.put(fingerprints[i], report.results[i])
@@ -219,7 +220,8 @@ class BootstrapResult:
             part_times=report.part_times, cluster_times=cluster_times,
             results=results, backend=backend, scheduler=scheduler,
             schedule=schedule, wall_time=report.wall_time,
-            cache_hits=len(cached), cache_misses=len(pending))
+            cache_hits=len(cached), cache_misses=len(pending),
+            fingerprints=fingerprints)
 
 
 class BootstrapAnalyzer:

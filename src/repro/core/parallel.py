@@ -182,6 +182,10 @@ class ParallelReport:
     wall_time: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Payload fingerprints per cluster (input order), when the run built
+    #: payloads (processes backend or any cache) — the invalidation hook
+    #: the query daemon diffs across reloads.
+    fingerprints: Optional[List[str]] = None
 
     @property
     def max_part_time(self) -> float:

@@ -15,9 +15,37 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set
 
-from ..ir import Loc, MemObject, Var
+from ..ir import Loc, MemObject, Program, Var
 from .bootstrap import BootstrapResult
 from .clusters import Cluster
+
+
+def resolve_pointer(program: Program, name: str) -> Var:
+    """Resolve ``name`` or ``func::name`` to one of ``program``'s
+    pointers.
+
+    Bare names match globals directly; a bare name that is only declared
+    locally resolves iff exactly one function declares it.  Raises
+    :class:`LookupError` (with a human-readable message) on unknown or
+    ambiguous names — the CLI and the query daemon share this resolution
+    so their answers stay comparable.
+    """
+    if "::" in name:
+        func, base = name.split("::", 1)
+        var = Var(base, func)
+    else:
+        var = Var(name)
+        if var not in program.pointers:
+            candidates = [p for p in program.pointers if p.name == name]
+            if len(candidates) == 1:
+                return candidates[0]
+            if candidates:
+                raise LookupError(
+                    f"ambiguous name {name!r}: "
+                    + ", ".join(sorted(c.qualified for c in candidates)))
+    if var not in program.pointers:
+        raise LookupError(f"unknown pointer {name!r}")
+    return var
 
 
 @dataclass(frozen=True)

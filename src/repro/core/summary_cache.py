@@ -83,6 +83,36 @@ class SummaryCache:
             n += sum(1 for f in files if f.endswith(".json"))
         return n
 
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, disk footprint and entry-age range — the
+        ``repro cache stats`` peek."""
+        now = time.time()
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                entries += 1
+                total_bytes += st.st_size
+                age = now - st.st_mtime
+                oldest = age if oldest is None else max(oldest, age)
+                newest = age if newest is None else min(newest, age)
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_age_days": (oldest or 0.0) / 86400.0,
+            "newest_age_days": (newest or 0.0) / 86400.0,
+        }
+
     def prune(self, max_age_days: float) -> int:
         """Delete entries written more than ``max_age_days`` ago; returns
         the number removed.  Entries are immutable, so mtime is write

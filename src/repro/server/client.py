@@ -1,0 +1,137 @@
+"""Python client for the alias query daemon (``repro query`` wraps it).
+
+One :class:`ServerClient` holds one connection; requests are written as
+JSON lines and responses matched by id (the protocol is synchronous per
+connection, so ids are a sanity check rather than a demultiplexer).
+Error responses surface as :class:`~repro.server.protocol.ServerError`
+with the structured code — ``repro query`` maps ``BUDGET_EXCEEDED`` to
+the same exit code the one-shot CLI uses for budget overruns.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import protocol
+from .protocol import ServerError
+
+
+class ServerClient:
+    """Talk to a running daemon over a Unix socket or TCP."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: float = 300.0) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._next_id = 0
+        if socket_path is not None:
+            if not hasattr(socket, "AF_UNIX"):
+                raise ServerError(
+                    protocol.INTERNAL_ERROR,
+                    "Unix sockets are unavailable on this platform")
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def call(self, method: str, **params: Any) -> Any:
+        """One request/response round-trip; raises :class:`ServerError`
+        on an error response or a dropped connection."""
+        self._next_id += 1
+        request_id = self._next_id
+        frame = protocol.encode({"id": request_id, "method": method,
+                                 "params": params})
+        self._sock.sendall(frame)
+        line = self._file.readline()
+        if not line:
+            raise ServerError(protocol.INTERNAL_ERROR,
+                              "connection closed by server")
+        response = protocol.decode(line)
+        error = response.get("error")
+        if error is not None:
+            raise ServerError(error.get("code", protocol.INTERNAL_ERROR),
+                              error.get("message", "unknown error"),
+                              error.get("data"))
+        if response.get("id") != request_id:
+            raise ServerError(protocol.INTERNAL_ERROR,
+                              f"response id {response.get('id')!r} does "
+                              f"not match request id {request_id!r}")
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (file paths are sent absolute so client and
+    # daemon working directories need not agree)
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def points_to(self, file: str, ptr: str) -> Dict[str, Any]:
+        return self.call("points_to", file=os.path.abspath(file), ptr=ptr)
+
+    def alias(self, file: str, p: str, q: str) -> Dict[str, Any]:
+        return self.call("alias", file=os.path.abspath(file), p=p, q=q)
+
+    def must_alias(self, file: str, p: str, q: str) -> Dict[str, Any]:
+        return self.call("must_alias", file=os.path.abspath(file), p=p, q=q)
+
+    def diagnostics(self, file: str,
+                    checkers: Optional[Sequence[str]] = None
+                    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"file": os.path.abspath(file)}
+        if checkers is not None:
+            params["checkers"] = list(checkers)
+        return self.call("diagnostics", **params)
+
+    def invalidate(self, file: str) -> Dict[str, Any]:
+        return self.call("invalidate", file=os.path.abspath(file))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")
+
+
+def wait_for_server(socket_path: Optional[str] = None,
+                    host: str = "127.0.0.1", port: Optional[int] = None,
+                    timeout: float = 30.0,
+                    interval: float = 0.05) -> None:
+    """Block until a daemon answers ``ping`` at the address (used by the
+    CI smoke job and the bench); :class:`TimeoutError` on expiry."""
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServerClient(socket_path=socket_path, host=host,
+                              port=port, timeout=5.0) as client:
+                client.ping()
+                return
+        except (OSError, ServerError) as exc:
+            last = exc
+            time.sleep(interval)
+    raise TimeoutError(
+        f"no daemon answered within {timeout:.0f}s (last error: {last})")

@@ -1,0 +1,99 @@
+"""The daemon's wire protocol: one JSON object per line.
+
+A request is ``{"id": ..., "method": "...", "params": {...}}``; the
+response echoes the ``id`` with either a ``"result"`` or an ``"error"``
+object (``{"code", "message", "data"?}``) — the JSON-RPC shape without
+the envelope version field, framed by newlines so both ends can stream
+over a single connection.  All standard codes keep their JSON-RPC
+values; analysis-specific failures get codes in the implementation-
+defined ``-32000`` block so clients can tell a budget overrun from a
+genuine server bug.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+#: Bump on incompatible protocol changes; echoed by ``ping`` and
+#: ``stats`` so clients can refuse to talk to a mismatched daemon.
+PROTOCOL_VERSION = 1
+
+# JSON-RPC standard codes.
+PARSE_ERROR = -32700        # request line is not valid JSON
+INVALID_REQUEST = -32600    # JSON but not a valid request object
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# Implementation-defined codes (-32000..-32099).
+BUDGET_EXCEEDED = -32001    # AnalysisBudgetExceeded during analysis
+ANALYSIS_ERROR = -32002     # target file fails to parse/normalize
+FILE_ERROR = -32003         # target file unreadable
+SHUTTING_DOWN = -32004      # request arrived while draining
+
+
+class RequestError(ReproError):
+    """A request the server rejects with a structured error response."""
+
+    def __init__(self, code: int, message: str,
+                 data: Optional[Any] = None) -> None:
+        self.code = code
+        self.data = data
+        super().__init__(message)
+
+
+class ServerError(ReproError):
+    """Client-side mirror of an error response."""
+
+    def __init__(self, code: int, message: str,
+                 data: Optional[Any] = None) -> None:
+        self.code = code
+        self.data = data
+        super().__init__(f"server error {code}: {message}")
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol frame: compact JSON plus the newline terminator."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one frame; :class:`RequestError` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise RequestError(PARSE_ERROR, f"invalid JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise RequestError(INVALID_REQUEST, "request must be an object")
+    return obj
+
+
+def validate_request(obj: Dict[str, Any]
+                     ) -> Tuple[Any, str, Dict[str, Any]]:
+    """``(id, method, params)`` of a request object, or
+    :class:`RequestError`."""
+    method = obj.get("method")
+    if not isinstance(method, str) or not method:
+        raise RequestError(INVALID_REQUEST, "missing method")
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise RequestError(INVALID_PARAMS, "params must be an object")
+    return obj.get("id"), method, params
+
+
+def ok(request_id: Any, result: Any) -> Dict[str, Any]:
+    return {"id": request_id, "result": result}
+
+
+def err(request_id: Any, code: int, message: str,
+        data: Optional[Any] = None) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"id": request_id, "error": error}

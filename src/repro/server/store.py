@@ -1,0 +1,410 @@
+"""Server-side state: cluster outcomes (LRU) and per-file analyses.
+
+Two stores back the daemon:
+
+* :class:`ClusterStore` — a thread-safe in-memory LRU of per-cluster
+  analysis outcomes keyed by
+  :func:`~repro.core.shipping.payload_fingerprint`, optionally backed by
+  the on-disk :class:`~repro.core.summary_cache.SummaryCache` (PR 2) so
+  a daemon restart warm-starts from disk.  It is duck-compatible with
+  the ``cache`` argument of
+  :meth:`~repro.core.bootstrap.BootstrapResult.analyze_all`, which is
+  exactly how incremental re-analysis works: a reload re-runs *only* the
+  clusters whose fingerprints miss the store.
+* :class:`FileStore` — an LRU of :class:`FileState` (parsed program +
+  bootstrap result + per-cluster outcomes) keyed by absolute path, with
+  one lock per file so concurrent queries on different files proceed in
+  parallel while a reload of one file is serialized.
+
+Invalidation is fingerprint-based end to end: ``invalidate`` (or a
+changed mtime/content hash observed at query time) re-parses and
+re-bootstraps the file, then :meth:`FileState` re-analysis hits the
+cluster store for every cluster whose sliced sub-program is unchanged —
+so a one-function edit re-analyzes only the clusters whose slices pass
+through that function (the grain `tests/test_summary_cache.py` pins).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import (
+    BootstrapAnalyzer,
+    BootstrapConfig,
+    CascadeConfig,
+    SummaryCache,
+    diagnostics_to_dict,
+    resolve_pointer,
+    select_clusters,
+)
+from ..core.bootstrap import BootstrapResult
+from ..errors import ReproError
+from ..ir import Loc, Program, Var
+from .protocol import (
+    ANALYSIS_ERROR,
+    FILE_ERROR,
+    INVALID_PARAMS,
+    RequestError,
+)
+
+
+@dataclass
+class ServerConfig:
+    """Analysis and store knobs shared by every file the daemon serves."""
+
+    entry: str = "main"
+    threshold: int = 60
+    oneflow: bool = False
+    parts: int = 5
+    backend: str = "simulate"
+    jobs: Optional[int] = None
+    scheduler: str = "greedy"
+    fscs_budget: Optional[int] = None
+    max_cond_atoms: int = 4
+    #: In-memory LRU capacity of the cluster-outcome store.
+    max_clusters: int = 4096
+    #: How many files' analysis states stay resident.
+    max_files: int = 16
+    #: On-disk summary cache directory (None = memory only).
+    cache_dir: Optional[str] = None
+    #: Re-check file mtime/hash at query time and reload on change.
+    watch: bool = True
+
+    def bootstrap_config(self) -> BootstrapConfig:
+        return BootstrapConfig(
+            cascade=CascadeConfig(andersen_threshold=self.threshold,
+                                  use_oneflow=self.oneflow),
+            parts=self.parts,
+            fscs_budget=self.fscs_budget,
+            max_cond_atoms=self.max_cond_atoms)
+
+
+class ClusterStore:
+    """Thread-safe LRU of cluster outcomes keyed by payload fingerprint.
+
+    ``get``/``put`` match the :class:`SummaryCache` interface, so an
+    instance can be passed straight to ``analyze_all(cache=...)``.  With
+    a ``disk`` backing, reads fall through to disk (and promote into
+    memory) and writes go to both, giving restarts a warm start.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 disk: Union[SummaryCache, str, None] = None) -> None:
+        if isinstance(disk, str):
+            disk = SummaryCache(disk)
+        self.disk = disk
+        self.max_entries = max_entries
+        self._mem: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            outcome = self._mem.get(key)
+            if outcome is not None:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return outcome
+        if self.disk is not None:
+            outcome = self.disk.get(key)
+            if outcome is not None:
+                with self._lock:
+                    self.hits += 1
+                    self._insert(key, outcome)
+                return outcome
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, outcome: Dict[str, Any]) -> None:
+        with self._lock:
+            self._insert(key, outcome)
+        if self.disk is not None:
+            self.disk.put(key, outcome)
+
+    def _insert(self, key: str, outcome: Dict[str, Any]) -> None:
+        self._mem[key] = outcome
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._mem:
+                return True
+        return self.disk is not None and key in self.disk
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._mem),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk": self.disk.root if self.disk is not None else None,
+            }
+
+
+@dataclass
+class RefreshStats:
+    """Accounting of one (re)load of a file's analysis state."""
+
+    clusters: int
+    reanalyzed: int   # cluster-store misses: fingerprints never seen
+    reused: int       # cluster-store hits: unchanged sliced sub-programs
+    seconds: float
+    reason: str       # "cold" | "changed" | "invalidate"
+
+    @property
+    def reanalyzed_fraction(self) -> float:
+        return self.reanalyzed / self.clusters if self.clusters else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["reanalyzed_fraction"] = self.reanalyzed_fraction
+        return out
+
+
+def _source_fingerprint(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FileState:
+    """One served file: program, bootstrap result, cluster outcomes.
+
+    Queries answer exactly what the one-shot CLI answers: ``points_to``
+    reads the per-cluster outcome table (computed identically to
+    ``repro analyze --points-to`` at the entry's exit, as the
+    cross-backend differential suite guarantees); ``may_alias`` and
+    ``must_alias`` go through the in-memory analyses, lazily and
+    demand-driven, memoized across queries on the result object.
+    """
+
+    def __init__(self, path: str, source_hash: str, stat: os.stat_result,
+                 program: Program, result: BootstrapResult,
+                 fingerprints: List[str], outcomes: List[Dict[str, Any]],
+                 refresh: RefreshStats) -> None:
+        self.path = path
+        self.source_hash = source_hash
+        self.mtime_ns = stat.st_mtime_ns
+        self.size = stat.st_size
+        self.program = program
+        self.result = result
+        self.fingerprints = fingerprints
+        self.outcomes = outcomes
+        self.refresh = refresh
+        self.queries = 0
+        self._must = None
+        self._diagnostics: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def exit_loc(self) -> Loc:
+        entry = self.program.entry
+        return Loc(entry, self.program.cfg_of(entry).exit)
+
+    def resolve(self, name: str) -> Var:
+        try:
+            return resolve_pointer(self.program, name)
+        except LookupError as exc:
+            raise RequestError(INVALID_PARAMS, str(exc))
+
+    def _selection(self, pointers: Sequence[Var]) -> Dict[str, Any]:
+        sel = select_clusters(self.result, pointers)
+        return {"selected": len(sel.selected),
+                "total": sel.total_clusters,
+                "pointer_fraction": sel.pointer_fraction}
+
+    # ------------------------------------------------------------------
+    def points_to(self, name: str) -> Dict[str, Any]:
+        """Union of the pointer's per-cluster outcome sets at the end of
+        the entry function — bit-identical to the one-shot CLI query."""
+        p = self.resolve(name)
+        objs: set = set()
+        for cluster, outcome in zip(self.result.clusters, self.outcomes):
+            if p in cluster.members:
+                objs.update(outcome["points_to"].get(str(p), ()))
+        return {"pointer": str(p), "objects": sorted(objs),
+                "clusters": self._selection([p])}
+
+    def may_alias(self, p_name: str, q_name: str) -> Dict[str, Any]:
+        p, q = self.resolve(p_name), self.resolve(q_name)
+        with self._lock:
+            verdict = self.result.may_alias(p, q, self.exit_loc)
+        return {"p": str(p), "q": str(q), "may_alias": verdict,
+                "clusters": self._selection([p, q])}
+
+    def must_alias(self, p_name: str, q_name: str) -> Dict[str, Any]:
+        from ..analysis import MustAlias
+        p, q = self.resolve(p_name), self.resolve(q_name)
+        with self._lock:
+            if self._must is None:
+                self._must = MustAlias(self.program).run()
+            verdict = self._must.must_alias(p, q, self.exit_loc)
+        return {"p": str(p), "q": str(q), "must_alias": verdict}
+
+    def diagnostics(self, checkers: Optional[Sequence[str]] = None
+                    ) -> Dict[str, Any]:
+        from ..checkers import CHECKER_REGISTRY, run_checkers
+        names = tuple(dict.fromkeys(checkers)) if checkers else ()
+        unknown = [n for n in names if n not in CHECKER_REGISTRY]
+        if unknown:
+            raise RequestError(
+                INVALID_PARAMS,
+                f"unknown checker(s): {', '.join(unknown)} "
+                f"(have: {', '.join(sorted(CHECKER_REGISTRY))})")
+        with self._lock:
+            cached = self._diagnostics.get(names)
+            if cached is None:
+                report = run_checkers(self.program,
+                                      names=list(names) or None,
+                                      result=self.result)
+                cached = {
+                    "diagnostics": diagnostics_to_dict(report.diagnostics),
+                    "checkers": [dataclasses.asdict(st)
+                                 for st in report.stats],
+                }
+                self._diagnostics[names] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def source_changed(self) -> bool:
+        """Cheap staleness probe: stat first, hash only when stat moved."""
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return True
+        if st.st_mtime_ns == self.mtime_ns and st.st_size == self.size:
+            return False
+        try:
+            with open(self.path, "r") as handle:
+                changed = _source_fingerprint(handle.read()) \
+                    != self.source_hash
+        except OSError:
+            return True
+        if not changed:
+            # Content identical; remember the new stat to skip re-hashing.
+            self.mtime_ns = st.st_mtime_ns
+            self.size = st.st_size
+        return changed
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "source_hash": self.source_hash,
+            "clusters": len(self.result.clusters),
+            "pointers": len(self.program.pointers),
+            "queries": self.queries,
+            "last_refresh": self.refresh.to_dict(),
+        }
+
+
+class FileStore:
+    """LRU of per-file analysis states with per-file locking."""
+
+    def __init__(self, config: ServerConfig,
+                 clusters: Optional[ClusterStore] = None) -> None:
+        self.config = config
+        self.clusters = clusters if clusters is not None else ClusterStore(
+            max_entries=config.max_clusters, disk=config.cache_dir)
+        self._files: "OrderedDict[str, FileState]" = OrderedDict()
+        self._locks: Dict[str, threading.RLock] = {}
+        self._lock = threading.RLock()
+        self.loads = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _file_lock(self, path: str) -> threading.RLock:
+        with self._lock:
+            return self._locks.setdefault(path, threading.RLock())
+
+    def get(self, path: str) -> FileState:
+        """The (possibly freshly loaded) state for ``path``; with
+        ``watch`` on, a changed file is transparently reloaded."""
+        path = os.path.abspath(path)
+        with self._file_lock(path):
+            with self._lock:
+                state = self._files.get(path)
+            if state is not None and self.config.watch \
+                    and state.source_changed():
+                state = self._load(path, reason="changed")
+            elif state is None:
+                state = self._load(path, reason="cold")
+            with self._lock:
+                self._files[path] = state
+                self._files.move_to_end(path)
+                while len(self._files) > self.config.max_files:
+                    self._files.popitem(last=False)
+            return state
+
+    def invalidate(self, path: str) -> FileState:
+        """Force a reload; unchanged-fingerprint clusters come back from
+        the cluster store, so only the edited slices are re-analyzed."""
+        path = os.path.abspath(path)
+        with self._file_lock(path):
+            self.invalidations += 1
+            state = self._load(path, reason="invalidate")
+            with self._lock:
+                self._files[path] = state
+                self._files.move_to_end(path)
+            return state
+
+    def paths(self) -> List[str]:
+        with self._lock:
+            return list(self._files)
+
+    def states(self) -> List[FileState]:
+        with self._lock:
+            return list(self._files.values())
+
+    # ------------------------------------------------------------------
+    def _load(self, path: str, reason: str) -> FileState:
+        from ..frontend import parse_program
+        t0 = time.perf_counter()
+        try:
+            st = os.stat(path)
+            with open(path, "r") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise RequestError(
+                FILE_ERROR, f"cannot read {path}: {exc.strerror or exc}")
+        try:
+            program = parse_program(source, entry=self.config.entry,
+                                    path=path)
+        except ReproError as exc:
+            raise RequestError(ANALYSIS_ERROR, f"{path}: {exc}")
+        result = BootstrapAnalyzer(
+            program, self.config.bootstrap_config()).run()
+        report = result.analyze_all(backend=self.config.backend,
+                                    jobs=self.config.jobs,
+                                    scheduler=self.config.scheduler,
+                                    cache=self.clusters)
+        refresh = RefreshStats(
+            clusters=len(result.clusters),
+            reanalyzed=report.cache_misses,
+            reused=report.cache_hits,
+            seconds=time.perf_counter() - t0,
+            reason=reason)
+        self.loads += 1
+        return FileState(path=path,
+                         source_hash=_source_fingerprint(source),
+                         stat=st, program=program, result=result,
+                         fingerprints=list(report.fingerprints or []),
+                         outcomes=list(report.results),
+                         refresh=refresh)

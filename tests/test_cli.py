@@ -114,3 +114,119 @@ class TestBenchCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "steensgaard_freq" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+
+class TestDemand:
+    def test_points_to(self, driver_file, capsys):
+        assert main(["demand", driver_file, "--points-to", "q"]) == 0
+        out = capsys.readouterr().out
+        assert "points_to(q): ['a']" in out
+        assert "demand-driven: touched" in out
+
+    def test_json(self, driver_file, capsys):
+        import json
+        assert main(["demand", driver_file, "--points-to", "p", "q",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["points_to"]["q"] == ["a"]
+        assert data["steps"] > 0
+
+    def test_unknown_pointer(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["demand", driver_file, "--points-to", "zz"])
+
+
+class TestBudgetExit:
+    def test_demand_budget_exits_cleanly(self, driver_file, capsys):
+        assert main(["demand", driver_file, "--points-to", "q",
+                     "--budget", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "demand-andersen" in err and "budget" in err
+        assert "Traceback" not in err
+
+    def test_summary_budget_exits_cleanly(self, driver_file, capsys):
+        assert main(["analyze", driver_file, "--summaries",
+                     "--fscs-budget", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "summary-engine" in err and "budget" in err
+        assert "Traceback" not in err
+
+
+class TestCacheCommand:
+    def test_stats_and_prune(self, driver_file, tmp_path, capsys):
+        import json
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", driver_file, "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0 and stats["bytes"] > 0
+        assert main(["cache", "prune", cache,
+                     "--max-age-days", "0"]) == 0
+        assert "pruned" in capsys.readouterr().out
+        assert main(["cache", "stats", cache]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", str(tmp_path / "nope")])
+
+
+class TestServeQuery:
+    def test_query_requires_address(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["query", "ping"])
+
+    def test_query_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["query", "frobnicate", "--port", "1"])
+
+    def test_query_missing_operands(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["query", "points-to", driver_file, "--port", "1"])
+
+    def test_query_unreachable_daemon(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["query", "ping", "--socket",
+                  str(tmp_path / "no.sock")])
+
+    def test_serve_requires_one_address(self, driver_file):
+        with pytest.raises(SystemExit):
+            main(["serve", driver_file])
+
+    def test_serve_and_query_round_trip(self, driver_file, capsys):
+        import json
+        import os
+        import tempfile
+        import threading
+
+        from repro.server import wait_for_server
+        sock = os.path.join(tempfile.mkdtemp(prefix="repro-cli-"),
+                            "repro.sock")
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.setdefault(
+                "serve", main(["serve", driver_file, "--socket", sock])))
+        thread.start()
+        try:
+            wait_for_server(socket_path=sock, timeout=30.0)
+            assert main(["query", "--socket", sock, "points-to",
+                         driver_file, "q"]) == 0
+            out = capsys.readouterr().out
+            payload = json.loads(out[out.index("{"):])
+            assert payload["objects"] == ["a"]
+            assert main(["query", "--socket", sock, "stats"]) == 0
+            capsys.readouterr()
+        finally:
+            assert main(["query", "--socket", sock, "shutdown"]) == 0
+            thread.join(30.0)
+        assert not thread.is_alive()
+        assert rc["serve"] == 0

@@ -1,0 +1,437 @@
+"""Alias query daemon: protocol, stores, incrementality, transport."""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    BootstrapAnalyzer,
+    build_payload,
+    payload_fingerprint,
+    resolve_pointer,
+)
+from repro.frontend import parse_program
+from repro.ir import Loc
+from repro.server import (
+    AliasServer,
+    ClusterStore,
+    ServerClient,
+    ServerConfig,
+    wait_for_server,
+)
+from repro.server import protocol
+from repro.server.protocol import ServerError
+
+#: Four independent pointer webs, one per function: a one-function edit
+#: must leave the other webs' cluster fingerprints untouched.
+DEMO = """
+int a, b, c, d, e;
+int *p, *q;
+int *r, *s;
+int *t, *u;
+int *v, *w;
+
+void bind_rs(void) { r = &c; s = r; }
+void bind_tu(void) { t = &d; u = t; }
+void bind_vw(void) { v = &e; w = v; }
+
+int main() {
+    p = &a;
+    q = p;
+    bind_rs();
+    bind_tu();
+    bind_vw();
+    return 0;
+}
+"""
+
+#: The same program with one function body edited (t rebound to b).
+DEMO_EDITED = DEMO.replace("t = &d;", "t = &b;")
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+@pytest.fixture()
+def server():
+    return AliasServer(ServerConfig())
+
+
+def call(server, method, **params):
+    """Dispatch one request and return the raw response dict."""
+    return server.handle_request(
+        {"id": 1, "method": method, "params": params})
+
+
+def result_of(server, method, **params):
+    response = call(server, method, **params)
+    assert "error" not in response, response
+    return response["result"]
+
+
+def error_of(server, method, **params):
+    response = call(server, method, **params)
+    assert "result" not in response, response
+    return response["error"]
+
+
+def fresh_points_to(source, name):
+    """What a one-shot run answers for ``name`` at the entry's exit."""
+    program = parse_program(source, entry="main")
+    result = BootstrapAnalyzer(program).run()
+    p = resolve_pointer(program, name)
+    loc = Loc(program.entry, program.cfg_of(program.entry).exit)
+    return sorted(str(o) for o in result.points_to(p, loc))
+
+
+def fingerprints_of(source):
+    program = parse_program(source, entry="main")
+    result = BootstrapAnalyzer(program).run()
+    return {payload_fingerprint(build_payload(program, c, result.callgraph))
+            for c in result.clusters}
+
+
+# ----------------------------------------------------------------------
+class TestClusterStore:
+    def test_put_get_and_counters(self):
+        store = ClusterStore(max_entries=8)
+        assert store.get("k1") is None
+        store.put("k1", {"points_to": {}})
+        assert store.get("k1") == {"points_to": {}}
+        assert store.hits == 1 and store.misses == 1
+        assert "k1" in store and len(store) == 1
+
+    def test_lru_eviction(self):
+        store = ClusterStore(max_entries=2)
+        store.put("a", {"n": 1})
+        store.put("b", {"n": 2})
+        store.get("a")                       # refresh a; b is now oldest
+        store.put("c", {"n": 3})
+        assert store.get("b") is None        # evicted
+        assert store.get("a") is not None
+        assert store.evictions == 1
+
+    def test_disk_fallthrough_and_promotion(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        first = ClusterStore(max_entries=8, disk=disk)
+        first.put("k", {"n": 1})
+        # A fresh store (daemon restart) warm-starts from disk.
+        second = ClusterStore(max_entries=8, disk=disk)
+        assert len(second) == 0
+        assert second.get("k") == {"n": 1}
+        assert second.hits == 1
+        assert len(second) == 1              # promoted into memory
+
+    def test_analyze_all_compatible(self, demo_file):
+        store = ClusterStore(max_entries=64)
+        program = parse_program(open(demo_file).read(), entry="main")
+        result = BootstrapAnalyzer(program).run()
+        cold = result.analyze_all(cache=store)
+        assert cold.cache_misses == len(result.clusters)
+        assert cold.fingerprints and len(cold.fingerprints) == \
+            len(result.clusters)
+        warm = BootstrapAnalyzer(program).run().analyze_all(cache=store)
+        assert warm.cache_hits == len(result.clusters)
+        assert warm.cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_ping(self, server):
+        result = result_of(server, "ping")
+        assert result["pong"] is True
+        assert result["protocol"] == protocol.PROTOCOL_VERSION
+
+    def test_unknown_method(self, server):
+        error = error_of(server, "nope")
+        assert error["code"] == protocol.METHOD_NOT_FOUND
+
+    def test_missing_method(self, server):
+        response = server.handle_request({"id": 7, "params": {}})
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+        assert response["id"] == 7
+
+    def test_bad_json_line(self, server):
+        response = json.loads(server.handle_line(b"{not json\n"))
+        assert response["error"]["code"] == protocol.PARSE_ERROR
+
+    def test_non_object_request(self, server):
+        response = json.loads(server.handle_line(b"[1,2]\n"))
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+
+    def test_missing_param(self, server, demo_file):
+        error = error_of(server, "points_to", file=demo_file)
+        assert error["code"] == protocol.INVALID_PARAMS
+
+    def test_unknown_pointer(self, server, demo_file):
+        error = error_of(server, "points_to", file=demo_file, ptr="zz")
+        assert error["code"] == protocol.INVALID_PARAMS
+        assert "zz" in error["message"]
+
+    def test_missing_file(self, server, tmp_path):
+        error = error_of(server, "points_to",
+                         file=str(tmp_path / "gone.c"), ptr="p")
+        assert error["code"] == protocol.FILE_ERROR
+
+    def test_unparsable_file(self, server, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text("int main( {")
+        error = error_of(server, "points_to", file=str(path), ptr="p")
+        assert error["code"] == protocol.ANALYSIS_ERROR
+
+    def test_budget_exceeded_is_structured(self, tmp_path):
+        server = AliasServer(ServerConfig(fscs_budget=1))
+        path = tmp_path / "demo.c"
+        path.write_text(DEMO)
+        error = error_of(server, "points_to", file=str(path), ptr="q")
+        assert error["code"] == protocol.BUDGET_EXCEEDED
+        assert error["data"]["analysis"] == "summary-engine"
+        assert error["data"]["steps"] > 1
+
+    def test_draining_rejects_new_queries(self, server, demo_file):
+        result_of(server, "shutdown")
+        error = error_of(server, "points_to", file=demo_file, ptr="q")
+        assert error["code"] == protocol.SHUTTING_DOWN
+        # stats stays reachable for observability while draining
+        assert result_of(server, "stats")["draining"] is True
+
+
+# ----------------------------------------------------------------------
+class TestQueries:
+    def test_points_to_matches_one_shot(self, server, demo_file):
+        for name in ("p", "q", "r", "s", "t", "u", "v", "w"):
+            result = result_of(server, "points_to", file=demo_file,
+                               ptr=name)
+            assert result["objects"] == fresh_points_to(DEMO, name), name
+
+    def test_alias(self, server, demo_file):
+        assert result_of(server, "alias", file=demo_file,
+                         p="p", q="q")["may_alias"] is True
+        assert result_of(server, "alias", file=demo_file,
+                         p="p", q="t")["may_alias"] is False
+
+    def test_must_alias(self, server, demo_file):
+        assert result_of(server, "must_alias", file=demo_file,
+                         p="r", q="s")["must_alias"] is True
+        assert result_of(server, "must_alias", file=demo_file,
+                         p="r", q="t")["must_alias"] is False
+
+    def test_demand_selection_reported(self, server, demo_file):
+        result = result_of(server, "points_to", file=demo_file, ptr="t")
+        assert result["clusters"]["selected"] < result["clusters"]["total"]
+
+    def test_diagnostics_match_one_shot(self, server):
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples", "memsafe_buggy.c")
+        result = result_of(server, "diagnostics", file=path)
+        from repro.checkers import run_checkers
+        from repro.core import diagnostics_to_dict
+        program = parse_program(open(os.path.abspath(path)).read(),
+                                entry="main", path=os.path.abspath(path))
+        report = run_checkers(program)
+        assert result["diagnostics"] == diagnostics_to_dict(
+            report.diagnostics)
+        assert {c["checker"] for c in result["checkers"]} \
+            == {st.checker for st in report.stats}
+
+    def test_diagnostics_unknown_checker(self, server, demo_file):
+        error = error_of(server, "diagnostics", file=demo_file,
+                         checkers=["nope"])
+        assert error["code"] == protocol.INVALID_PARAMS
+
+    def test_stats_counts_requests(self, server, demo_file):
+        result_of(server, "points_to", file=demo_file, ptr="q")
+        result_of(server, "points_to", file=demo_file, ptr="t")
+        stats = result_of(server, "stats")
+        assert stats["requests"]["points_to"]["count"] == 2
+        assert stats["files"]["loaded"] == 1
+        assert stats["clusters"]["entries"] > 0
+
+
+# ----------------------------------------------------------------------
+class TestIncrementality:
+    def test_noop_invalidate_reuses_everything(self, server, demo_file):
+        result_of(server, "points_to", file=demo_file, ptr="q")
+        refresh = result_of(server, "invalidate", file=demo_file)
+        assert refresh["reanalyzed"] == 0
+        assert refresh["reused"] == refresh["clusters"]
+
+    def test_one_function_edit_reanalyzes_only_changed_fingerprints(
+            self, server, demo_file):
+        result_of(server, "points_to", file=demo_file, ptr="u")
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        refresh = result_of(server, "invalidate", file=demo_file)
+        # Independently computed ground truth: the clusters whose
+        # payload fingerprints changed between the two programs.
+        changed = fingerprints_of(DEMO_EDITED) - fingerprints_of(DEMO)
+        assert refresh["reanalyzed"] == len(changed)
+        assert 0 < refresh["reanalyzed"] < refresh["clusters"]
+        assert refresh["reused"] == refresh["clusters"] \
+            - refresh["reanalyzed"]
+
+    def test_answers_after_invalidate_match_fresh_run(self, server,
+                                                      demo_file):
+        assert result_of(server, "points_to", file=demo_file,
+                         ptr="u")["objects"] == ["d"]
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        result_of(server, "invalidate", file=demo_file)
+        for name in ("p", "q", "r", "s", "t", "u", "v", "w"):
+            server_objs = result_of(server, "points_to", file=demo_file,
+                                    ptr=name)["objects"]
+            assert server_objs == fresh_points_to(DEMO_EDITED, name)
+
+    def test_watch_reloads_changed_file(self, server, demo_file):
+        result_of(server, "points_to", file=demo_file, ptr="u")
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        # Guarantee an observable stat change even on coarse mtime.
+        future = time.time() + 10
+        os.utime(demo_file, (future, future))
+        result = result_of(server, "points_to", file=demo_file, ptr="t")
+        assert result["objects"] == ["b"]
+
+    def test_no_watch_keeps_stale_answers_until_invalidate(self,
+                                                           demo_file):
+        server = AliasServer(ServerConfig(watch=False))
+        result_of(server, "points_to", file=demo_file, ptr="t")
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        future = time.time() + 10
+        os.utime(demo_file, (future, future))
+        assert result_of(server, "points_to", file=demo_file,
+                         ptr="t")["objects"] == ["d"]
+        result_of(server, "invalidate", file=demo_file)
+        assert result_of(server, "points_to", file=demo_file,
+                         ptr="t")["objects"] == ["b"]
+
+    def test_file_lru_eviction(self, tmp_path):
+        server = AliasServer(ServerConfig(max_files=1))
+        one = tmp_path / "one.c"
+        two = tmp_path / "two.c"
+        one.write_text(DEMO)
+        two.write_text(DEMO_EDITED)
+        result_of(server, "points_to", file=str(one), ptr="q")
+        result_of(server, "points_to", file=str(two), ptr="q")
+        assert server.files.paths() == [str(two)]
+        # The evicted file still answers (reload), and its unchanged
+        # clusters come back from the shared cluster store.
+        result = result_of(server, "points_to", file=str(one), ptr="t")
+        assert result["objects"] == ["d"]
+
+    def test_restart_warm_starts_from_disk_cache(self, tmp_path,
+                                                 demo_file):
+        cache_dir = str(tmp_path / "cache")
+        first = AliasServer(ServerConfig(cache_dir=cache_dir))
+        result_of(first, "points_to", file=demo_file, ptr="q")
+        # A brand-new daemon (fresh memory) over the same disk cache.
+        second = AliasServer(ServerConfig(cache_dir=cache_dir))
+        result_of(second, "points_to", file=demo_file, ptr="q")
+        state = second.files.states()[0]
+        assert state.refresh.reanalyzed == 0
+        assert state.refresh.reused == state.refresh.clusters
+
+
+# ----------------------------------------------------------------------
+def _serve_in_thread(server):
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"install_signal_handlers": False, "ready": ready},
+        daemon=True)
+    thread.start()
+    assert ready.wait(30.0)
+    return thread
+
+
+@pytest.fixture()
+def unix_daemon(demo_file):
+    tmp = tempfile.mkdtemp(prefix="repro-srv-")
+    sock = os.path.join(tmp, "repro.sock")
+    server = AliasServer(ServerConfig(), socket_path=sock)
+    thread = _serve_in_thread(server)
+    yield server, sock
+    server.request_shutdown()
+    thread.join(30.0)
+    assert not thread.is_alive()
+
+
+class TestTransport:
+    def test_unix_socket_round_trip(self, unix_daemon, demo_file):
+        _server, sock = unix_daemon
+        with ServerClient(socket_path=sock) as client:
+            assert client.ping()["pong"] is True
+            result = client.points_to(demo_file, "q")
+            assert result["objects"] == ["a"]
+            assert client.alias(demo_file, "p", "q")["may_alias"] is True
+
+    def test_multiple_requests_per_connection(self, unix_daemon,
+                                              demo_file):
+        _server, sock = unix_daemon
+        with ServerClient(socket_path=sock) as client:
+            for _ in range(5):
+                assert client.points_to(demo_file, "q")["objects"] == ["a"]
+
+    def test_error_surfaces_as_server_error(self, unix_daemon, demo_file):
+        _server, sock = unix_daemon
+        with ServerClient(socket_path=sock) as client:
+            with pytest.raises(ServerError) as exc:
+                client.points_to(demo_file, "zz")
+            assert exc.value.code == protocol.INVALID_PARAMS
+
+    def test_concurrent_clients(self, unix_daemon, demo_file):
+        _server, sock = unix_daemon
+        answers, errors = [], []
+
+        def worker(name):
+            try:
+                with ServerClient(socket_path=sock) as client:
+                    for _ in range(3):
+                        answers.append(
+                            tuple(client.points_to(demo_file,
+                                                   name)["objects"]))
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in ("q", "s", "u", "w")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not errors
+        assert len(answers) == 12
+        assert set(answers) == {("a",), ("c",), ("d",), ("e",)}
+
+    def test_shutdown_request_stops_server(self, demo_file):
+        tmp = tempfile.mkdtemp(prefix="repro-srv-")
+        sock = os.path.join(tmp, "repro.sock")
+        server = AliasServer(ServerConfig(), socket_path=sock)
+        thread = _serve_in_thread(server)
+        with ServerClient(socket_path=sock) as client:
+            assert client.shutdown()["shutting_down"] is True
+        thread.join(30.0)
+        assert not thread.is_alive()
+        assert not os.path.exists(sock)
+
+    def test_tcp_round_trip(self, demo_file):
+        server = AliasServer(ServerConfig(), port=0)
+        server.bind()                       # resolves the ephemeral port
+        thread = _serve_in_thread(server)
+        try:
+            wait_for_server(port=server.port, timeout=30.0)
+            with ServerClient(port=server.port) as client:
+                assert client.points_to(demo_file, "q")["objects"] == ["a"]
+        finally:
+            server.request_shutdown()
+            thread.join(30.0)
+        assert not thread.is_alive()

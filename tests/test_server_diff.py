@@ -1,0 +1,109 @@
+"""Differential: daemon answers are bit-identical to one-shot runs.
+
+The daemon serves from resident per-cluster outcomes (and re-serves
+after fingerprint-grained invalidation), so every answer must match what
+a fresh ``BootstrapAnalyzer`` run over the current file contents says —
+for every pointer, for alias pairs, and across an edit + invalidate
+round-trip.
+"""
+
+import itertools
+import os
+import re
+
+import pytest
+
+from repro.bench.synth import SynthConfig, generate_source
+from repro.core import BootstrapAnalyzer
+from repro.frontend import parse_program
+from repro.ir import Loc
+from repro.server import AliasServer, ServerConfig
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def one_shot(source, path=None):
+    """Fresh parse + bootstrap with the daemon's default knobs."""
+    program = parse_program(source, entry="main", path=path)
+    result = BootstrapAnalyzer(program).run()
+    loc = Loc(program.entry, program.cfg_of(program.entry).exit)
+    return program, result, loc
+
+
+def assert_server_matches_one_shot(server, path, max_alias_pairs=60):
+    with open(path, "r") as handle:
+        source = handle.read()
+    program, result, loc = one_shot(source, path=path)
+    pointers = sorted(program.pointers, key=str)
+    for p in pointers:
+        served = server.handle_request(
+            {"id": 1, "method": "points_to",
+             "params": {"file": path, "ptr": str(p)}})["result"]
+        expected = sorted(str(o) for o in result.points_to(p, loc))
+        assert served["objects"] == expected, str(p)
+    for p, q in itertools.islice(
+            itertools.combinations(pointers, 2), max_alias_pairs):
+        served = server.handle_request(
+            {"id": 1, "method": "alias",
+             "params": {"file": path, "p": str(p), "q": str(q)}})["result"]
+        assert served["may_alias"] == result.may_alias(p, q, loc), \
+            (str(p), str(q))
+
+
+@pytest.mark.parametrize("example", ["memsafe_clean.c", "memsafe_buggy.c"])
+def test_examples_bit_identical(tmp_path, example):
+    # Copy so the served path is private to the test (watch mode stats).
+    source = open(os.path.join(EXAMPLES, example)).read()
+    path = str(tmp_path / example)
+    with open(path, "w") as handle:
+        handle.write(source)
+    server = AliasServer(ServerConfig())
+    assert_server_matches_one_shot(server, path)
+
+
+def test_synthetic_bit_identical(tmp_path):
+    source = generate_source(SynthConfig(name="diff", pointers=60,
+                                         seed=11))
+    path = str(tmp_path / "synth.c")
+    with open(path, "w") as handle:
+        handle.write(source)
+    server = AliasServer(ServerConfig())
+    assert_server_matches_one_shot(server, path)
+
+
+def test_invalidate_round_trip_bit_identical(tmp_path):
+    """Edit one function, invalidate, and require post-edit answers to
+    match a fresh one-shot run of the edited source — while only a
+    fraction of the clusters was re-analyzed."""
+    source = generate_source(SynthConfig(name="diff-edit", pointers=60,
+                                         seed=11))
+    path = str(tmp_path / "synth.c")
+    with open(path, "w") as handle:
+        handle.write(source)
+    server = AliasServer(ServerConfig())
+    assert_server_matches_one_shot(server, path, max_alias_pairs=20)
+
+    match = re.search(r"(w(\d+)p1) = w\2p0;", source)
+    assert match is not None
+    edited = source.replace(
+        match.group(0), f"{match.group(1)} = &w{match.group(2)}t0;", 1)
+    assert edited != source
+    with open(path, "w") as handle:
+        handle.write(edited)
+    refresh = server.handle_request(
+        {"id": 1, "method": "invalidate",
+         "params": {"file": path}})["result"]
+    assert 0 < refresh["reanalyzed"] < refresh["clusters"]
+    assert_server_matches_one_shot(server, path, max_alias_pairs=20)
+
+
+def test_backend_processes_bit_identical(tmp_path):
+    """The daemon's answers are backend-independent: serving with the
+    multiprocess cluster backend matches a simulate-backend one-shot."""
+    source = generate_source(SynthConfig(name="diff-proc", pointers=40,
+                                         seed=5))
+    path = str(tmp_path / "synth.c")
+    with open(path, "w") as handle:
+        handle.write(source)
+    server = AliasServer(ServerConfig(backend="processes", jobs=2))
+    assert_server_matches_one_shot(server, path, max_alias_pairs=20)
