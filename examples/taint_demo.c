@@ -1,0 +1,41 @@
+/* Taint-analysis demo: untrusted data reaching sensitive sinks.
+ *
+ *   python -m repro taint examples/taint_demo.c
+ *
+ * Two seeded flows:
+ *   - getenv() -> fill() stores through a pointer -> system()   [error]
+ *   - input()  -> printf() format argument                      [warning]
+ * One clean path: the sanitized command never reports.
+ */
+
+int getenv(int x);
+int system(int cmd);
+int printf(int fmt, int arg);
+int sanitize(int v);
+int input(void);
+
+int cmd_slot;
+
+void fill(int *out) {
+    int v;
+    v = getenv(7);
+    *out = v;          /* taint flows through the pointer */
+}
+
+void run(int c) {
+    system(c);         /* sink: reached from getenv() via fill() */
+}
+
+int main() {
+    int n;
+    int safe;
+    fill(&cmd_slot);
+    run(cmd_slot);
+
+    n = input();
+    printf(n, 0);      /* sink: format string from input() */
+
+    safe = sanitize(getenv(3));
+    system(safe);      /* sanitized: no finding */
+    return 0;
+}

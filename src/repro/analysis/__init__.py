@@ -21,7 +21,13 @@ from .fsci import FSCI, FSCIResult
 from .fscs import ClusterFSCS, whole_program_fscs
 from .mustalias import MustAlias, MustAliasResult, MUST_NULL, TOP as MUST_TOP
 from .oneflow import OneFlow
-from .oracle import ConcreteExecutor, OracleResult, execute
+from .oracle import (
+    ConcreteExecutor,
+    ConcreteTaintExecutor,
+    OracleResult,
+    execute,
+    execute_taint,
+)
 from .steensgaard import Steensgaard, SteensgaardResult
 from .summaries import (
     AddrTerm,
@@ -37,11 +43,13 @@ from .unionfind import UnionFind
 
 __all__ = [
     "Andersen", "AndersenResult", "AddrTerm", "Atom", "ClusterFSCS",
-    "ConcreteExecutor", "Constraint", "DemandAndersen", "DerefTerm", "FSCI", "FSCIResult", "demand_points_to",
+    "ConcreteExecutor", "ConcreteTaintExecutor", "Constraint",
+    "DemandAndersen", "DerefTerm", "FSCI", "FSCIResult", "demand_points_to",
     "ForwardDataflow", "MapPointsTo", "MustAlias", "MustAliasResult", "NULL_MARKER", "NullTerm", "ObjTerm", "OneFlow", "null_atom",
     "OracleResult", "PointerAnalysis", "PointsToResult", "SatOracle",
     "Steensgaard", "SteensgaardResult", "SummaryEngine", "SummaryTuple",
     "Supergraph", "TRUE", "Term", "UnionFind", "UnknownTerm", "conjoin",
-    "execute", "format_constraint", "merge", "points_to_atom",
+    "execute", "execute_taint", "format_constraint", "merge",
+    "points_to_atom",
     "precision_refines", "same_object_atom", "whole_program_fscs",
 ]

@@ -211,3 +211,125 @@ def execute(program: Program, max_steps: int = 300,
             max_paths: int = 4000) -> OracleResult:
     """Convenience wrapper: run the bounded concrete executor."""
     return ConcreteExecutor(program, max_steps, max_paths).run()
+
+
+# ---------------------------------------------------------------------------
+# taint oracle
+# ---------------------------------------------------------------------------
+
+#: One concretely-realized flow: (source fn, source loc, sink fn,
+#: sink loc, sink argument index).
+RealizedFlow = Tuple[str, Loc, str, Loc, int]
+
+
+class ConcreteTaintExecutor(ConcreteExecutor):
+    """The concrete executor with library-call taint semantics layered on.
+
+    Taint rides in the same state dict under ``("taint", cell)`` keys
+    (value: frozenset of ``(source_fn, source_loc)`` events), so path
+    enumeration, call/return and branch handling are inherited verbatim.
+    Every sink hit observed on a concrete path is a *genuine* flow, so
+    the static engine must report a superset:
+
+        oracle.flows  ⊆  {flow.key() projections of run_taint(...)}
+    """
+
+    def __init__(self, program: Program, spec: Optional[object] = None,
+                 max_steps: int = 300, max_paths: int = 4000) -> None:
+        super().__init__(program, max_steps, max_paths)
+        from .taint import TaintSpec
+        self.spec = spec if spec is not None else TaintSpec.default()
+        self.flows: Set[RealizedFlow] = set()
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _taint(state: Dict[MemObject, Value],
+               cell: Value) -> FrozenSet[Tuple[str, Loc]]:
+        return state.get(("taint", cell), frozenset())  # type: ignore[arg-type,return-value]
+
+    def _record(self, loc: Loc, state: Dict[MemObject, Value],
+                result: OracleResult) -> None:
+        for cell, value in state.items():
+            if isinstance(cell, tuple):  # taint entry, not a memory cell
+                continue
+            if value in (NULL, UNINIT):
+                continue
+            result.pts.setdefault(cell, set()).add(value)  # type: ignore[arg-type]
+            result.pts_at.setdefault((loc, cell), set()).add(value)  # type: ignore[arg-type]
+
+    # -- semantics ---------------------------------------------------------
+    def _step(self, loc: Loc, state: Dict[MemObject, Value]
+              ) -> Dict[MemObject, Value]:
+        from ..ir import ExternCall
+        stmt = self.program.stmt_at(loc)
+        if isinstance(stmt, ExternCall):
+            return self._extern(loc, stmt, state)
+        pre = state
+        state = dict(super()._step(loc, state))
+        if isinstance(stmt, Copy):
+            state[("taint", stmt.lhs)] = self._taint(pre, stmt.rhs)  # type: ignore[index]
+        elif isinstance(stmt, (AddrOf, NullAssign)):
+            state[("taint", stmt.lhs)] = frozenset()  # type: ignore[index]
+        elif isinstance(stmt, Load):
+            target = pre.get(stmt.rhs, UNINIT)
+            state[("taint", stmt.lhs)] = (  # type: ignore[index]
+                frozenset() if target in (NULL, UNINIT)
+                else self._taint(pre, target))
+        elif isinstance(stmt, Store):
+            target = pre.get(stmt.lhs, UNINIT)
+            if target not in (NULL, UNINIT):
+                state[("taint", target)] = self._taint(pre, stmt.rhs)  # type: ignore[index]
+        return state
+
+    def _extern(self, loc: Loc, stmt: "object",
+                state: Dict[MemObject, Value]) -> Dict[MemObject, Value]:
+        """Mirror the engine's extern-call order: sink check on the
+        pre-call state, then result kill, sanitizer, source gen."""
+        state = dict(state)
+        name, args, ret = stmt.name, stmt.args, stmt.result  # type: ignore[attr-defined]
+        sink = self.spec.sinks.get(name)
+        if sink is not None:
+            for idx in sink.args:
+                if idx >= len(args):
+                    continue
+                events = set(self._taint(state, args[idx]))
+                pointee = state.get(args[idx], UNINIT)
+                if pointee not in (NULL, UNINIT):
+                    events |= self._taint(state, pointee)
+                for src_fn, src_loc in events:
+                    self.flows.add((src_fn, src_loc, name, loc, idx))
+        if ret is not None:
+            state[ret] = UNINIT
+            state[("taint", ret)] = frozenset()  # type: ignore[index]
+        sanitizer = self.spec.sanitizers.get(name)
+        if sanitizer is not None:
+            for effect in sanitizer.cleans:
+                if effect == "return":
+                    if ret is not None:
+                        state[("taint", ret)] = frozenset()  # type: ignore[index]
+                elif effect < len(args):
+                    state[("taint", args[effect])] = frozenset()  # type: ignore[index]
+                    pointee = state.get(args[effect], UNINIT)
+                    if pointee not in (NULL, UNINIT):
+                        state[("taint", pointee)] = frozenset()  # type: ignore[index]
+        source = self.spec.sources.get(name)
+        if source is not None:
+            event = frozenset({(name, loc)})
+            for effect in source.taints:
+                if effect == "return":
+                    if ret is not None:
+                        state[("taint", ret)] = event  # type: ignore[index]
+                elif effect < len(args):
+                    pointee = state.get(args[effect], UNINIT)
+                    if pointee not in (NULL, UNINIT):
+                        state[("taint", pointee)] = event  # type: ignore[index]
+        return state
+
+
+def execute_taint(program: Program, spec: Optional[object] = None,
+                  max_steps: int = 300, max_paths: int = 4000
+                  ) -> Tuple[OracleResult, Set[RealizedFlow]]:
+    """Run the taint oracle; returns (points-to facts, realized flows)."""
+    executor = ConcreteTaintExecutor(program, spec, max_steps, max_paths)
+    result = executor.run()
+    return result, executor.flows

@@ -1,0 +1,726 @@
+"""Interprocedural source-to-sink taint propagation over the cascade.
+
+This is the client the paper's flexibility pitch asks for: a
+flow-sensitive, context-sensitive analysis that only needs alias
+precision for the pointers tainted data actually moves through.  The
+engine is split the same way the cascade is:
+
+* **Spec** (:class:`TaintSpec`) — sources, sinks and sanitizers are
+  declared per library function (built-in defaults for the toy-C corpus,
+  or a user JSON file).  Library calls appear in the IR as
+  :class:`~repro.ir.ExternCall` statements with positionally
+  materialized arguments, so rules match by function name + argument
+  index.
+
+* **Propagation** (:class:`TaintEngine`) — per-function forward
+  dataflow over taint *provenance sets*.  Indirect loads and stores
+  resolve through a caller-supplied ``resolver(loc, ptr)`` callback
+  (backed by a demand-selected sliced FSCI, see
+  :mod:`repro.checkers.taint`); pointers the resolver cannot answer are
+  reported back as *demanded* so the driver can select their clusters
+  and re-run — the paper's demand-driven loop.
+
+* **Summaries** — functions are processed in reverse-topological SCC
+  order (callees first, mirroring Algorithms 4-5): each function gets a
+  transfer summary mapping output cells to the input cells / source
+  events that taint them, plus the sink hits that fire when a given
+  input cell is tainted.  Call sites apply summaries instead of
+  re-walking callee bodies, which is what makes the engine
+  context-sensitive without context cloning.
+
+Every fact carries a witness *step list* (location + note per hop); a
+completed source-to-sink flow therefore has a full trace from the
+source call through stores/loads/calls to the sink argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..ir import (
+    AddrOf,
+    AllocSite,
+    CallStmt,
+    Copy,
+    ExternCall,
+    Load,
+    Loc,
+    MemObject,
+    NullAssign,
+    Program,
+    Store,
+    Var,
+)
+from ..ir.callgraph import CallGraph
+
+# ---------------------------------------------------------------------------
+# spec model
+# ---------------------------------------------------------------------------
+
+#: "return" or an argument index — where a source deposits taint
+#: (``arg:i`` taints what the i-th argument points to) and what a
+#: sanitizer cleans.
+Effect = Any  # str "return" | int
+
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass(frozen=True)
+class SourceRule:
+    """``function`` introduces tainted data."""
+
+    function: str
+    #: Effects: "return" taints the returned value, an int ``i`` taints
+    #: the object(s) the i-th argument points to (a read-into-buffer).
+    taints: Tuple[Effect, ...] = ("return",)
+
+
+@dataclass(frozen=True)
+class SinkRule:
+    """``function`` must not receive tainted data in these arguments."""
+
+    function: str
+    args: Tuple[int, ...] = (0,)
+    severity: str = "error"
+
+
+@dataclass(frozen=True)
+class SanitizerRule:
+    """``function`` launders taint away."""
+
+    function: str
+    #: "return" cleans the returned value; an int ``i`` cleans the i-th
+    #: argument variable (and its pointee when it is unambiguous).
+    cleans: Tuple[Effect, ...] = ("return",)
+
+
+def _parse_effect(raw: Any) -> Effect:
+    if raw == "return":
+        return "return"
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, str) and raw.startswith("arg:"):
+        return int(raw.split(":", 1)[1])
+    raise ValueError(f"bad taint effect {raw!r} "
+                     "(expected \"return\", \"arg:N\" or an integer)")
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Sources, sinks and sanitizers keyed by library-function name."""
+
+    sources: Mapping[str, SourceRule] = field(default_factory=dict)
+    sinks: Mapping[str, SinkRule] = field(default_factory=dict)
+    sanitizers: Mapping[str, SanitizerRule] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def default(cls) -> "TaintSpec":
+        """The built-in rules for the toy-C corpus: ``input()``-style
+        sources, ``system()``/format-style sinks."""
+        sources = {
+            "input": SourceRule("input"),
+            "read_input": SourceRule("read_input"),
+            "getenv": SourceRule("getenv"),
+            "gets": SourceRule("gets", taints=("return", 0)),
+            "fgets": SourceRule("fgets", taints=("return", 0)),
+            "scanf": SourceRule("scanf", taints=(1,)),
+            "recv": SourceRule("recv", taints=(1,)),
+            "read": SourceRule("read", taints=(1,)),
+        }
+        sinks = {
+            "system": SinkRule("system"),
+            "popen": SinkRule("popen"),
+            "exec": SinkRule("exec"),
+            "execl": SinkRule("execl"),
+            "eval_query": SinkRule("eval_query"),
+            "sql_query": SinkRule("sql_query"),
+            "printf": SinkRule("printf", severity="warning"),
+            "syslog": SinkRule("syslog", args=(1,), severity="warning"),
+        }
+        sanitizers = {
+            "sanitize": SanitizerRule("sanitize"),
+            "escape": SanitizerRule("escape"),
+            "quote": SanitizerRule("quote"),
+            "atoi": SanitizerRule("atoi"),
+        }
+        return cls(sources=sources, sinks=sinks, sanitizers=sanitizers)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaintSpec":
+        """Parse the ``--taint-spec`` JSON shape::
+
+            {"sources":    {"input": {"taints": ["return", "arg:0"]}},
+             "sinks":      {"system": {"args": [0], "severity": "error"}},
+             "sanitizers": {"escape": {"cleans": ["return"]}}}
+        """
+        sources: Dict[str, SourceRule] = {}
+        for name, rule in dict(data.get("sources", {})).items():
+            taints = tuple(_parse_effect(e)
+                           for e in rule.get("taints", ["return"]))
+            sources[name] = SourceRule(name, taints=taints)
+        sinks: Dict[str, SinkRule] = {}
+        for name, rule in dict(data.get("sinks", {})).items():
+            severity = rule.get("severity", "error")
+            if severity not in SEVERITIES:
+                raise ValueError(f"bad sink severity {severity!r} for "
+                                 f"{name!r} (expected one of "
+                                 f"{', '.join(SEVERITIES)})")
+            sinks[name] = SinkRule(
+                name, args=tuple(int(a) for a in rule.get("args", [0])),
+                severity=severity)
+        sanitizers: Dict[str, SanitizerRule] = {}
+        for name, rule in dict(data.get("sanitizers", {})).items():
+            cleans = tuple(_parse_effect(e)
+                           for e in rule.get("cleans", ["return"]))
+            sanitizers[name] = SanitizerRule(name, cleans=cleans)
+        return cls(sources=sources, sinks=sinks, sanitizers=sanitizers)
+
+    @classmethod
+    def load(cls, path: str) -> "TaintSpec":
+        with open(path, "r") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sources": {
+                name: {"taints": ["return" if e == "return" else f"arg:{e}"
+                                  for e in rule.taints]}
+                for name, rule in sorted(self.sources.items())},
+            "sinks": {
+                name: {"args": list(rule.args), "severity": rule.severity}
+                for name, rule in sorted(self.sinks.items())},
+            "sanitizers": {
+                name: {"cleans": ["return" if e == "return" else f"arg:{e}"
+                                  for e in rule.cleans]}
+                for name, rule in sorted(self.sanitizers.items())},
+        }
+
+    def digest(self) -> str:
+        """A stable fingerprint of the rules (cache key component)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# provenance values
+# ---------------------------------------------------------------------------
+
+#: One witness hop: where, and what happened there.
+Step = Tuple[Loc, str]
+Steps = Tuple[Step, ...]
+
+#: Provenance token: ("src", function_name, loc) for a source event,
+#: ("in", cell) for "tainted iff this cell was tainted at function entry".
+Token = Tuple[Any, ...]
+
+#: Per-cell taint: provenance token -> first-recorded witness steps.
+TaintVal = Dict[Token, Steps]
+#: Dataflow state: cell -> taint value.  A cell explicitly mapped to an
+#: empty dict is *known clean* (strong kill); an absent boundary cell
+#: defaults to depending on itself at entry.
+TaintState = Dict[MemObject, TaintVal]
+
+#: ``resolver(loc, ptr)`` -> points-to set, or None when ``ptr`` is
+#: outside the currently demanded clusters.
+Resolver = Callable[[Loc, Var], Optional[FrozenSet[MemObject]]]
+
+
+def _cell_key(cell: MemObject) -> Tuple[int, str, str]:
+    if isinstance(cell, AllocSite):
+        return (1, cell.label, "")
+    return (0, cell.name, cell.function or "")
+
+
+def _token_key(tok: Token) -> Tuple[Any, ...]:
+    if tok[0] == "src":
+        return (0, tok[1], tok[2].function, tok[2].index)
+    return (1,) + _cell_key(tok[1])
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One completed source-to-sink flow with its witness trace."""
+
+    source_fn: str
+    source_loc: Loc
+    sink_fn: str
+    sink_loc: Loc
+    sink_arg: int
+    severity: str
+    steps: Steps
+
+    def key(self) -> Tuple[Any, ...]:
+        return (self.source_fn, self.source_loc.function,
+                self.source_loc.index, self.sink_fn,
+                self.sink_loc.function, self.sink_loc.index, self.sink_arg)
+
+
+@dataclass
+class FunctionSummary:
+    """Context-sensitive transfer facts for one function.
+
+    ``outputs`` maps each non-private cell the function may taint to the
+    provenance tokens that taint it (source events, or ``("in", c)`` —
+    "tainted iff input cell ``c`` was tainted at entry").  ``sink_hits``
+    are conditional: the sink fires when the named input cell arrives
+    tainted.  Both grow monotonically across the SCC fixpoint.
+    """
+
+    outputs: Dict[MemObject, TaintVal] = field(default_factory=dict)
+    #: (sink_fn, sink_loc, arg_index, input_cell) -> witness steps
+    sink_hits: Dict[Tuple[str, Loc, int, MemObject], Steps] = \
+        field(default_factory=dict)
+
+    def shape(self) -> Tuple[FrozenSet, FrozenSet]:
+        """The convergence-relevant structure (steps excluded)."""
+        out = frozenset((cell, tok) for cell, toks in self.outputs.items()
+                        for tok in toks)
+        hits = frozenset(self.sink_hits)
+        return (out, hits)
+
+
+@dataclass
+class TaintReport:
+    """Everything one :meth:`TaintEngine.run` produced."""
+
+    flows: List[TaintFlow]
+    #: Pointers the engine needed points-to facts for but the resolver
+    #: could not answer — the driver's next demand set.
+    demanded: FrozenSet[Var]
+    functions_analyzed: int
+    scc_passes: int
+
+
+class TaintEngine:
+    """One propagation pass over the whole program.
+
+    The engine is alias-oblivious by construction: every indirect
+    operation goes through ``resolver``.  Run it with a full-program
+    FSCI resolver for the baseline, or with a demand-sliced resolver
+    plus the re-run loop for the paper's bootstrapped mode.
+    """
+
+    def __init__(self, program: Program, spec: TaintSpec,
+                 resolver: Resolver,
+                 callgraph: Optional[CallGraph] = None,
+                 max_trace: int = 24) -> None:
+        self.program = program
+        self.spec = spec
+        self.resolver = resolver
+        self.callgraph = callgraph or CallGraph(program)
+        self.max_trace = max_trace
+        self._summaries: Dict[str, FunctionSummary] = {}
+        self._flows: Dict[Tuple[Any, ...], TaintFlow] = {}
+        self._demanded: Set[Var] = set()
+        self._scc_passes = 0
+        self._current = ""
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> TaintReport:
+        for scc in self.callgraph.sccs():  # reverse topological: callees first
+            group = sorted(scc)
+            for name in group:
+                self._summaries.setdefault(name, FunctionSummary())
+            while True:
+                self._scc_passes += 1
+                changed = False
+                for name in group:
+                    before = self._summaries[name].shape()
+                    self._summarize(name)
+                    if self._summaries[name].shape() != before:
+                        changed = True
+                if not changed:
+                    break
+        flows = sorted(self._flows.values(),
+                       key=lambda f: (f.sink_loc.function, f.sink_loc.index,
+                                      f.sink_arg, f.source_loc.function,
+                                      f.source_loc.index))
+        return TaintReport(
+            flows=flows,
+            demanded=frozenset(self._demanded),
+            functions_analyzed=len(self._summaries),
+            scc_passes=self._scc_passes)
+
+    # ------------------------------------------------------------------
+    # per-function dataflow
+    # ------------------------------------------------------------------
+    def _is_private(self, cell: MemObject, func: str) -> bool:
+        """Cells invisible outside ``func``: its non-conduit locals."""
+        return (isinstance(cell, Var) and cell.function == func
+                and not cell.name.startswith(("$param", "$retval")))
+
+    def _taint_of(self, state: TaintState, cell: MemObject,
+                  func: str) -> TaintVal:
+        val = state.get(cell)
+        if val is not None:
+            return val
+        if self._is_private(cell, func):
+            return {}
+        # Boundary cell never written yet: tainted iff it arrived tainted.
+        return {("in", cell): ()}
+
+    def _extend(self, steps: Steps, step: Step) -> Steps:
+        if len(steps) >= self.max_trace:
+            return steps
+        return steps + (step,)
+
+    def _merge_into(self, state: TaintState, cell: MemObject,
+                    incoming: TaintVal, func: str) -> None:
+        """Weak update: union ``incoming`` into the cell's taint."""
+        current = dict(self._taint_of(state, cell, func))
+        for tok, steps in incoming.items():
+            if tok not in current:
+                current[tok] = steps
+        state[cell] = current
+
+    def _join(self, a: Optional[TaintState], b: TaintState) -> TaintState:
+        if a is None:
+            return {cell: dict(val) for cell, val in b.items()}
+        out: TaintState = {cell: dict(val) for cell, val in a.items()}
+        for cell, val in b.items():
+            cur = out.get(cell)
+            if cur is None:
+                # Present in one branch only: the other branch kept the
+                # entry-default, so re-add it alongside.
+                merged = dict(val)
+                for tok, steps in self._default_tokens(cell).items():
+                    merged.setdefault(tok, steps)
+                out[cell] = merged
+            else:
+                for tok, steps in val.items():
+                    cur.setdefault(tok, steps)
+        # Cells in `a` only: join with `b`'s implicit default.
+        for cell, cur in out.items():
+            if cell not in b:
+                for tok, steps in self._default_tokens(cell).items():
+                    cur.setdefault(tok, steps)
+        return out
+
+    def _default_tokens(self, cell: MemObject) -> TaintVal:
+        if self._is_private(cell, self._current):
+            return {}
+        return {("in", cell): ()}
+
+    def _states_equal(self, a: TaintState, b: TaintState) -> bool:
+        if a.keys() != b.keys():
+            return False
+        return all(a[c].keys() == b[c].keys() for c in a)
+
+    def _summarize(self, func: str) -> None:
+        self._current = func
+        cfg = self.program.cfg_of(func)
+        nodes = self._rpo(cfg)
+        in_states: Dict[int, Optional[TaintState]] = {n: None for n in nodes}
+        in_states[cfg.entry] = {}
+        worklist = list(nodes)
+        summary = self._summaries[func]
+        iterations = 0
+        # A node re-enters the worklist only when its in-state gained a
+        # provenance token, so iterations are bounded by total token
+        # growth; the limit is a safety valve, not an expected exit.
+        limit = 1000 * max(1, len(nodes))
+        while worklist:
+            iterations += 1
+            if iterations > limit:  # pragma: no cover - safety valve
+                break
+            node = worklist.pop(0)
+            in_state = in_states[node]
+            if in_state is None:
+                continue
+            out_state = self._transfer(Loc(func, node), in_state)
+            for succ in cfg.successors(node):
+                joined = self._join(in_states[succ], out_state)
+                if in_states[succ] is None or \
+                        not self._states_equal(in_states[succ], joined):
+                    in_states[succ] = joined
+                    if succ not in worklist:
+                        worklist.append(succ)
+        exit_state = in_states.get(cfg.exit)
+        if exit_state is None:
+            exit_state = {}
+        # Fold the exit state into the summary (monotone growth).
+        for cell in sorted(exit_state, key=_cell_key):
+            if self._is_private(cell, func):
+                continue
+            toks = exit_state[cell]
+            if not toks:
+                continue
+            current = summary.outputs.setdefault(cell, {})
+            for tok in sorted(toks, key=_token_key):
+                current.setdefault(tok, toks[tok])
+
+    def _rpo(self, cfg) -> List[int]:
+        """Reverse post-order from the entry (deterministic)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(cfg.entry, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            for succ in reversed(list(cfg.successors(node))):
+                if succ not in seen:
+                    stack.append((succ, False))
+        order.reverse()
+        # Unreachable nodes keep their index order at the end.
+        order.extend(n for n in cfg.nodes() if n not in seen)
+        return order
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+    def _transfer(self, loc: Loc, state: TaintState) -> TaintState:
+        stmt = self.program.stmt_at(loc)
+        func = loc.function
+        if isinstance(stmt, Copy):
+            out = dict(state)
+            out[stmt.lhs] = dict(self._taint_of(state, stmt.rhs, func))
+            return out
+        if isinstance(stmt, (AddrOf, NullAssign)):
+            out = dict(state)
+            out[stmt.lhs] = {}
+            return out
+        if isinstance(stmt, Load):
+            return self._transfer_load(loc, stmt, state)
+        if isinstance(stmt, Store):
+            return self._transfer_store(loc, stmt, state)
+        if isinstance(stmt, ExternCall):
+            return self._transfer_extern(loc, stmt, state)
+        if isinstance(stmt, CallStmt):
+            return self._transfer_call(loc, stmt, state)
+        return state
+
+    def _has_taint(self, state: TaintState) -> bool:
+        return any(state.values())
+
+    def _transfer_load(self, loc: Loc, stmt: Load,
+                       state: TaintState) -> TaintState:
+        func = loc.function
+        out = dict(state)
+        pts = self.resolver(loc, stmt.rhs)
+        if pts is None:
+            # Unknown pointer: any taint it could read arrived through a
+            # demanded pointer whose cluster also contains this one, so
+            # ask for it when taint is in flight and treat the read as
+            # clean this round.
+            if self._has_taint(state):
+                self._demanded.add(stmt.rhs)
+            out[stmt.lhs] = {}
+            return out
+        gathered: TaintVal = {}
+        note = f"tainted value loaded via *{stmt.rhs.name}"
+        for obj in sorted(pts, key=_cell_key):
+            for tok, steps in self._taint_of(state, obj, func).items():
+                if tok not in gathered:
+                    gathered[tok] = self._extend(steps, (loc, note))
+        out[stmt.lhs] = gathered
+        return out
+
+    def _transfer_store(self, loc: Loc, stmt: Store,
+                        state: TaintState) -> TaintState:
+        func = loc.function
+        rhs_taint = self._taint_of(state, stmt.rhs, func)
+        if not rhs_taint:
+            return state
+        pts = self.resolver(loc, stmt.lhs)
+        if pts is None:
+            self._demanded.add(stmt.lhs)
+            return state
+        out = dict(state)
+        note = f"tainted value stored via *{stmt.lhs.name}"
+        stepped = {tok: self._extend(steps, (loc, note))
+                   for tok, steps in rhs_taint.items()}
+        for obj in sorted(pts, key=_cell_key):
+            self._merge_into(out, obj, stepped, func)
+        return out
+
+    def _transfer_extern(self, loc: Loc, stmt: ExternCall,
+                         state: TaintState) -> TaintState:
+        func = loc.function
+        # 1. Sinks observe the state *before* the call's own effects.
+        sink = self.spec.sinks.get(stmt.name)
+        if sink is not None:
+            self._check_sink(loc, stmt, sink, state)
+        out = dict(state)
+        # 2. The returned value is fresh (and clean) by default.
+        if stmt.result is not None:
+            out[stmt.result] = {}
+        # 3. Sanitizers launder argument taint.
+        sanitizer = self.spec.sanitizers.get(stmt.name)
+        if sanitizer is not None:
+            for effect in sanitizer.cleans:
+                if effect == "return":
+                    continue  # result already cleared above
+                if not isinstance(effect, int) or effect >= len(stmt.args):
+                    continue
+                arg = stmt.args[effect]
+                out[arg] = {}
+                pts = self.resolver(loc, arg)
+                if pts is not None and len(pts) == 1:
+                    # Unambiguous pointee: strong clear is safe.
+                    out[next(iter(pts))] = {}
+        # 4. Sources deposit fresh provenance.
+        source = self.spec.sources.get(stmt.name)
+        if source is not None:
+            for effect in source.taints:
+                if effect == "return":
+                    if stmt.result is None:
+                        continue
+                    out[stmt.result] = {
+                        ("src", stmt.name, loc):
+                        ((loc, f"tainted by {stmt.name}()"),)}
+                    continue
+                if not isinstance(effect, int) or effect >= len(stmt.args):
+                    continue
+                arg = stmt.args[effect]
+                pts = self.resolver(loc, arg)
+                if pts is None:
+                    self._demanded.add(arg)
+                    continue
+                gen = {("src", stmt.name, loc):
+                       ((loc, f"buffer filled by {stmt.name}()"),)}
+                for obj in sorted(pts, key=_cell_key):
+                    self._merge_into(out, obj, gen, func)
+        return out
+
+    def _check_sink(self, loc: Loc, stmt: ExternCall, sink: SinkRule,
+                    state: TaintState) -> None:
+        func = loc.function
+        summary = self._summaries[func]
+        for index in sink.args:
+            if index >= len(stmt.args):
+                continue
+            arg = stmt.args[index]
+            reaching: TaintVal = dict(self._taint_of(state, arg, func))
+            pts = self.resolver(loc, arg)
+            if pts is None:
+                if self._has_taint(state):
+                    self._demanded.add(arg)
+            else:
+                for obj in sorted(pts, key=_cell_key):
+                    for tok, steps in self._taint_of(state, obj,
+                                                     func).items():
+                        reaching.setdefault(tok, steps)
+            for tok in sorted(reaching, key=_token_key):
+                steps = reaching[tok]
+                if tok[0] == "src":
+                    self._emit(tok, stmt.name, loc, index, sink.severity,
+                               steps)
+                else:  # conditional on an input cell
+                    summary.sink_hits.setdefault(
+                        (stmt.name, loc, index, tok[1]), steps)
+
+    def _transfer_call(self, loc: Loc, stmt: CallStmt,
+                       state: TaintState) -> TaintState:
+        targets = [t for t in stmt.targets if t in self.program.functions]
+        if not targets:
+            return state
+        joined: Optional[TaintState] = None
+        for target in sorted(targets):
+            effect = self._apply_summary(loc, target, state)
+            joined = effect if joined is None else self._join(joined, effect)
+        return joined if joined is not None else state
+
+    def _apply_summary(self, loc: Loc, callee: str,
+                       state: TaintState) -> TaintState:
+        func = loc.function
+        summary = self._summaries.get(callee)
+        if summary is None:
+            return state
+        out = dict(state)
+        call_step: Step = (loc, f"through call to {callee}()")
+        for cell in sorted(summary.outputs, key=_cell_key):
+            contribution: TaintVal = {}
+            for tok in sorted(summary.outputs[cell], key=_token_key):
+                callee_steps = summary.outputs[cell][tok]
+                if tok[0] == "src":
+                    if tok not in contribution:
+                        contribution[tok] = callee_steps
+                else:
+                    for ctok, csteps in self._taint_of(
+                            state, tok[1], func).items():
+                        if ctok not in contribution:
+                            merged = self._extend(csteps, call_step)
+                            merged = merged + callee_steps[
+                                :max(0, self.max_trace - len(merged))]
+                            contribution[ctok] = merged
+            if contribution:
+                self._merge_into(out, cell, contribution, func)
+        caller_summary = self._summaries[func]
+        for key in sorted(summary.sink_hits,
+                          key=lambda k: (k[0], k[1].function, k[1].index,
+                                         k[2]) + _cell_key(k[3])):
+            sink_fn, sink_loc, arg_index, in_cell = key
+            hit_steps = summary.sink_hits[key]
+            severity = self.spec.sinks.get(
+                sink_fn, SinkRule(sink_fn)).severity
+            for ctok in sorted(self._taint_of(state, in_cell, func),
+                               key=_token_key):
+                csteps = self._taint_of(state, in_cell, func)[ctok]
+                merged = self._extend(csteps, call_step)
+                merged = merged + hit_steps[
+                    :max(0, self.max_trace - len(merged))]
+                if ctok[0] == "src":
+                    self._emit(ctok, sink_fn, sink_loc, arg_index,
+                               severity, merged)
+                else:
+                    caller_summary.sink_hits.setdefault(
+                        (sink_fn, sink_loc, arg_index, ctok[1]), merged)
+        return out
+
+    def _emit(self, tok: Token, sink_fn: str, sink_loc: Loc,
+              arg_index: int, severity: str, steps: Steps) -> None:
+        flow = TaintFlow(
+            source_fn=tok[1], source_loc=tok[2], sink_fn=sink_fn,
+            sink_loc=sink_loc, sink_arg=arg_index, severity=severity,
+            steps=steps)
+        self._flows.setdefault(flow.key(), flow)
+
+
+# ---------------------------------------------------------------------------
+# whole-program baseline (the bench's comparison point)
+# ---------------------------------------------------------------------------
+
+def source_argument_pointers(program: Program, spec: TaintSpec) -> Set[Var]:
+    """The pointer arguments of source/sink calls: the initial demand
+    set (what :func:`repro.checkers.taint.run_taint` seeds its loop
+    with)."""
+    wanted: Set[Var] = set()
+    for _, stmt in program.statements():
+        if not isinstance(stmt, ExternCall):
+            continue
+        rule = spec.sources.get(stmt.name)
+        if rule is not None:
+            for effect in rule.taints:
+                if isinstance(effect, int) and effect < len(stmt.args):
+                    wanted.add(stmt.args[effect])
+        sink = spec.sinks.get(stmt.name)
+        if sink is not None:
+            for index in sink.args:
+                if index < len(stmt.args):
+                    wanted.add(stmt.args[index])
+    return {v for v in wanted if v in program.pointers}

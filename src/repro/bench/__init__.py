@@ -23,6 +23,7 @@ from .metrics import (
 )
 from .synth import SynthConfig, SynthProgram, generate, generate_source
 from .table1 import Table1Row, measure_program, run_table1, shape_report
+from .taint import run_taint_bench
 
 __all__ = [
     "HIGHLIGHTS", "PAPER_BY_NAME", "PAPER_TABLE1", "PaperRow", "TIMEOUT",
@@ -30,6 +31,7 @@ __all__ = [
     "ascii_histogram", "autofs_like", "build", "compute_figure1",
     "corpus_configs", "format_csv", "format_table", "generate",
     "generate_source", "measure_program", "ratio", "run_figure1",
-    "run_parallel_bench", "run_table1", "shape_report", "timed",
+    "run_parallel_bench", "run_table1", "run_taint_bench",
+    "shape_report", "timed",
     "timed_with_budget",
 ]

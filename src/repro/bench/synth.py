@@ -49,6 +49,7 @@ class SynthConfig:
     depth: int = 2                 # extra pointer-indirection levels
     lock_count: int = 0            # lock pointers + lock()/unlock() calls
     fp_sites: int = 0              # function-pointer call sites
+    taint_webs: int = 0            # seeded source->...->sink chains
     recursion: bool = True
     seed: int = 2008
 
@@ -62,6 +63,10 @@ class SynthProgram:
     web_count: int
     hub_sizes: List[int]
     lock_vars: List[Var]
+    #: Ground truth for the seeded taint webs: one entry per web with
+    #: the source/sink names and whether a sanitizer breaks the chain
+    #: (``sanitized`` webs must NOT produce a flow).
+    taint_truth: List[Dict[str, object]] = field(default_factory=list)
 
 
 class _Gen:
@@ -76,6 +81,7 @@ class _Gen:
         self.web_count = 0
         self.hub_sizes: List[int] = []
         self.lock_vars: List[Var] = []
+        self.taint_truth: List[Dict[str, object]] = []
         self._uid = 0
 
     # -- plumbing ----------------------------------------------------------
@@ -198,6 +204,70 @@ class _Gen:
         self.lock_vars.append(Var(lock_ptr))
         return 2
 
+    _TAINT_SOURCES = ("input", "getenv", "read_input")
+    _TAINT_SINKS = ("system", "exec", "eval_query")
+
+    def taint_web(self, index: int) -> int:
+        """One seeded source->copy-chain->sink flow across dedicated
+        functions called in order from ``main``.
+
+        A few hops move the value through global copies; about half the
+        webs additionally route it through memory (``p = &cell; *p = v;
+        out = *p``) so the taint engine must consult the points-to
+        resolver.  Every third web sanitizes the value right before the
+        sink — ground truth says those webs must stay silent.
+        """
+        rng = self.rng
+        wid = self.uid()
+        source = self._TAINT_SOURCES[index % len(self._TAINT_SOURCES)]
+        sink = self._TAINT_SINKS[index % len(self._TAINT_SINKS)]
+        sanitized = index % 3 == 2
+        main = self.em("main")
+        created = 0
+
+        src_fn = self.em(f"tw{wid}src")
+        val = f"tw{wid}v0"
+        self.builder.global_var(val)
+        src_fn.extern_call(source, [], ret=f"tw{wid}raw")
+        src_fn.copy(val, f"tw{wid}raw")
+        main.call(f"tw{wid}src")
+        prev = val
+        created += 1
+        for hop in range(1, rng.randint(2, 4)):
+            cur = f"tw{wid}v{hop}"
+            self.builder.global_var(cur)
+            mid = self.em(f"tw{wid}h{hop}")
+            mid.copy(cur, prev)
+            main.call(f"tw{wid}h{hop}")
+            prev = cur
+            created += 1
+        if rng.random() < 0.5:
+            cell, ptr, out = f"tw{wid}cell", f"tw{wid}p", f"tw{wid}out"
+            for g in (cell, ptr, out):
+                self.builder.global_var(g)
+            mem = self.em(f"tw{wid}mem")
+            mem.addr(ptr, cell)
+            mem.store(ptr, prev)
+            mem.load(out, ptr)
+            main.call(f"tw{wid}mem")
+            prev = out
+            created += 3
+        sink_fn = self.em(f"tw{wid}sink")
+        if sanitized:
+            clean = f"tw{wid}clean"
+            self.builder.global_var(clean)
+            sink_fn.extern_call("sanitize", [prev], ret=clean)
+            prev = clean
+            created += 1
+        sink_fn.extern_call(sink, [prev])
+        main.call(f"tw{wid}sink")
+        self.taint_truth.append({
+            "web": wid, "source": source, "sink": sink,
+            "sink_function": f"tw{wid}sink", "sanitized": sanitized,
+        })
+        self.web_count += 1
+        return created
+
     def interprocedural_flows(self) -> int:
         """Route some pointers through parameters and returns."""
         rng = self.rng
@@ -216,7 +286,12 @@ class _Gen:
             ce.copy(ce.fn.retval, f"$ipin{wid}")
             ca = self.em(caller)
             ca.addr(arg, tgt)
-            ca.call(callee, [], ret=out)
+            # caller/callee are random picks, so this edge can close a
+            # call cycle; guard it like the cross edges in
+            # build_callgraph so every cycle keeps a base case.
+            with ca.branch() as br:
+                with br.then():
+                    ca.call(callee, [], ret=out)
             created += 3
         return created
 
@@ -235,10 +310,24 @@ class _Gen:
             for c in children:
                 fb.call(c)
             if rng.random() < 0.15 and i > 0:
-                fb.call(rng.choice(order[:i]))  # cross edge
+                # Cross edges can target an ancestor and close a call
+                # cycle; guard them like the recursion pair below so the
+                # cycle has a base case (see that comment).
+                with fb.branch() as br:
+                    with br.then():
+                        fb.call(rng.choice(order[:i]))  # cross edge
         if self.cfg.recursion and len(order) >= 2:
-            self.em(order[-1]).call(order[-2])
-            self.em(order[-2]).call(order[-1])
+            # Guard the recursive calls with a branch: an unconditional
+            # mutual recursion has no base case, so in the supergraph
+            # (return edges come from callee exits only) neither exit —
+            # nor anything sequenced after a call into the cycle — would
+            # ever be reachable.
+            for src, dst in ((order[-1], order[-2]),
+                             (order[-2], order[-1])):
+                fb = self.em(src)
+                with fb.branch() as br:
+                    with br.then():
+                        fb.call(dst)
         # Lock/unlock primitives as tiny leaf functions.
         if self.cfg.lock_count:
             for prim in ("lock", "unlock"):
@@ -248,8 +337,14 @@ class _Gen:
 
     def run(self) -> SynthProgram:
         cfg = self.cfg
-        self.build_callgraph()
         budget = cfg.pointers
+        # Taint webs first: their main-side calls land at the top of
+        # main, so bounded concrete execution (the soundness oracle)
+        # reaches every seeded web before the branchy worker-function
+        # web can exhaust its path budget.
+        for i in range(cfg.taint_webs):
+            budget -= self.taint_web(i)
+        self.build_callgraph()
         for frac in cfg.hub_fractions:
             size = max(8, int(cfg.pointers * frac))
             budget -= self.hub_web(size)
@@ -280,7 +375,8 @@ class _Gen:
         return SynthProgram(config=cfg, program=program,
                             web_count=self.web_count,
                             hub_sizes=self.hub_sizes,
-                            lock_vars=self.lock_vars)
+                            lock_vars=self.lock_vars,
+                            taint_truth=self.taint_truth)
 
 
 def generate(config: SynthConfig) -> SynthProgram:

@@ -20,10 +20,12 @@ from .base import (
 from .doublefree import DoubleFreeChecker
 from .heapfacts import FreeFacts
 from .nullderef import NullDerefChecker
+from .taint import TaintChecker, TaintRunResult, run_taint
 from .useafterfree import UseAfterFreeChecker
 
 __all__ = [
     "CHECKER_REGISTRY", "CheckReport", "Checker", "CheckerContext",
     "CheckerStats", "DoubleFreeChecker", "FreeFacts", "NullDerefChecker",
-    "UseAfterFreeChecker", "register_checker", "run_checkers",
+    "TaintChecker", "TaintRunResult", "UseAfterFreeChecker",
+    "register_checker", "run_checkers", "run_taint",
 ]

@@ -10,6 +10,7 @@ Examples::
     python -m repro partitions driver.c              # Steensgaard view
     python -m repro races driver.c --threads t1,t2   # race detection
     python -m repro check driver.c --sarif out.sarif # memory-safety scan
+    python -m repro taint driver.c --fail-on error   # source->sink flows
     python -m repro demand driver.c --points-to p q  # demand Andersen
     python -m repro serve --socket /tmp/repro.sock   # query daemon
     python -m repro query --socket /tmp/repro.sock \
@@ -71,6 +72,15 @@ def _find_var(program: Program, name: str) -> Var:
         return resolve_pointer(program, name)
     except LookupError as exc:
         raise SystemExit(str(exc))
+
+
+def _severity_fails(diags, fail_on: Optional[str]) -> bool:
+    """True when any finding is at least as severe as ``fail_on``."""
+    if fail_on is None:
+        return False
+    from .core.report import SEVERITY_ORDER
+    limit = SEVERITY_ORDER[fail_on]
+    return any(SEVERITY_ORDER.get(d.severity, 3) <= limit for d in diags)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -241,7 +251,65 @@ def cmd_check(args: argparse.Namespace) -> int:
                   f"{st.pointers_selected}/{st.pointers_total} pointers")
         if args.sarif:
             print(f"SARIF written to {args.sarif}")
-    return 1 if diags and args.fail_on_finding else 0
+    fail_on = args.fail_on or ("note" if args.fail_on_finding else None)
+    return 1 if _severity_fails(diags, fail_on) else 0
+
+
+def cmd_taint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.taint import TaintSpec
+    from .checkers import run_taint
+    from .core import (
+        diagnostics_to_dict,
+        diagnostics_to_sarif,
+        render_diagnostics_text,
+    )
+    spec = None
+    if args.taint_spec:
+        try:
+            spec = TaintSpec.load(args.taint_spec)
+        except OSError as exc:
+            raise SystemExit(
+                f"repro taint: cannot read {args.taint_spec}: "
+                f"{exc.strerror}")
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(
+                f"repro taint: bad spec {args.taint_spec}: {exc}")
+    program = _load(args.file, args.entry)
+    run = run_taint(program, spec=spec)
+    diags = run.diagnostics
+    if args.sarif:
+        try:
+            with open(args.sarif, "w") as handle:
+                json.dump(diagnostics_to_sarif(diags), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise SystemExit(
+                f"repro: cannot write {args.sarif}: {exc.strerror}")
+    if args.json:
+        print(json.dumps(diagnostics_to_dict(diags), indent=2,
+                         sort_keys=True))
+    else:
+        if diags:
+            print(render_diagnostics_text(diags))
+        counts = run.counts
+        summary = ", ".join(f"{counts[s]} {s}(s)" for s in
+                            ("error", "warning", "note") if s in counts)
+        st = run.stats
+        print(f"{args.file}: {len(diags)} taint flow(s)"
+              + (f" ({summary})" if summary else ""))
+        print(f"  demand loop: {run.rounds} round(s), "
+              f"{len(run.demanded)} pointer(s) demanded; analyzed "
+              f"{st.clusters_selected}/{st.clusters_total} clusters "
+              f"({st.clusters_skipped} skipped), "
+              f"{st.pointers_selected}/{st.pointers_total} pointers; "
+              f"{st.suppressed} suppressed")
+        if args.sarif:
+            print(f"SARIF written to {args.sarif}")
+    fail_on = args.fail_on or ("note" if args.fail_on_finding else None)
+    return 1 if _severity_fails(diags, fail_on) else 0
 
 
 def cmd_demand(args: argparse.Namespace) -> int:
@@ -295,7 +363,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-#: ``repro query`` positional-argument shapes per method.
+#: ``repro query`` positional-argument shapes per method.  ``*name``
+#: swallows the remaining operands; ``?name`` is optional.  The ``spec``
+#: slot is a path to a taint-spec JSON file, parsed client-side and sent
+#: as the structured ``spec`` parameter.
 _QUERY_SPECS = {
     "ping": (),
     "stats": (),
@@ -305,6 +376,7 @@ _QUERY_SPECS = {
     "alias": ("file", "p", "q"),
     "must-alias": ("file", "p", "q"),
     "diagnostics": ("file", "*checkers"),
+    "taint": ("file", "?spec"),
 }
 
 
@@ -329,13 +401,29 @@ def cmd_query(args: argparse.Namespace) -> int:
                 params[slot[1:]] = operands
                 operands = []
             break
+        optional = slot.startswith("?")
+        if optional:
+            slot = slot[1:]
+            if not operands:
+                continue
         if not operands:
             raise SystemExit(
                 f"repro query {args.method}: missing "
-                f"{' '.join(s.upper().lstrip('*') for s in spec)}")
+                f"{' '.join(s.upper().lstrip('*?') for s in spec)}")
         value = operands.pop(0)
         if slot == "file":
             value = os.path.abspath(value)
+        elif slot == "spec":
+            try:
+                with open(value, "r") as handle:
+                    value = json.load(handle)
+            except OSError as exc:
+                raise SystemExit(
+                    f"repro query taint: cannot read {value}: "
+                    f"{exc.strerror}")
+            except ValueError as exc:
+                raise SystemExit(
+                    f"repro query taint: bad spec JSON: {exc}")
         params[slot] = value
     if operands:
         raise SystemExit(
@@ -472,9 +560,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write findings as SARIF 2.1.0 to OUT")
     p.add_argument("--json", action="store_true",
                    help="print findings as JSON instead of text")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default=None,
+                   help="exit 1 when any finding at or above this "
+                        "severity remains")
     p.add_argument("--fail-on-finding", action="store_true",
-                   help="exit non-zero when any finding remains")
+                   help="alias for --fail-on note")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "taint", help="source-to-sink taint analysis on a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--taint-spec", metavar="JSON",
+                   help="sources/sinks/sanitizers spec file "
+                        "(default: the built-in toy-C rules)")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="write flows as SARIF 2.1.0 (with codeFlows) "
+                        "to OUT")
+    p.add_argument("--json", action="store_true",
+                   help="print flows as JSON instead of text")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default=None,
+                   help="exit 1 when any flow at or above this "
+                        "severity remains")
+    p.add_argument("--fail-on-finding", action="store_true",
+                   help="alias for --fail-on note")
+    p.set_defaults(func=cmd_taint)
 
     p = sub.add_parser(
         "demand", help="demand-driven Andersen points-to queries")
@@ -576,6 +688,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # clean line on stderr and a distinct exit code.
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+    except BrokenPipeError:
+        # Downstream (e.g. ``| head``) closed the pipe early; the run
+        # itself succeeded.  Point stdout at devnull so the
+        # interpreter's shutdown flush stays quiet too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

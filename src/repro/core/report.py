@@ -106,12 +106,33 @@ def dedup_diagnostics(diags: List[Diagnostic]) -> List[Diagnostic]:
 
 def suppress_diagnostics(diags: List[Diagnostic], program: Program
                          ) -> Tuple[List[Diagnostic], int]:
-    """Drop findings on ``// repro:ignore`` lines; returns (kept, #dropped)."""
+    """Drop findings on ``// repro:ignore`` lines; returns (kept, #dropped).
+
+    ``program.suppressed_lines`` maps line numbers to ``None`` (blanket:
+    every rule suppressed) or a frozenset of rule ids (only those rules
+    suppressed, from ``repro:ignore[rule-id,...]``).  A legacy plain set
+    of line numbers is also accepted and treated as blanket.
+    """
     suppressed = program.suppressed_lines
     if not suppressed:
         return list(diags), 0
-    kept = [d for d in diags
-            if d.span is None or d.span.line not in suppressed]
+
+    def is_suppressed(d: Diagnostic) -> bool:
+        if d.span is None or d.span.line not in suppressed:
+            return False
+        if not isinstance(suppressed, dict):
+            return True  # legacy: a bare set of lines means blanket
+        rules = suppressed[d.span.line]
+        if rules is None:
+            return True
+        # Accept ids with or without the tool prefix: both
+        # ``repro:ignore[repro-null-deref]`` and
+        # ``repro:ignore[null-deref]`` silence repro-null-deref.
+        return (d.rule_id in rules or
+                (d.rule_id.startswith("repro-") and
+                 d.rule_id[len("repro-"):] in rules))
+
+    kept = [d for d in diags if not is_suppressed(d)]
     return kept, len(diags) - len(kept)
 
 

@@ -9,7 +9,7 @@ contents never matter to pointer analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import ParseError
 
@@ -152,21 +152,26 @@ def tokenize(source: str) -> List[Token]:
     return tokens
 
 
-def scan_suppressions(source: str, marker: str = "repro:ignore") -> frozenset:
-    """Line numbers suppressed with ``marker`` comments.
+def scan_suppressions(source: str, marker: str = "repro:ignore"
+                      ) -> Dict[int, Optional[frozenset]]:
+    """Suppressed lines: ``{line: None}`` for blanket suppressions,
+    ``{line: frozenset of rule ids}`` for rule-scoped ones.
 
     A marker in a trailing comment suppresses its own line; a marker on a
-    comment-only line suppresses the next line (the annotated statement)::
+    comment-only line suppresses the next line (the annotated statement).
+    A bare marker suppresses every rule on the line; ``marker[rule-id]``
+    (comma-separated ids allowed) suppresses only those rules::
 
-        *p = 1;  // repro:ignore       <- this line suppressed
-        // repro:ignore
-        *q = 2;                        <- this line suppressed
+        *p = 1;  // repro:ignore                 <- all rules
+        *q = 2;  // repro:ignore[null-deref]     <- that rule only
+        // repro:ignore[use-after-free,taint-flow]
+        *r = 3;                                  <- those two rules
 
     Both ``//`` and ``/* */`` comment styles are recognized; the scan is
     line-wise and deliberately forgiving (markers inside string literals
     would also count, which is harmless for analysis fixtures).
     """
-    suppressed = set()
+    suppressed: Dict[int, Optional[frozenset]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         if marker not in text:
             continue
@@ -175,8 +180,23 @@ def scan_suppressions(source: str, marker: str = "repro:ignore") -> frozenset:
             pos = text.find(opener)
             if pos != -1:
                 comment_pos = min(comment_pos, pos)
-        if marker not in text[comment_pos:]:
+        comment = text[comment_pos:]
+        mark = comment.find(marker)
+        if mark == -1:
             continue
+        rules: Optional[frozenset] = None
+        rest = comment[mark + len(marker):]
+        if rest.startswith("["):
+            end = rest.find("]")
+            if end != -1:
+                rules = frozenset(
+                    r.strip() for r in rest[1:end].split(",") if r.strip())
         code = text[:comment_pos].strip()
-        suppressed.add(lineno if code else lineno + 1)
-    return frozenset(suppressed)
+        target = lineno if code else lineno + 1
+        previous = suppressed.get(target, frozenset())
+        if rules is None or previous is None:
+            # A blanket marker (on either of two stacked comments) wins.
+            suppressed[target] = None
+        else:
+            suppressed[target] = previous | rules
+    return suppressed

@@ -37,6 +37,7 @@ from ..ir import (
     AllocSite,
     CallStmt,
     Copy,
+    ExternCall,
     Program,
     ProgramBuilder,
     Span,
@@ -1086,13 +1087,28 @@ class Normalizer:
         if not defined:
             # External function: no body; pointer arguments may be
             # captured but we follow the paper in ignoring library
-            # internals.  The return value is unknown.
+            # internals (the fresh return temporary aliases nothing).
+            # The call itself is kept as an ExternCall statement with one
+            # materialized variable per argument, so clients that assign
+            # meaning to library calls (the taint engine's sources,
+            # sinks and sanitizers) see it with positional arguments.
             ret_t = ftype.ret if ftype else INT
+            arg_vars: List[Var] = []
+            for val in arg_vals:
+                mat = self._materialize(val, val.ctype)
+                if mat is None or mat.var is None:
+                    mat_var = self._temp(val.ctype)
+                else:
+                    mat_var = mat.var
+                arg_vars.append(mat_var)
+            tmp = self._temp(ret_t)
+            em.emit(ExternCall(name, tuple(arg_vars), tmp))
             if is_pointerish(ret_t):
-                tmp = self._temp(ret_t)
                 return Val(kind="var", ctype=ret_t, var=tmp,
                            shadows=self._shadow_map(tmp, ret_t))
-            return Val(kind="opaque", ctype=ret_t)
+            # Scalar/void returns stay in the temporary too, so scalar
+            # dataflow out of the call (e.g. `x = input()`) is a Copy.
+            return Val(kind="var", ctype=ret_t, var=tmp)
         param_types = list(ftype.params) if ftype else []
         for i, val in enumerate(arg_vals):
             ptype = param_types[i] if i < len(param_types) else val.ctype

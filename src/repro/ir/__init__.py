@@ -22,6 +22,7 @@ from .statements import (
     Assume,
     CallStmt,
     Copy,
+    ExternCall,
     Load,
     MemObject,
     NullAssign,
@@ -35,7 +36,7 @@ from .statements import (
 
 __all__ = [
     "AddrOf", "AllocSite", "Assume", "CFG", "CallGraph", "CallStmt",
-    "Copy", "Function", "FunctionBuilder", "Load", "Loc", "MemObject",
+    "Copy", "ExternCall", "Function", "FunctionBuilder", "Load", "Loc", "MemObject",
     "NullAssign", "Program", "ProgramBuilder", "ReturnStmt", "Skip",
     "Span", "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "format_cfg", "format_program", "steensgaard_dot",
     "cluster_from_dict", "cluster_to_dict",

@@ -29,6 +29,7 @@ from .statements import (
     Assume,
     CallStmt,
     Copy,
+    ExternCall,
     Load,
     NullAssign,
     ReturnStmt,
@@ -113,6 +114,14 @@ class FunctionBuilder:
 
     def skip(self, note: str = "") -> int:
         return self.emit(Skip(note))
+
+    def extern_call(self, name: str, args: Sequence[NameOrVar] = (),
+                    ret: Optional[NameOrVar] = None) -> int:
+        """A library call (no body in the program): taint sources, sinks
+        and sanitizers anchor here."""
+        return self.emit(ExternCall(
+            name, tuple(self.var(a) for a in args),
+            self.var(ret) if ret is not None else None))
 
     def call(self, callee: str, args: Sequence[NameOrVar] = (),
              ret: Optional[NameOrVar] = None) -> int:

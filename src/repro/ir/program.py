@@ -83,8 +83,11 @@ class Program:
         #: Source file the program was parsed from, when known (set by
         #: :func:`repro.frontend.parse_program`); used by diagnostics.
         self.source_path: Optional[str] = None
-        #: Source lines suppressed with ``// repro:ignore`` comments.
-        self.suppressed_lines: frozenset = frozenset()
+        #: Source lines suppressed with ``// repro:ignore`` comments:
+        #: ``{line: None}`` blankets the line, ``{line: frozenset of
+        #: rule ids}`` suppresses only those rules (see
+        #: :func:`repro.frontend.lexer.scan_suppressions`).
+        self.suppressed_lines: Dict[int, Optional[frozenset]] = {}
         self._pointers: Optional[Set[Var]] = None
         self._objects: Optional[Set[MemObject]] = None
         self._assign_sites: Optional[Dict[Var, List[Loc]]] = None

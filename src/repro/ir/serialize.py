@@ -31,6 +31,7 @@ from .statements import (
     Assume,
     CallStmt,
     Copy,
+    ExternCall,
     Load,
     MemObject,
     NullAssign,
@@ -42,9 +43,10 @@ from .statements import (
 )
 
 #: Version 2 added optional source spans and the NullAssign reason tag;
-#: version-1 dumps (no spans, all nulls plain) still load.
-FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: version 3 added ExternCall (library-call) statements.  Older dumps
+#: (no spans / no extern calls) still load.
+FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def _var(v: Var) -> Dict[str, Any]:
@@ -89,6 +91,11 @@ def _stmt(stmt: Statement) -> Dict[str, Any]:
         return {"k": "call", "callee": stmt.callee,
                 "fp": _var(stmt.fp) if stmt.fp is not None else None,
                 "targets": list(stmt.targets)}
+    if isinstance(stmt, ExternCall):
+        return {"k": "extern", "name": stmt.name,
+                "args": [_var(a) for a in stmt.args],
+                "res": _var(stmt.result) if stmt.result is not None
+                else None}
     if isinstance(stmt, ReturnStmt):
         return {"k": "return"}
     if isinstance(stmt, Skip):
@@ -116,6 +123,11 @@ def _load_stmt(d: Dict[str, Any]) -> Statement:
                         fp=_load_var(d["fp"]) if d.get("fp") else None)
         object.__setattr__(stmt, "targets", tuple(d.get("targets", ())))
         return stmt
+    if kind == "extern":
+        return ExternCall(
+            d["name"],
+            tuple(_load_var(a) for a in d.get("args", ())),
+            _load_var(d["res"]) if d.get("res") is not None else None)
     if kind == "return":
         return ReturnStmt()
     if kind == "skip":

@@ -231,6 +231,36 @@ class CallStmt(Statement):
 
 
 @dataclass(frozen=True)
+class ExternCall(Statement):
+    """A call to a function with no body in the program (a library call).
+
+    Alias analyses ignore it (``is_pointer_assign`` is false: the paper
+    follows the convention of ignoring library internals, and the
+    normalizer still materializes a fresh, unaliased temporary for the
+    return value).  It exists so *clients* can attach semantics to
+    library calls — the taint engine reads sources, sinks and sanitizers
+    off these statements.  Each argument is materialized into exactly one
+    variable, so ``args[i]`` is positionally the i-th source argument.
+    """
+
+    name: str
+    args: Tuple[Var, ...] = ()
+    result: Optional[Var] = None
+
+    def defined_var(self) -> Optional[Var]:
+        return self.result
+
+    def used_vars(self) -> Tuple[Var, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        if self.result is not None:
+            return f"{self.result} = extern {self.name}({args})"
+        return f"extern {self.name}({args})"
+
+
+@dataclass(frozen=True)
 class ReturnStmt(Statement):
     """Return from the enclosing function (value flow is a prior Copy)."""
 

@@ -106,6 +106,13 @@ class ServerClient:
             params["checkers"] = list(checkers)
         return self.call("diagnostics", **params)
 
+    def taint(self, file: str,
+              spec: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"file": os.path.abspath(file)}
+        if spec is not None:
+            params["spec"] = dict(spec)
+        return self.call("taint", **params)
+
     def invalidate(self, file: str) -> Dict[str, Any]:
         return self.call("invalidate", file=os.path.abspath(file))
 

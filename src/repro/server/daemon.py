@@ -65,6 +65,7 @@ class AliasServer:
             "alias": self._m_alias,
             "must_alias": self._m_must_alias,
             "diagnostics": self._m_diagnostics,
+            "taint": self._m_taint,
             "invalidate": self._m_invalidate,
             "stats": self._m_stats,
             "shutdown": self._m_shutdown,
@@ -171,6 +172,16 @@ class AliasServer:
             raise RequestError(protocol.INVALID_PARAMS,
                                "checkers must be a list of names")
         return state.diagnostics(checkers)
+
+    def _m_taint(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        state = self.files.get(self._param(params, "file"))
+        state.queries += 1
+        spec = params.get("spec")
+        if spec is not None and not isinstance(spec, dict):
+            raise RequestError(protocol.INVALID_PARAMS,
+                               "spec must be a JSON object "
+                               "(sources/sinks/sanitizers)")
+        return state.taint(spec)
 
     def _m_invalidate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         state = self.files.invalidate(self._param(params, "file"))

@@ -211,6 +211,7 @@ class FileState:
         self.queries = 0
         self._must = None
         self._diagnostics: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+        self._taint: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -282,6 +283,46 @@ class FileState:
                 }
                 self._diagnostics[names] = cached
         return cached
+
+    def taint(self, spec: Optional[Dict[str, Any]] = None
+              ) -> Dict[str, Any]:
+        """Taint flows for this file, cached per spec digest.
+
+        The cache lives on the :class:`FileState`, so an ``invalidate``
+        (or a watched change) rebuilds it against the fresh bootstrap
+        result — whose clusters came back from the fingerprint-keyed
+        cluster store wherever their sliced sub-programs were unchanged.
+        The ``refresh`` block in the response surfaces exactly that
+        accounting.
+        """
+        from ..analysis.taint import TaintSpec
+        from ..checkers import run_taint
+        if spec is None:
+            taint_spec = TaintSpec.default()
+        else:
+            try:
+                taint_spec = TaintSpec.from_dict(spec)
+            except (ValueError, TypeError, KeyError,
+                    AttributeError) as exc:
+                raise RequestError(INVALID_PARAMS,
+                                   f"bad taint spec: {exc}")
+        key = taint_spec.digest()
+        with self._lock:
+            cached = self._taint.get(key)
+            if cached is None:
+                run = run_taint(self.program, spec=taint_spec,
+                                result=self.result)
+                cached = {
+                    "diagnostics": diagnostics_to_dict(run.diagnostics),
+                    "stats": dataclasses.asdict(run.stats),
+                    "rounds": run.rounds,
+                    "demanded": sorted(str(v) for v in run.demanded),
+                    "spec_digest": key,
+                }
+                self._taint[key] = cached
+        out = dict(cached)
+        out["refresh"] = self.refresh.to_dict()
+        return out
 
     # ------------------------------------------------------------------
     def source_changed(self) -> bool:

@@ -191,6 +191,24 @@ class TestMetrics:
         assert ratio(1.0, 0.0) == "-"
 
 
+class TestTaintBench:
+    def test_smoke(self):
+        from repro.bench.taint import render, run_taint_bench
+        data = run_taint_bench(pointers=60, taint_webs=3, seed=7,
+                               repeats=1)
+        assert data["flows_identical"]
+        gt = data["ground_truth"]
+        assert gt["missed"] == []
+        assert gt["sanitized_leaks"] == []
+        assert gt["detected"] == gt["expected"] > 0
+        # Demand selection must actually prune the cluster set.
+        assert 0 < data["demand"]["clusters_selected"] \
+            < data["whole"]["clusters_selected"] \
+            == data["demand"]["clusters_total"]
+        text = render(data)
+        assert "Taint" in text and str(gt["expected"]) in text
+
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -270,11 +270,62 @@ class TestSuppression:
         """, names=["null-deref"])
         assert len(report.diagnostics) == 1
 
+    def test_rule_scoped_marker_suppresses_that_rule(self):
+        report = check("""
+            int main() {
+                int *p;
+                p = 0;
+                *p = 1;  // repro:ignore[null-deref]
+                return 0;
+            }
+        """, names=["null-deref"])
+        assert report.diagnostics == []
+        (st,) = report.stats
+        assert st.suppressed == 1
+
+    def test_rule_scoped_marker_keeps_other_rules(self):
+        report = check("""
+            int main() {
+                int *p;
+                p = 0;
+                *p = 1;  // repro:ignore[use-after-free]
+                return 0;
+            }
+        """, names=["null-deref"])
+        assert rules(report) == ["repro-null-deref"]
+
+    def test_scoped_marker_on_multi_rule_line(self):
+        # Line 6 carries both a double free and a use after free; the
+        # scoped marker silences only the named rule.
+        report = check("""
+            int main() {
+                int *p;
+                p = malloc(4);
+                free(p);
+                free(p); *p = 1;  // repro:ignore[double-free]
+                return 0;
+            }
+        """, names=["double-free", "use-after-free"])
+        assert rules(report) == ["repro-use-after-free"]
+
+    def test_comma_list_and_comment_only_scoping(self):
+        report = check("""
+            int main() {
+                int *p;
+                p = malloc(4);
+                free(p);
+                // repro:ignore[double-free,use-after-free]
+                free(p); *p = 1;
+                return 0;
+            }
+        """, names=["double-free", "use-after-free"])
+        assert report.diagnostics == []
+
 
 class TestDemandDrivenStats:
     def test_clean_program_skips_clusters(self):
         report = check(CLEAN)
-        assert len(report.stats) == 3
+        assert len(report.stats) == 4
         for st in report.stats:
             assert st.clusters_skipped >= 1
             assert st.clusters_selected < st.clusters_total

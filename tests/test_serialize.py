@@ -112,11 +112,12 @@ int main() {
 
 class TestSpanRoundTrip:
     def test_frontend_spans_survive(self):
-        """Format-version-2 spans: parsed programs carry source spans and
-        a dict round-trip preserves every one, position for position."""
+        """Spans (format version 2+): parsed programs carry source spans
+        and a dict round-trip preserves every one, position for
+        position."""
         prog = parse_program(SPAN_SOURCE)
         data = program_to_dict(prog)
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert any("spans" in fd for fd in data["functions"].values())
         again = program_from_dict(data)
         for name, fn in prog.functions.items():

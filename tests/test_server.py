@@ -256,6 +256,95 @@ class TestQueries:
         assert stats["clusters"]["entries"] > 0
 
 
+#: The four pointer webs of DEMO plus a seeded taint flow: a one-web
+#: edit must leave the taint diagnostics bit-identical while the
+#: cluster store reuses every unchanged fingerprint.
+TAINT_DEMO = DEMO.replace(
+    "int main() {",
+    """int getenv(int x);
+int system(int cmd);
+
+int slot;
+
+void fill(int *out) {
+    int raw;
+    raw = getenv(1);
+    *out = raw;
+}
+
+void drain(int cmd) {
+    system(cmd);
+}
+
+int main() {
+    fill(&slot);
+    drain(slot);""")
+
+TAINT_DEMO_EDITED = TAINT_DEMO.replace("t = &d;", "t = &b;")
+
+
+@pytest.fixture()
+def taint_file(tmp_path):
+    path = tmp_path / "tainted.c"
+    path.write_text(TAINT_DEMO)
+    return str(path)
+
+
+class TestTaintMethod:
+    def test_matches_one_shot(self, server, taint_file):
+        from repro.checkers import run_taint
+        from repro.core import diagnostics_to_dict
+        result = result_of(server, "taint", file=taint_file)
+        program = parse_program(open(taint_file).read(), entry="main",
+                                path=taint_file)
+        run = run_taint(program)
+        assert result["diagnostics"] == diagnostics_to_dict(
+            run.diagnostics)
+        assert result["diagnostics"]  # the getenv -> system flow
+        assert result["rounds"] == run.rounds
+        assert result["demanded"] == sorted(str(v) for v in run.demanded)
+
+    def test_cached_by_spec_digest(self, server, taint_file):
+        first = result_of(server, "taint", file=taint_file)
+        second = result_of(server, "taint", file=taint_file)
+        assert first == second
+        from repro.analysis.taint import TaintSpec
+        assert first["spec_digest"] == TaintSpec.default().digest()
+
+    def test_custom_spec(self, server, taint_file):
+        # A spec with no rules for this program's externs: no findings,
+        # and a different digest (a separate cache slot).
+        spec = {"sources": {"other_src": {"taints": ["return"]}},
+                "sinks": {"other_sink": {"args": [0]}}}
+        result = result_of(server, "taint", file=taint_file, spec=spec)
+        assert result["diagnostics"] == []
+        default = result_of(server, "taint", file=taint_file)
+        assert result["spec_digest"] != default["spec_digest"]
+        assert default["diagnostics"]
+
+    def test_bad_spec_rejected(self, server, taint_file):
+        error = error_of(server, "taint", file=taint_file, spec="nope")
+        assert error["code"] == protocol.INVALID_PARAMS
+        error = error_of(server, "taint", file=taint_file,
+                         spec={"sinks": {"s": {"severity": "fatal"}}})
+        assert error["code"] == protocol.INVALID_PARAMS
+
+    def test_edit_reuses_unchanged_clusters(self, server, taint_file):
+        before = result_of(server, "taint", file=taint_file)
+        with open(taint_file, "w") as handle:
+            handle.write(TAINT_DEMO_EDITED)
+        result_of(server, "invalidate", file=taint_file)
+        after = result_of(server, "taint", file=taint_file)
+        # The one-web edit does not touch the taint chain: findings are
+        # bit-identical, and the reload reused every cluster whose
+        # payload fingerprint survived the edit.
+        assert after["diagnostics"] == before["diagnostics"]
+        refresh = after["refresh"]
+        assert 0 < refresh["reanalyzed"] < refresh["clusters"]
+        assert refresh["reused"] == refresh["clusters"] \
+            - refresh["reanalyzed"]
+
+
 # ----------------------------------------------------------------------
 class TestIncrementality:
     def test_noop_invalidate_reuses_everything(self, server, demo_file):
