@@ -152,6 +152,12 @@ class FSCIResult(PointsToResult):
     def pts_after(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
         return _strip(_value(self._state_after(loc), p))
 
+    def reached_before(self, loc: Loc) -> bool:
+        """Was ``loc`` visited by the fixpoint?  Unreached locations sit
+        at lattice bottom: no execution of the analyzed supergraph gets
+        there, so their facts never flow anywhere."""
+        return self._engine.state_before(loc) is not None
+
     def maybe_uninit_before(self, loc: Loc, p: MemObject) -> bool:
         """May ``p`` still be uninitialized just before ``loc``?
 

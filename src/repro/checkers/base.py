@@ -16,7 +16,7 @@ The framework owns what every checker would otherwise reimplement:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..analysis.fsci import FSCI, FSCIResult
@@ -195,6 +195,13 @@ def run_checkers(program: Program,
         checker = cls()
         raw = checker.check(ctx)
         _, selection = ctx.demand_fsci(checker.interesting(program))
+        # Findings that rest on clusters the resilience layer degraded
+        # are still sound (coarser may-facts can only add findings, not
+        # hide them) but carry the achieved precision level so every
+        # emitter marks them.
+        level = result.degraded_precision_of(selection.selected)
+        if level is not None:
+            raw = [replace(d, precision=level) for d in raw]
         deduped = dedup_diagnostics(raw)
         kept, dropped = suppress_diagnostics(deduped, program)
         diagnostics.extend(kept)

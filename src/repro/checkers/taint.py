@@ -21,7 +21,7 @@ SARIF ``codeFlows``) works unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import FrozenSet, List, Optional, Set
 
 from ..analysis.fsci import FSCIResult
@@ -138,6 +138,11 @@ def run_taint(program: Program,
             break
         demanded |= fresh
     raw = [_flow_diagnostic(ctx, flow) for flow in report.flows]
+    level = ctx.result.degraded_precision_of(selection.selected)
+    if level is not None:
+        # Sound but coarse: a supporting cluster fell down the cascade,
+        # so stamp the achieved precision on every flow it backs.
+        raw = [replace(d, precision=level) for d in raw]
     deduped = dedup_diagnostics(raw)
     kept, dropped = suppress_diagnostics(deduped, program)
     stats = CheckerStats(

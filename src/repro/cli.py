@@ -19,7 +19,8 @@ Examples::
     python -m repro table1 --scale 0.02              # the paper's table
     python -m repro figure1                          # the paper's figure
 
-Exit codes: 0 success, 1 findings/races with the ``--fail-on-*`` flags,
+Exit codes: 0 success, 1 findings/races with the ``--fail-on-*`` flags
+or a cluster that failed past its retry budget without ``--degrade``,
 2 usage errors, 3 an analysis budget was exceeded (clean message on
 stderr, never a traceback).
 """
@@ -37,6 +38,9 @@ from .core import (
     BootstrapAnalyzer,
     BootstrapConfig,
     CascadeConfig,
+    ClusterExecutionError,
+    RunPolicy,
+    parse_fault_arg,
     resolve_pointer,
     select_clusters,
 )
@@ -112,12 +116,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         loc = Loc(program.entry, program.cfg_of(program.entry).exit)
         objs = sorted(str(o) for o in result.points_to(p, loc))
         print(f"points_to({p}) at end of {program.entry}: {objs}")
+    policy = None
+    if (args.cluster_timeout is not None or args.retries != 1
+            or args.degrade):
+        policy = RunPolicy(cluster_timeout=args.cluster_timeout,
+                           retries=args.retries, degrade=args.degrade)
+    faults = None
+    if args.inject_fault:
+        try:
+            faults = [parse_fault_arg(arg) for arg in args.inject_fault]
+        except ValueError as exc:
+            raise SystemExit(f"repro analyze: {exc}")
     backend_requested = (args.backend != "simulate" or args.cache
-                         or args.jobs is not None)
+                         or args.jobs is not None or policy is not None
+                         or faults is not None)
     if args.summaries or backend_requested:
         report = result.analyze_all(backend=args.backend, jobs=args.jobs,
                                     scheduler=args.scheduler,
-                                    cache=args.cache)
+                                    cache=args.cache, policy=policy,
+                                    faults=faults)
         if report.backend == "simulate":
             print(f"summaries built for all clusters: "
                   f"max part time {report.max_part_time:.3f}s over "
@@ -132,6 +149,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if args.cache:
             print(f"summary cache: {report.cache_hits} hit(s), "
                   f"{report.cache_misses} miss(es) in {args.cache}")
+        degraded = report.degraded
+        if degraded:
+            levels = ", ".join(f"#{i}: {lvl}" for i, lvl in
+                               sorted(degraded.items()))
+            print(f"degraded clusters: {len(degraded)} of "
+                  f"{len(report.results)} fell back down the cascade "
+                  f"({levels})")
+        elif policy is not None or faults is not None:
+            print(f"degraded clusters: none "
+                  f"(all {len(report.results)} at full FSCS precision)")
     if args.report:
         from .core import render_report
         print()
@@ -344,7 +371,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         parts=args.parts, backend=args.backend, jobs=args.jobs,
         scheduler=args.scheduler, fscs_budget=args.fscs_budget,
         max_clusters=args.max_clusters, max_files=args.max_files,
-        cache_dir=args.cache, watch=not args.no_watch)
+        cache_dir=args.cache, watch=not args.no_watch,
+        cluster_timeout=args.cluster_timeout, retries=args.retries,
+        degrade=args.degrade)
     from .server.protocol import RequestError
     server = AliasServer(config, socket_path=args.socket,
                          host=args.host, port=args.port)
@@ -525,6 +554,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fscs-budget", type=int, default=None, metavar="N",
                    help="per-cluster FSCS step budget; exceeding it "
                         f"exits with code {EXIT_BUDGET}")
+    p.add_argument("--cluster-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock deadline per cluster analysis; "
+                        "overruns are retried, then degraded or failed")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="attempts per failed cluster beyond the first "
+                        "(default: 1)")
+    p.add_argument("--degrade", action="store_true",
+                   help="convert cluster failures into sound coarser "
+                        "results (FSCI -> Andersen -> Steensgaard) "
+                        "instead of failing the run")
+    p.add_argument("--inject-fault", action="append", metavar="SPEC",
+                   help="inject a deterministic fault for resilience "
+                        "testing: KIND[:SELECTOR[:DURATION]] with KIND "
+                        "one of crash/hang/corrupt/flaky-once and "
+                        "SELECTOR '*', '#IDX', or a fingerprint prefix "
+                        "(repeatable)")
     p.add_argument("--report", action="store_true",
                    help="print a markdown analysis report")
     p.add_argument("--json", action="store_true",
@@ -632,6 +678,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-clusters", type=int, default=4096,
                    help="resident per-cluster outcomes (LRU)")
     p.add_argument("--fscs-budget", type=int, default=None, metavar="N")
+    p.add_argument("--cluster-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock deadline per cluster (re)analysis")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="attempts per failed cluster beyond the first")
+    p.add_argument("--degrade", action="store_true",
+                   help="answer queries from sound coarser results when "
+                        "a cluster analysis fails; responses carry "
+                        "degraded-precision warnings")
     p.add_argument("--no-watch", action="store_true",
                    help="do not auto-reload files whose content changed "
                         "(clients must send invalidate)")
@@ -688,6 +743,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # clean line on stderr and a distinct exit code.
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+    except ClusterExecutionError as exc:
+        # A cluster failed past its retry budget with --degrade off:
+        # clean message, ordinary failure code (pass --degrade to turn
+        # this into a sound coarser answer instead).
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Downstream (e.g. ``| head``) closed the pipe early; the run
         # itself succeeded.  Point stdout at devnull so the

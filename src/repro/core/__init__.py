@@ -23,6 +23,18 @@ from .parallel import (
     schedule_indices,
 )
 from .partitions import Partitioning, PartitionStats
+from .faults import FAULT_KINDS, FaultSpec, attach_faults, parse_fault_arg
+from .resilience import (
+    PRECISION_LEVELS,
+    CircuitBreaker,
+    ClusterExecutionError,
+    RunPolicy,
+    coarsest,
+    degrade_ladder,
+    degraded_outcome,
+    is_degraded,
+    validate_outcome,
+)
 from .shipping import (
     analyze_payload,
     analyze_payload_batch,
@@ -53,9 +65,13 @@ from .relevant import RelevantSlice, dovetail_schedule, relevant_statements
 
 __all__ = [
     "BootstrapAnalyzer", "BootstrapConfig", "BootstrapResult",
-    "CascadeConfig", "CascadeResult", "Cluster",
+    "CascadeConfig", "CascadeResult", "CircuitBreaker", "Cluster",
+    "ClusterExecutionError",
     "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "Diagnostic",
-    "ParallelReport",
+    "FAULT_KINDS", "FaultSpec", "PRECISION_LEVELS", "ParallelReport",
+    "RunPolicy", "attach_faults", "coarsest", "degrade_ladder",
+    "degraded_outcome", "is_degraded", "parse_fault_arg",
+    "validate_outcome",
     "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
     "SummaryCache",
     "TraceStep", "analyze_payload", "analyze_payload_batch",

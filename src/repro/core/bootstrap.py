@@ -18,14 +18,25 @@ analysis.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..analysis.fscs import ClusterFSCS, Context
+from ..errors import AnalysisBudgetExceeded
 from ..ir import CallGraph, Loc, MemObject, Program, Var
 from .cascade import CascadeConfig, CascadeResult, run_cascade
 from .clusters import Cluster
+from .faults import FaultSpec, attach_faults, corrupt_outcome, fire_faults
 from .parallel import ParallelReport, ParallelRunner
+from .resilience import (
+    ClusterExecutionError,
+    RunPolicy,
+    coarsest,
+    degrade_ladder,
+    is_degraded,
+    validate_outcome,
+)
 from .shipping import build_payload, cluster_outcome, payload_fingerprint
 from .summary_cache import SummaryCache
 
@@ -51,6 +62,11 @@ class BootstrapResult:
         self.callgraph = CallGraph(program)
         self._analyses: Dict[int, ClusterFSCS] = {}
         self._fsci_cache: Dict[FrozenSet, object] = {}
+        #: Cluster position (in :attr:`clusters`) -> achieved precision
+        #: level, for clusters whose last :meth:`analyze_all` outcome was
+        #: degraded by the resilience layer.  Diagnostics derived from
+        #: these clusters carry a degraded-precision marker.
+        self.degraded_clusters: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # cluster plumbing
@@ -98,6 +114,20 @@ class BootstrapResult:
         savings the paper advertises)."""
         return len(self._analyses)
 
+    def degraded_precision_of(self, clusters: Iterable[Cluster]
+                              ) -> Optional[str]:
+        """The coarsest precision level among ``clusters`` that were
+        degraded by the last bulk run, or ``None`` when every one of
+        them was analyzed at full FSCS precision.  Checkers use this to
+        stamp diagnostics whose supporting clusters degraded."""
+        pos = {id(c): i for i, c in enumerate(self.clusters)}
+        levels = []
+        for c in clusters:
+            i = pos.get(id(c))
+            if i is not None and i in self.degraded_clusters:
+                levels.append(self.degraded_clusters[i])
+        return coarsest(levels) if levels else None
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -139,7 +169,10 @@ class BootstrapResult:
                     backend: Optional[str] = None,
                     jobs: Optional[int] = None,
                     scheduler: str = "greedy",
-                    cache: "Optional[object]" = None) -> ParallelReport:
+                    cache: "Optional[object]" = None,
+                    policy: Optional[RunPolicy] = None,
+                    faults: Optional[Sequence[FaultSpec]] = None
+                    ) -> ParallelReport:
         """Build summaries for every cluster (or a selected subset).
 
         ``backend`` picks execution (``simulate``/``threads``/
@@ -151,6 +184,15 @@ class BootstrapResult:
         path — skips every cluster whose sliced sub-program fingerprint
         already has a stored outcome.  Results are per-cluster outcome
         dicts (``{"stats", "points_to"}``) in input order.
+
+        ``policy`` (a :class:`~repro.core.resilience.RunPolicy`) adds
+        fault tolerance: per-cluster timeouts, bounded retries and —
+        when ``policy.degrade`` — sound degradation down the cascade for
+        clusters that still fail (their outcomes gain
+        ``status``/``precision`` tags and are *not* written to the
+        cache).  ``faults`` injects deterministic failures
+        (:class:`~repro.core.faults.FaultSpec`) for testing the
+        resilience path; faulted payloads keep their clean fingerprints.
         """
         targets = list(clusters) if clusters is not None else self.clusters
         if backend is None:
@@ -161,9 +203,10 @@ class BootstrapResult:
             parts = jobs  # one worker per part
 
         # Payloads/fingerprints are only built when something consumes
-        # them: the processes backend or the cache.
+        # them: the processes backend, the cache, or fault injection
+        # (fault selectors match on fingerprints).
         payloads = fingerprints = None
-        if backend == "processes" or cache_obj is not None:
+        if backend == "processes" or cache_obj is not None or faults:
             subcache: Dict[int, Dict] = {}
             payloads = [build_payload(self.program, c, self.callgraph,
                                       max_cond_atoms=self.config.max_cond_atoms,
@@ -171,6 +214,8 @@ class BootstrapResult:
                                       subprogram_cache=subcache)
                         for c in targets]
             fingerprints = [payload_fingerprint(p) for p in payloads]
+            if faults:
+                attach_faults(payloads, fingerprints, faults)
 
         cached: Dict[int, Dict] = {}
         if cache_obj is not None:
@@ -182,11 +227,23 @@ class BootstrapResult:
 
         runner: ParallelRunner[Dict] = ParallelRunner(
             parts=parts, backend=backend, scheduler=scheduler, jobs=jobs)
+        attempts_map: Dict[int, int] = {}
         if pending:
             sub = [targets[i] for i in pending]
             if backend == "processes":
                 report = runner.run_payloads(
-                    [payloads[i] for i in pending], sub)
+                    [payloads[i] for i in pending], sub, policy=policy)
+            elif policy is not None or faults:
+                task = self._resilient_task(
+                    targets, payloads, policy or RunPolicy(degrade=False),
+                    attempts_map)
+                report = runner.run(sub, task)
+                # attempts_map is keyed by full-target index; a report
+                # keys by position in the batch that actually ran (the
+                # merge below maps those back through ``pending``).
+                sub_pos = {i: j for j, i in enumerate(pending)}
+                report.attempts = {sub_pos[i]: n
+                                   for i, n in attempts_map.items()}
             else:
                 report = runner.run(
                     sub, lambda c: cluster_outcome(self.analysis_for(c)))
@@ -200,7 +257,12 @@ class BootstrapResult:
             report.fingerprints = fingerprints
             if cache_obj is not None:
                 for i in pending:
-                    cache_obj.put(fingerprints[i], report.results[i])
+                    # Degraded outcomes are coarser than what a healthy
+                    # run would compute: never cache them, so the next
+                    # run retries at full precision.
+                    if not is_degraded(report.results[i]):
+                        cache_obj.put(fingerprints[i], report.results[i])
+            self._note_degraded(targets, report.results)
             return report
 
         # Merge cached outcomes (cost 0.0 — no work was done) with the
@@ -208,20 +270,89 @@ class BootstrapResult:
         results: List[object] = [None] * len(targets)
         cluster_times: Dict[int, float] = {}
         schedule = [[pending[j] for j in part] for part in report.schedule]
+        attempts = {pending[j]: n for j, n in report.attempts.items()}
         for j, i in enumerate(pending):
             results[i] = report.results[j]
             cluster_times[i] = report.cluster_times.get(j, 0.0)
-            if cache_obj is not None:
+            if cache_obj is not None and not is_degraded(report.results[j]):
                 cache_obj.put(fingerprints[i], report.results[j])
         for i, outcome in cached.items():
             results[i] = outcome
             cluster_times[i] = 0.0
+        self._note_degraded(targets, results)
         return ParallelReport(
             part_times=report.part_times, cluster_times=cluster_times,
             results=results, backend=backend, scheduler=scheduler,
             schedule=schedule, wall_time=report.wall_time,
             cache_hits=len(cached), cache_misses=len(pending),
-            fingerprints=fingerprints)
+            fingerprints=fingerprints, attempts=attempts)
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def _resilient_task(self, targets: Sequence[Cluster],
+                        payloads: Optional[List[Dict[str, Any]]],
+                        policy: RunPolicy,
+                        attempts_map: Dict[int, int]):
+        """The in-process (simulate/threads) analogue of the resilient
+        worker path: fire injected faults, retry with backoff, validate,
+        and degrade down the cascade on persistent failure.  Reuses the
+        already-computed Steensgaard result for the coarsest rung."""
+        index_of = {}
+        for i, c in enumerate(targets):
+            index_of.setdefault(id(c), i)
+
+        def task(c: Cluster) -> Dict[str, Any]:
+            i = index_of[id(c)]
+            payload = payloads[i] if payloads is not None else None
+            names = [str(p) for p in c.pointer_members]
+            error = "unknown failure"
+            for attempt in range(1, policy.retries + 2):
+                attempts_map[i] = attempt
+                if attempt > 1:
+                    time.sleep(policy.delay(attempt, key=str(i)))
+                try:
+                    corrupt = False
+                    if payload is not None and payload.get("faults"):
+                        corrupt = fire_faults(payload, in_process=True)
+                    outcome = corrupt_outcome() if corrupt \
+                        else cluster_outcome(self.analysis_for(c))
+                    if not validate_outcome(outcome, names):
+                        error = "invalid outcome (corrupted result)"
+                        continue
+                    return outcome
+                except AnalysisBudgetExceeded as exc:
+                    if not policy.degrade:
+                        raise
+                    error = str(exc)
+                    break  # deterministic; retrying cannot help
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    continue
+            if not policy.degrade:
+                raise ClusterExecutionError(i, error)
+            return degrade_ladder(
+                self.program, c, steens=self.cascade.steensgaard,
+                callgraph=self.callgraph, error=error,
+                attempts=attempts_map[i])
+
+        return task
+
+    def _note_degraded(self, targets: Sequence[Cluster],
+                       results: Sequence[object]) -> None:
+        """Record which of *this result's* clusters came back degraded,
+        keyed by their position in :attr:`clusters` (clusters outside
+        that list — ad-hoc subsets — are query-invisible and skipped)."""
+        pos = {id(c): i for i, c in enumerate(self.clusters)}
+        for c, outcome in zip(targets, results):
+            i = pos.get(id(c))
+            if i is None:
+                continue
+            if is_degraded(outcome):
+                self.degraded_clusters[i] = str(
+                    outcome.get("precision", "steensgaard"))  # type: ignore[union-attr]
+            else:
+                self.degraded_clusters.pop(i, None)
 
 
 class BootstrapAnalyzer:

@@ -1,0 +1,192 @@
+"""Deterministic fault injection for the cluster execution path.
+
+The resilience layer (:mod:`repro.core.resilience`) promises that a
+cluster whose analysis crashes, hangs or returns garbage degrades to a
+sound coarser outcome instead of failing the run.  That promise is only
+testable if faults can be produced *on demand and deterministically*, so
+this module injects them:
+
+* a :class:`FaultSpec` names a fault kind and selects clusters by
+  payload fingerprint (a prefix), by schedule index (``#3``) or
+  unconditionally (``*``);
+* :func:`attach_faults` stamps matching payloads with a JSON-safe
+  ``"faults"`` entry — the flag travels inside the payload, so it
+  crosses the process boundary to the worker with no side channel;
+* :func:`fire_faults` executes the stamped faults at the start of a
+  cluster's analysis, in a worker (real ``os._exit`` crashes, real
+  sleeps) or in process (both map to raised exceptions, since a hard
+  crash would take the test runner down with it).
+
+Fault kinds
+-----------
+
+``crash``
+    The worker process dies immediately (``os._exit``); in process, a
+    ``RuntimeError`` is raised instead.
+``hang``
+    The worker sleeps for ``duration`` seconds — long enough to trip any
+    realistic per-cluster timeout, bounded so an abandoned worker still
+    exits on its own; in process, a ``RuntimeError`` is raised.
+``corrupt``
+    The analysis runs normally but its outcome is replaced with garbage
+    that fails :func:`repro.core.resilience.validate_outcome`.
+``flaky-once``
+    Fails (``RuntimeError``) the first time each fingerprint is seen and
+    succeeds afterwards — the retry path's happy case.  Cross-process
+    attempt memory is a marker file under ``token_dir``, so the fault
+    stays deterministic across pool replacements.
+
+The ``"faults"`` payload entry is ignored by
+:func:`~repro.core.shipping.payload_fingerprint`, so injecting a fault
+never changes a cluster's cache identity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: The supported fault kinds.
+FAULT_KINDS = ("crash", "hang", "corrupt", "flaky-once")
+
+#: Exit status of a worker killed by a ``crash`` fault (distinctive in
+#: process listings; the parent only ever observes ``BrokenProcessPool``).
+CRASH_EXIT_CODE = 113
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what goes wrong, and for which clusters.
+
+    ``match`` selects clusters: ``"*"`` matches every cluster, ``"#N"``
+    matches the cluster at index ``N`` of the payload list, anything
+    else matches fingerprints by prefix.  ``duration`` only matters for
+    ``hang``; ``token_dir`` only for ``flaky-once`` (defaults to the
+    system temp dir).
+    """
+
+    kind: str
+    match: str = "*"
+    duration: float = 30.0
+    token_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(have: {', '.join(FAULT_KINDS)})")
+
+    def matches(self, fingerprint: str, index: int) -> bool:
+        if self.match == "*":
+            return True
+        if self.match.startswith("#"):
+            try:
+                return int(self.match[1:]) == index
+            except ValueError:
+                return False
+        return fingerprint.startswith(self.match)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "match": self.match,
+                               "duration": self.duration}
+        if self.token_dir is not None:
+            out["token_dir"] = self.token_dir
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        return cls(kind=data["kind"], match=data.get("match", "*"),
+                   duration=float(data.get("duration", 30.0)),
+                   token_dir=data.get("token_dir"))
+
+
+def parse_fault_arg(text: str) -> FaultSpec:
+    """``KIND[:SELECTOR[:DURATION]]`` from the CLI, e.g. ``crash:#3`` or
+    ``hang:a1b2:5``."""
+    parts = text.split(":")
+    kind = parts[0]
+    match = parts[1] if len(parts) > 1 and parts[1] else "*"
+    duration = 30.0
+    if len(parts) > 2 and parts[2]:
+        try:
+            duration = float(parts[2])
+        except ValueError:
+            raise ValueError(f"bad fault duration in {text!r}")
+    if len(parts) > 3:
+        raise ValueError(f"bad fault spec {text!r} "
+                         "(KIND[:SELECTOR[:DURATION]])")
+    return FaultSpec(kind=kind, match=match, duration=duration)
+
+
+def attach_faults(payloads: Sequence[Dict[str, Any]],
+                  fingerprints: Sequence[str],
+                  specs: Iterable[FaultSpec]) -> List[int]:
+    """Stamp each matching payload with its faults; returns the indices
+    of the payloads that were stamped.
+
+    Stamping happens *after* fingerprints are computed, and the
+    fingerprint function ignores the ``"faults"`` key anyway, so the
+    cache identity of a faulted cluster never changes.
+    """
+    stamped: List[int] = []
+    specs = list(specs)
+    for i, (payload, fp) in enumerate(zip(payloads, fingerprints)):
+        matched = [s.to_dict() for s in specs if s.matches(fp, i)]
+        if matched:
+            payload["faults"] = matched
+            payload["fault_fingerprint"] = fp
+            stamped.append(i)
+    return stamped
+
+
+def _flaky_token(spec: Dict[str, Any], fingerprint: str) -> str:
+    import tempfile
+    root = spec.get("token_dir") or tempfile.gettempdir()
+    return os.path.join(root, f"repro-flaky-{fingerprint[:32]}.token")
+
+
+def fire_faults(payload: Dict[str, Any], in_process: bool = False) -> bool:
+    """Execute the faults stamped on ``payload`` (no-op when none).
+
+    Returns ``True`` when the cluster's outcome should be corrupted
+    after the analysis runs (the ``corrupt`` kind); raises, sleeps or
+    kills the process for the other kinds.  ``in_process`` softens
+    ``crash`` and ``hang`` into exceptions so in-process backends can
+    exercise the same recovery path without killing the host.
+    """
+    corrupt = False
+    fingerprint = payload.get("fault_fingerprint", "")
+    for spec in payload.get("faults", ()):
+        kind = spec.get("kind")
+        if kind == "corrupt":
+            corrupt = True
+        elif kind == "crash":
+            if in_process:
+                raise RuntimeError("injected fault: crash")
+            os._exit(CRASH_EXIT_CODE)
+        elif kind == "hang":
+            if in_process:
+                raise RuntimeError("injected fault: hang")
+            deadline = time.monotonic() + float(spec.get("duration", 30.0))
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+            raise RuntimeError("injected fault: hang (slept out)")
+        elif kind == "flaky-once":
+            token = _flaky_token(spec, fingerprint)
+            if not os.path.exists(token):
+                try:
+                    with open(token, "x"):
+                        pass
+                except OSError:
+                    pass  # lost the race: someone else failed first
+                else:
+                    raise RuntimeError("injected fault: flaky-once")
+    return corrupt
+
+
+def corrupt_outcome() -> Dict[str, Any]:
+    """The garbage a ``corrupt`` fault returns in place of a real
+    outcome — shaped wrongly on purpose so validation rejects it."""
+    return {"points_to": "0xdeadbeef", "stats": None,
+            "corrupted": True}

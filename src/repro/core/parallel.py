@@ -32,6 +32,8 @@ from __future__ import annotations
 import heapq
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -186,6 +188,9 @@ class ParallelReport:
     #: payloads (processes backend or any cache) — the invalidation hook
     #: the query daemon diffs across reloads.
     fingerprints: Optional[List[str]] = None
+    #: Analysis attempts per cluster index; only clusters the resilience
+    #: layer touched more than once (or failed) appear with values > 1.
+    attempts: Dict[int, int] = field(default_factory=dict)
 
     @property
     def max_part_time(self) -> float:
@@ -195,6 +200,35 @@ class ParallelReport:
     @property
     def total_time(self) -> float:
         return sum(self.part_times)
+
+    # -- resilience accounting (derived from outcome tags, so cached /
+    # -- merged results need no extra bookkeeping) ----------------------
+    @property
+    def degraded(self) -> Dict[int, str]:
+        """Cluster index -> achieved precision level, for every cluster
+        the degradation ladder handled (empty on clean runs)."""
+        out: Dict[int, str] = {}
+        for i, outcome in enumerate(self.results):
+            if isinstance(outcome, dict) and outcome.get("status") == "degraded":
+                out[i] = str(outcome.get("precision", "steensgaard"))
+        return out
+
+    def cluster_status(self, index: int) -> str:
+        """``"ok"`` or ``"degraded"`` for one cluster."""
+        return "degraded" if index in self.degraded else "ok"
+
+    def cluster_precision(self, index: int) -> str:
+        """The precision level of one cluster's outcome (``"fscs"``
+        unless it was degraded)."""
+        return self.degraded.get(index, "fscs")
+
+    @property
+    def statuses(self) -> List[str]:
+        return [self.cluster_status(i) for i in range(len(self.results))]
+
+    @property
+    def precisions(self) -> List[str]:
+        return [self.cluster_precision(i) for i in range(len(self.results))]
 
 
 class ParallelRunner(Generic[T]):
@@ -262,34 +296,179 @@ class ParallelRunner(Generic[T]):
             wall_time=time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _retire_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+        """Shut a pool down without waiting; ``kill`` additionally
+        terminates its worker processes (a hung worker never finishes on
+        its own, and ``shutdown`` alone would leave it running)."""
+        if kill:
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def run_payloads(self, payloads: Sequence[Dict[str, Any]],
-                     clusters: Sequence[Cluster]) -> ParallelReport:
+                     clusters: Sequence[Cluster],
+                     policy: "Optional[object]" = None) -> ParallelReport:
         """Execute the ``processes`` backend: each scheduled part's
         payloads go to one ``ProcessPoolExecutor`` worker, which rebuilds
-        the sliced sub-programs and returns per-cluster outcomes."""
-        from .shipping import analyze_payload_batch
+        the sliced sub-programs and returns per-cluster outcomes.
+
+        Execution is fault-isolated per cluster under ``policy`` (a
+        :class:`~repro.core.resilience.RunPolicy`; a conservative default
+        applies when omitted): every future is awaited with a deadline, a
+        crashed or hung pool is replaced and only the *failed* clusters
+        are re-submitted (bounded retries with backoff, gated by the
+        circuit breaker), and clusters that still fail either degrade
+        down the bootstrap cascade (``policy.degrade``) or raise a
+        structured :class:`~repro.core.resilience.ClusterExecutionError`.
+        Nothing blocks forever, and one poison cluster no longer takes
+        the run down with it.
+        """
+        from .resilience import (
+            DEFAULT_POLICY,
+            CircuitBreaker,
+            ClusterExecutionError,
+            RunPolicy,
+            degrade_payload,
+            is_degraded,
+            is_error_marker,
+            raise_marker,
+            run_resilient_batch,
+            run_resilient_single,
+            validate_outcome,
+        )
+        pol: RunPolicy = policy if policy is not None else DEFAULT_POLICY  # type: ignore[assignment]
         t0 = time.perf_counter()
         schedule = schedule_indices(clusters, self.parts, self.scheduler)
         cluster_times: Dict[int, float] = {}
         results: List[object] = [None] * len(clusters)
         part_times: List[float] = [0.0] * len(schedule)
+        attempts: Dict[int, int] = {}
+        failed: Dict[int, str] = {}
         workers = max(1, min(self.jobs, len(schedule)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        # The resilience config rides inside the payload (it must cross
+        # the process boundary); fingerprints ignore it, and they were
+        # computed before this call anyway.
+        for payload in payloads:
+            payload["resilience"] = pol.payload_config()
+
+        def member_names(idx: int) -> List[str]:
+            return [str(p) for p in clusters[idx].pointer_members]
+
+        def accept(idx: int, elapsed: float, outcome: object) -> bool:
+            """Record a worker response; False means the cluster failed."""
+            if is_error_marker(outcome):
+                marker: Dict[str, Any] = outcome  # type: ignore[assignment]
+                if not marker.get("retryable", True) and not pol.degrade:
+                    raise_marker(marker, idx)
+                failed[idx] = marker["__cluster_error__"]
+                return False
+            if not (is_degraded(outcome)
+                    or validate_outcome(outcome, member_names(idx))):
+                failed[idx] = "invalid outcome (corrupted result)"
+                return False
+            failed.pop(idx, None)
+            cluster_times[idx] = elapsed
+            results[idx] = outcome
+            return True
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pool_sick = False
+        try:
+            # Phase 1: one batched future per scheduled part, each
+            # awaited with a deadline so a hang fails the part instead
+            # of the whole run.
             futures = [
-                pool.submit(analyze_payload_batch,
+                pool.submit(run_resilient_batch,
                             [payloads[i] for i in part])
                 for part in schedule
             ]
             for part_no, (part, future) in enumerate(zip(schedule, futures)):
-                timed = future.result()
+                for idx in part:
+                    attempts[idx] = 1
+                try:
+                    timed = future.result(
+                        timeout=pol.future_timeout(len(part)))
+                except FutureTimeoutError:
+                    pool_sick = True
+                    for idx in part:
+                        failed.setdefault(
+                            idx, f"part {part_no} timed out after "
+                                 f"{pol.future_timeout(len(part)):.1f}s")
+                    continue
+                except BrokenProcessPool:
+                    pool_sick = True
+                    for idx in part:
+                        failed.setdefault(idx, "worker process crashed "
+                                               "(BrokenProcessPool)")
+                    continue
                 acc = 0.0
                 for idx, (elapsed, outcome) in zip(part, timed):
-                    cluster_times[idx] = elapsed
-                    results[idx] = outcome
-                    acc += elapsed
+                    if accept(idx, elapsed, outcome):
+                        acc += elapsed
                 part_times[part_no] = acc
+
+            # Phase 2: per-cluster retries against a healthy pool.  A
+            # part-level failure (one hang/crash fails the whole batch)
+            # is re-tried cluster-by-cluster, so innocent neighbors of a
+            # poison cluster recover here on their first retry.
+            if failed and pol.retries > 0:
+                if pool_sick:
+                    self._retire_pool(pool, kill=True)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool_sick = False
+                breaker = CircuitBreaker(pol.max_consecutive_failures)
+                for idx in sorted(failed):
+                    for attempt in range(2, pol.retries + 2):
+                        if breaker.is_open:
+                            break
+                        time.sleep(pol.delay(attempt, key=str(idx)))
+                        attempts[idx] = attempt
+                        try:
+                            single = pool.submit(run_resilient_single,
+                                                 payloads[idx])
+                            elapsed, outcome = single.result(
+                                timeout=pol.future_timeout(1))
+                        except (FutureTimeoutError, BrokenProcessPool) as exc:
+                            failed[idx] = f"retry {attempt}: " \
+                                          f"{type(exc).__name__}"
+                            breaker.record_failure()
+                            self._retire_pool(pool, kill=True)
+                            pool = ProcessPoolExecutor(max_workers=workers)
+                            continue
+                        if accept(idx, elapsed, outcome):
+                            breaker.record_success()
+                            break
+                        breaker.record_failure()
+                        if is_error_marker(outcome) \
+                                and not outcome.get("retryable", True):
+                            break  # deterministic failure; stop early
+
+            # Phase 3: whatever still failed degrades down the cascade
+            # (parent-side, from the shipped payload) — or, with
+            # degradation disabled, surfaces as a structured error.
+            if failed:
+                if not pol.degrade:
+                    first = sorted(failed)[0]
+                    raise ClusterExecutionError(first, failed[first])
+                for idx in sorted(failed):
+                    t1 = time.perf_counter()
+                    outcome = degrade_payload(
+                        payloads[idx], error=failed[idx],
+                        attempts=attempts.get(idx, 1),
+                        cluster_timeout=pol.cluster_timeout)
+                    cluster_times[idx] = time.perf_counter() - t1
+                    results[idx] = outcome
+                failed.clear()
+        finally:
+            self._retire_pool(pool, kill=pool_sick)
         return ParallelReport(
             part_times=part_times, cluster_times=cluster_times,
             results=results, backend="processes",
             scheduler=self.scheduler, schedule=schedule,
-            wall_time=time.perf_counter() - t0)
+            wall_time=time.perf_counter() - t0,
+            attempts=attempts)

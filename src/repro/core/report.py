@@ -58,10 +58,20 @@ class Diagnostic:
     checker: str = ""
     subject: str = ""
     trace: Tuple[TraceStep, ...] = ()
+    #: Precision of the alias facts this finding rests on: ``"fscs"``
+    #: normally, or the cascade level a supporting cluster degraded to
+    #: (``"fsci"``/``"andersen"``/``"steensgaard"``).  Degraded-precision
+    #: findings are still sound may-facts, just coarser — emitters mark
+    #: them so consumers can triage accordingly.
+    precision: str = "fscs"
 
     @property
     def line(self) -> Optional[int]:
         return self.span.line if self.span is not None else None
+
+    @property
+    def degraded(self) -> bool:
+        return self.precision != "fscs"
 
     def position(self) -> str:
         """``file:line:col`` (best effort) for text output."""
@@ -141,8 +151,9 @@ def render_diagnostics_text(diags: List[Diagnostic],
     """Compiler-style one-line-per-finding text rendering."""
     lines: List[str] = []
     for d in diags:
+        marker = f" [degraded-precision: {d.precision}]" if d.degraded else ""
         lines.append(f"{d.position()}: {d.severity}: {d.message} "
-                     f"[{d.rule_id}]")
+                     f"[{d.rule_id}]{marker}")
         if verbose_trace:
             for step in d.trace:
                 pos = (str(step.span) if step.span is not None
@@ -162,6 +173,9 @@ def diagnostics_to_dict(diags: List[Diagnostic]) -> List[Dict[str, Any]]:
             "checker": d.checker,
             "subject": d.subject,
         }
+        if d.degraded:
+            entry["precision"] = d.precision
+            entry["degraded"] = True
         if d.file:
             entry["file"] = d.file
         if d.span is not None:
@@ -219,6 +233,8 @@ def diagnostics_to_sarif(diags: List[Diagnostic],
             "message": {"text": d.message},
             "locations": [_sarif_location(d.file, d.span)],
         }
+        if d.degraded:
+            result["properties"] = {"degraded-precision": d.precision}
         if d.trace:
             flow_locs = [
                 {"location": _sarif_location(d.file, s.span, s.note)}

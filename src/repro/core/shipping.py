@@ -182,8 +182,15 @@ def payload_fingerprint(payload: Dict[str, Any]) -> str:
     Two clusters (across runs, across edited sources) share a
     fingerprint iff their sliced sub-programs, members, slices and
     analysis knobs are identical, which is exactly when their cached
-    outcomes are interchangeable.
+    outcomes are interchangeable.  Execution decorations (injected
+    faults, resilience config) describe *how* a run executes, not what
+    it computes, so they are excluded — a faulted or timeout-bounded
+    run keeps the cache identity of a clean one.
     """
+    from .resilience import EXECUTION_KEYS
+    if any(k in payload for k in EXECUTION_KEYS):
+        payload = {k: v for k, v in payload.items()
+                   if k not in EXECUTION_KEYS}
     return _digest(payload)
 
 
@@ -220,9 +227,13 @@ def cluster_outcome(analysis: ClusterFSCS) -> Dict[str, Any]:
 _FSCI_CACHE: Dict[str, Tuple[Program, CallGraph, object]] = {}
 
 
-def analyze_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def analyze_payload(payload: Dict[str, Any],
+                    deadline: Optional[float] = None) -> Dict[str, Any]:
     """Worker entry point: rebuild the sub-program and analyze the
-    cluster, mirroring :meth:`BootstrapResult.analysis_for` exactly."""
+    cluster, mirroring :meth:`BootstrapResult.analysis_for` exactly.
+    ``deadline`` (absolute ``time.monotonic``) is the resilience layer's
+    in-worker timeout; overruns raise
+    :class:`~repro.errors.AnalysisBudgetExceeded`."""
     key = _fsci_fingerprint(payload)
     cached = _FSCI_CACHE.get(key)
     cluster = cluster_from_dict(payload["cluster"])
@@ -231,7 +242,8 @@ def analyze_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         callgraph = CallGraph(program)
         parent = _base_slice(cluster)
         probe = ClusterFSCS(program, cluster=(), tracked=parent.vp,
-                            relevant=parent.statements, callgraph=callgraph)
+                            relevant=parent.statements, callgraph=callgraph,
+                            deadline=deadline)
         cached = (program, callgraph, probe.fsci)
         _FSCI_CACHE[key] = cached
     program, callgraph, fsci = cached
@@ -245,6 +257,7 @@ def analyze_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         fsci=fsci,
         max_cond_atoms=config["max_cond_atoms"],
         budget=config["budget"],
+        deadline=deadline,
     )
     return cluster_outcome(analysis)
 

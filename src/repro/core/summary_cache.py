@@ -13,6 +13,7 @@ Directory layout (documented in README "Parallel execution"):
 
     <cache-dir>/
         <aa>/<fingerprint>.json    # one outcome per cluster fingerprint
+        quarantine/<fingerprint>.json  # corrupted entries, moved aside
 
 where ``<aa>`` is the fingerprint's first two hex digits (keeps any
 single directory small).  Entries are self-contained JSON outcome dicts
@@ -33,6 +34,10 @@ import time
 from typing import Any, Dict, Optional
 
 
+#: Subdirectory corrupted entries are moved to (never read back).
+QUARANTINE_DIR = "quarantine"
+
+
 class SummaryCache:
     """Content-addressed store of per-cluster analysis outcomes."""
 
@@ -40,18 +45,43 @@ class SummaryCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         os.makedirs(root, exist_ok=True)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupted entry aside (never delete user data, never
+        re-read it): a truncated write or disk error must read as a
+        cache miss, not crash the run — and must not read as a miss
+        *again and again* by being retried every lookup."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            pass  # quarantine is best-effort; the miss already happened
+        self.corrupt += 1
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached outcome for ``key``, or ``None``; counts the
-        hit/miss either way."""
+        hit/miss either way.  A corrupted or truncated entry is a miss:
+        the bad file is quarantined (see :meth:`stats`) and the caller
+        recomputes."""
+        path = self._path(key)
         try:
-            with open(self._path(key), "r") as handle:
+            with open(path, "r") as handle:
                 outcome = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(outcome, dict):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -77,11 +107,28 @@ class SummaryCache:
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
+    def _walk(self):
+        """Entry directories only — the quarantine corner is not part of
+        the cache contents."""
+        for dirpath, subdirs, files in os.walk(self.root):
+            if dirpath == self.root:
+                subdirs[:] = [d for d in subdirs if d != QUARANTINE_DIR]
+            yield dirpath, subdirs, files
+
     def __len__(self) -> int:
         n = 0
-        for _dir, _subdirs, files in os.walk(self.root):
+        for _dir, _subdirs, files in self._walk():
             n += sum(1 for f in files if f.endswith(".json"))
         return n
+
+    def quarantined(self) -> int:
+        """How many corrupted entries have been moved aside (all time,
+        not just this session)."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            return sum(1 for f in os.listdir(qdir) if f.endswith(".json"))
+        except OSError:
+            return 0
 
     def stats(self) -> Dict[str, Any]:
         """Entry count, disk footprint and entry-age range — the
@@ -91,7 +138,7 @@ class SummaryCache:
         total_bytes = 0
         oldest: Optional[float] = None
         newest: Optional[float] = None
-        for dirpath, _subdirs, files in os.walk(self.root):
+        for dirpath, _subdirs, files in self._walk():
             for name in files:
                 if not name.endswith(".json"):
                     continue
@@ -111,6 +158,8 @@ class SummaryCache:
             "bytes": total_bytes,
             "oldest_age_days": (oldest or 0.0) / 86400.0,
             "newest_age_days": (newest or 0.0) / 86400.0,
+            "quarantined": self.quarantined(),
+            "corrupt_this_session": self.corrupt,
         }
 
     def prune(self, max_age_days: float) -> int:
@@ -119,7 +168,7 @@ class SummaryCache:
         time; pruning bounds disk use and never affects correctness."""
         cutoff = time.time() - max_age_days * 86400.0
         removed = 0
-        for dirpath, _subdirs, files in os.walk(self.root):
+        for dirpath, _subdirs, files in self._walk():
             for name in files:
                 if not name.endswith(".json"):
                     continue

@@ -243,9 +243,12 @@ class AliasServer:
             # A manual line loop (instead of StreamRequestHandler's
             # rfile iteration) so idle connections notice draining: the
             # short recv timeout is a drain poll, not a client deadline.
+            # Malformed or oversized lines get structured error
+            # responses — the connection thread survives both.
             def handle(self) -> None:
                 self.request.settimeout(0.2)
                 buf = b""
+                discarding = False  # inside an oversized line
                 while True:
                     try:
                         chunk = self.request.recv(65536)
@@ -260,13 +263,35 @@ class AliasServer:
                     buf += chunk
                     while b"\n" in buf:
                         line, buf = buf.split(b"\n", 1)
+                        if discarding:
+                            # The tail of a line already rejected as too
+                            # large; resync at its newline.
+                            discarding = False
+                            continue
                         if not line.strip():
                             continue
                         try:
-                            self.request.sendall(
-                                alias_server.handle_line(line))
+                            response = alias_server.handle_line(line)
+                        except Exception as exc:  # noqa: BLE001
+                            response = protocol.encode(protocol.err(
+                                None, protocol.INTERNAL_ERROR,
+                                f"{type(exc).__name__}: {exc}"))
+                        try:
+                            self.request.sendall(response)
                         except OSError:
                             return
+                    if not discarding \
+                            and len(buf) > protocol.MAX_REQUEST_BYTES:
+                        try:
+                            self.request.sendall(protocol.encode(
+                                protocol.err(
+                                    None, protocol.REQUEST_TOO_LARGE,
+                                    "request line exceeds "
+                                    f"{protocol.MAX_REQUEST_BYTES} bytes")))
+                        except OSError:
+                            return
+                        buf = b""
+                        discarding = True
 
         if self.socket_path is not None:
             base = getattr(socketserver, "UnixStreamServer", None)

@@ -33,6 +33,13 @@ BUDGET_EXCEEDED = -32001    # AnalysisBudgetExceeded during analysis
 ANALYSIS_ERROR = -32002     # target file fails to parse/normalize
 FILE_ERROR = -32003         # target file unreadable
 SHUTTING_DOWN = -32004      # request arrived while draining
+REQUEST_TOO_LARGE = -32005  # request line exceeds MAX_REQUEST_BYTES
+
+#: Upper bound on one request line.  A client that streams an unbounded
+#: line would otherwise grow the connection buffer without limit; the
+#: daemon answers ``REQUEST_TOO_LARGE`` and discards through the next
+#: newline instead of dying (or swallowing the memory).
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
 
 
 class RequestError(ReproError):

@@ -45,6 +45,8 @@ from ..core import (
     select_clusters,
 )
 from ..core.bootstrap import BootstrapResult
+from ..core.faults import FaultSpec
+from ..core.resilience import RunPolicy
 from ..errors import ReproError
 from ..ir import Loc, Program, Var
 from .protocol import (
@@ -76,6 +78,16 @@ class ServerConfig:
     cache_dir: Optional[str] = None
     #: Re-check file mtime/hash at query time and reload on change.
     watch: bool = True
+    #: Resilience knobs (``repro serve --cluster-timeout/--retries/
+    #: --degrade``).  All off by default: an un-tuned daemon fails loads
+    #: exactly as before (e.g. a budget overrun stays a structured
+    #: ``BUDGET_EXCEEDED`` error), while a tuned one serves partial
+    #: results with degraded-precision warnings instead.
+    cluster_timeout: Optional[float] = None
+    retries: int = 1
+    degrade: bool = False
+    #: Deterministic fault injection for the resilience test/bench path.
+    inject_faults: Optional[List[FaultSpec]] = None
 
     def bootstrap_config(self) -> BootstrapConfig:
         return BootstrapConfig(
@@ -84,6 +96,16 @@ class ServerConfig:
             parts=self.parts,
             fscs_budget=self.fscs_budget,
             max_cond_atoms=self.max_cond_atoms)
+
+    def run_policy(self) -> Optional[RunPolicy]:
+        """The :class:`RunPolicy` for bulk analysis, or ``None`` when no
+        resilience knob is set — ``None`` keeps the legacy failure mode
+        (request-wide structured errors) byte-for-byte."""
+        if self.cluster_timeout is None and self.retries == 1 \
+                and not self.degrade:
+            return None
+        return RunPolicy(cluster_timeout=self.cluster_timeout,
+                         retries=self.retries, degrade=self.degrade)
 
 
 class ClusterStore:
@@ -169,6 +191,7 @@ class RefreshStats:
     reused: int       # cluster-store hits: unchanged sliced sub-programs
     seconds: float
     reason: str       # "cold" | "changed" | "invalidate"
+    degraded: int = 0  # clusters served at reduced precision
 
     @property
     def reanalyzed_fraction(self) -> float:
@@ -198,7 +221,8 @@ class FileState:
     def __init__(self, path: str, source_hash: str, stat: os.stat_result,
                  program: Program, result: BootstrapResult,
                  fingerprints: List[str], outcomes: List[Dict[str, Any]],
-                 refresh: RefreshStats) -> None:
+                 refresh: RefreshStats,
+                 degraded: Optional[Dict[int, str]] = None) -> None:
         self.path = path
         self.source_hash = source_hash
         self.mtime_ns = stat.st_mtime_ns
@@ -208,6 +232,10 @@ class FileState:
         self.fingerprints = fingerprints
         self.outcomes = outcomes
         self.refresh = refresh
+        #: Cluster index -> precision level for clusters the resilience
+        #: layer degraded during this load; queries touching them carry
+        #: structured ``degraded-precision`` warnings.
+        self.degraded: Dict[int, str] = degraded or {}
         self.queries = 0
         self._must = None
         self._diagnostics: Dict[Tuple[str, ...], Dict[str, Any]] = {}
@@ -232,6 +260,27 @@ class FileState:
                 "total": sel.total_clusters,
                 "pointer_fraction": sel.pointer_fraction}
 
+    def degraded_warnings(self, pointers: Optional[Sequence[Var]] = None
+                          ) -> List[Dict[str, Any]]:
+        """Structured warnings for the degraded clusters a query rests
+        on (all of them when ``pointers`` is ``None``).  Empty on
+        healthy loads, so clean responses are unchanged."""
+        out: List[Dict[str, Any]] = []
+        for i, level in sorted(self.degraded.items()):
+            cluster = self.result.clusters[i]
+            if pointers is not None \
+                    and not any(p in cluster.members for p in pointers):
+                continue
+            outcome = self.outcomes[i] if i < len(self.outcomes) else {}
+            entry: Dict[str, Any] = {"code": "degraded-precision",
+                                     "cluster": i, "precision": level}
+            error = outcome.get("error") if isinstance(outcome, dict) \
+                else None
+            if error:
+                entry["reason"] = error
+            out.append(entry)
+        return out
+
     # ------------------------------------------------------------------
     def points_to(self, name: str) -> Dict[str, Any]:
         """Union of the pointer's per-cluster outcome sets at the end of
@@ -241,8 +290,12 @@ class FileState:
         for cluster, outcome in zip(self.result.clusters, self.outcomes):
             if p in cluster.members:
                 objs.update(outcome["points_to"].get(str(p), ()))
-        return {"pointer": str(p), "objects": sorted(objs),
-                "clusters": self._selection([p])}
+        out: Dict[str, Any] = {"pointer": str(p), "objects": sorted(objs),
+                               "clusters": self._selection([p])}
+        warnings = self.degraded_warnings([p])
+        if warnings:
+            out["warnings"] = warnings
+        return out
 
     def may_alias(self, p_name: str, q_name: str) -> Dict[str, Any]:
         p, q = self.resolve(p_name), self.resolve(q_name)
@@ -281,6 +334,9 @@ class FileState:
                     "checkers": [dataclasses.asdict(st)
                                  for st in report.stats],
                 }
+                warnings = self.degraded_warnings()
+                if warnings:
+                    cached["warnings"] = warnings
                 self._diagnostics[names] = cached
         return cached
 
@@ -319,6 +375,9 @@ class FileState:
                     "demanded": sorted(str(v) for v in run.demanded),
                     "spec_digest": key,
                 }
+                warnings = self.degraded_warnings()
+                if warnings:
+                    cached["warnings"] = warnings
                 self._taint[key] = cached
         out = dict(cached)
         out["refresh"] = self.refresh.to_dict()
@@ -352,6 +411,7 @@ class FileState:
             "clusters": len(self.result.clusters),
             "pointers": len(self.program.pointers),
             "queries": self.queries,
+            "degraded": len(self.degraded),
             "last_refresh": self.refresh.to_dict(),
         }
 
@@ -435,17 +495,22 @@ class FileStore:
         report = result.analyze_all(backend=self.config.backend,
                                     jobs=self.config.jobs,
                                     scheduler=self.config.scheduler,
-                                    cache=self.clusters)
+                                    cache=self.clusters,
+                                    policy=self.config.run_policy(),
+                                    faults=self.config.inject_faults)
+        degraded = report.degraded
         refresh = RefreshStats(
             clusters=len(result.clusters),
             reanalyzed=report.cache_misses,
             reused=report.cache_hits,
             seconds=time.perf_counter() - t0,
-            reason=reason)
+            reason=reason,
+            degraded=len(degraded))
         self.loads += 1
         return FileState(path=path,
                          source_hash=_source_fingerprint(source),
                          stat=st, program=program, result=result,
                          fingerprints=list(report.fingerprints or []),
                          outcomes=list(report.results),
-                         refresh=refresh)
+                         refresh=refresh,
+                         degraded=degraded)

@@ -1,0 +1,464 @@
+"""Fault-tolerant execution and graceful degradation.
+
+The resilience contract: any per-cluster failure — worker crash, hang,
+corrupted result, blown budget — is isolated to that cluster and, under
+a degrading :class:`RunPolicy`, converted into a *sound* coarser outcome
+from further down the bootstrap cascade (FSCI -> Andersen -> Steensgaard)
+tagged with the precision level actually achieved.  The differential
+classes pin the soundness half: for every corpus program, every degraded
+points-to set is a superset of the clean run's set for the same cluster.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import corpus_configs, generate
+from repro.core import (
+    BootstrapAnalyzer,
+    BootstrapConfig,
+    CascadeConfig,
+    CircuitBreaker,
+    ClusterExecutionError,
+    FaultSpec,
+    RunPolicy,
+    SummaryCache,
+    coarsest,
+    degrade_ladder,
+    degraded_outcome,
+    is_degraded,
+    parse_fault_arg,
+    validate_outcome,
+)
+from repro.core.faults import corrupt_outcome
+from repro.core.resilience import (
+    DEFAULT_POLICY,
+    error_marker,
+    is_error_marker,
+    raise_marker,
+)
+from repro.errors import AnalysisBudgetExceeded
+
+from .helpers import figure5_program
+
+#: Small enough that corpus-wide degradation stays CI-friendly.
+SCALE = 0.004
+
+CORPUS_NAMES = [cfg.name for cfg in corpus_configs(scale=SCALE)]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _fresh(program, **kw):
+    config = BootstrapConfig(
+        cascade=CascadeConfig(andersen_threshold=6), **kw)
+    return BootstrapAnalyzer(program, config).run()
+
+
+def _assert_superset(clean_outcome, degraded_outcome_):
+    clean_pts = clean_outcome["points_to"]
+    degr_pts = degraded_outcome_["points_to"]
+    assert set(degr_pts) == set(clean_pts)
+    for name, objs in clean_pts.items():
+        assert set(objs) <= set(degr_pts[name]), name
+
+
+# ----------------------------------------------------------------------
+# policy mechanics
+# ----------------------------------------------------------------------
+
+class TestRunPolicy:
+    def test_delay_is_deterministic(self):
+        pol = RunPolicy()
+        assert pol.delay(2, key="7") == pol.delay(2, key="7")
+
+    def test_delay_jitter_decorrelates_clusters(self):
+        pol = RunPolicy()
+        delays = {pol.delay(2, key=str(i)) for i in range(16)}
+        assert len(delays) > 1
+
+    def test_delay_grows_and_caps(self):
+        pol = RunPolicy(backoff=0.1, backoff_factor=2.0, jitter=0.0,
+                        max_backoff=0.5)
+        assert pol.delay(2) == pytest.approx(0.1)
+        assert pol.delay(3) == pytest.approx(0.2)
+        assert pol.delay(10) == pytest.approx(0.5)  # capped
+
+    def test_future_timeout_backstop(self):
+        pol = RunPolicy(cluster_timeout=None, hard_timeout=123.0)
+        assert pol.future_timeout(50) == 123.0
+
+    def test_future_timeout_scales_with_batch(self):
+        pol = RunPolicy(cluster_timeout=2.0, grace=1.0)
+        assert pol.future_timeout(1) == pytest.approx(5.0)
+        assert pol.future_timeout(3) == pytest.approx(13.0)
+
+    def test_default_policy_never_degrades(self):
+        assert DEFAULT_POLICY.degrade is False
+        assert DEFAULT_POLICY.cluster_timeout is None
+        assert DEFAULT_POLICY.retries == 1
+
+    def test_payload_config_is_json_safe(self):
+        conf = RunPolicy(cluster_timeout=1.5, degrade=True).payload_config()
+        assert json.loads(json.dumps(conf)) == conf
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(3)
+        for _ in range(3):
+            assert not breaker.is_open
+            breaker.record_failure()
+        assert breaker.is_open
+        assert breaker.trips == 1
+
+    def test_success_resets(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert not breaker.is_open
+
+
+class TestOutcomeValidation:
+    def test_accepts_clean_outcome(self):
+        outcome = {"stats": {"engine_steps": 1},
+                   "points_to": {"p": ["a"], "q": []}}
+        assert validate_outcome(outcome, ["p", "q"])
+
+    def test_rejects_corrupt_shapes(self):
+        assert not validate_outcome(corrupt_outcome(), ["p"])
+        assert not validate_outcome(None, [])
+        assert not validate_outcome({"points_to": {}}, [])
+        assert not validate_outcome(
+            {"stats": {}, "points_to": {"p": [1, 2]}}, ["p"])
+        assert not validate_outcome(
+            {"stats": {}, "points_to": {}}, ["missing"])
+
+
+class TestErrorMarkers:
+    def test_generic_marker_is_retryable(self):
+        marker = error_marker(RuntimeError("boom"))
+        assert is_error_marker(marker)
+        assert marker["retryable"]
+        with pytest.raises(ClusterExecutionError, match="cluster 3"):
+            raise_marker(marker, 3)
+
+    def test_budget_marker_reraises_original_type(self):
+        marker = error_marker(AnalysisBudgetExceeded("summary-engine", 42))
+        assert not marker["retryable"]
+        with pytest.raises(AnalysisBudgetExceeded) as exc:
+            raise_marker(marker, 0)
+        assert exc.value.steps == 42
+
+    def test_marker_survives_json(self):
+        marker = error_marker(ValueError("x"))
+        assert is_error_marker(json.loads(json.dumps(marker)))
+
+
+class TestFaultSpecs:
+    def test_parse_fault_arg(self):
+        spec = parse_fault_arg("hang:#3:1.5")
+        assert (spec.kind, spec.match, spec.duration) == ("hang", "#3", 1.5)
+        assert parse_fault_arg("crash").match == "*"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_fault_arg("meltdown")
+        with pytest.raises(ValueError):
+            parse_fault_arg("hang:*:soon")
+
+    def test_selectors(self):
+        assert FaultSpec(kind="crash", match="#2").matches("abc", 2)
+        assert not FaultSpec(kind="crash", match="#2").matches("abc", 1)
+        assert FaultSpec(kind="crash", match="ab").matches("abc", 9)
+        assert FaultSpec(kind="crash").matches("anything", 0)
+
+    def test_coarsest(self):
+        assert coarsest(["fscs", "fsci"]) == "fsci"
+        assert coarsest(["andersen", "fsci", "steensgaard"]) \
+            == "steensgaard"
+
+
+# ----------------------------------------------------------------------
+# the ladder is sound, rung by rung
+# ----------------------------------------------------------------------
+
+class TestLadderSoundness:
+    def test_every_rung_covers_clean_fscs(self):
+        program = figure5_program()
+        result = _fresh(program)
+        clean = result.analyze_all(backend="simulate").results
+        for cluster, clean_outcome in zip(result.clusters, clean):
+            for level in ("fsci", "andersen", "steensgaard"):
+                degr = degraded_outcome(
+                    program, cluster, level,
+                    steens=result.cascade.steensgaard,
+                    callgraph=result.callgraph, error="test", attempts=2)
+                assert is_degraded(degr)
+                assert degr["precision"] == level
+                assert degr["attempts"] == 2
+                _assert_superset(clean_outcome, degr)
+
+    def test_ladder_prefers_fsci(self):
+        program = figure5_program()
+        result = _fresh(program)
+        degr = degrade_ladder(program, result.clusters[0],
+                              callgraph=result.callgraph)
+        assert degr["precision"] == "fsci"
+
+    def test_degraded_outcome_rejects_fscs(self):
+        program = figure5_program()
+        result = _fresh(program)
+        with pytest.raises(ValueError):
+            degraded_outcome(program, result.clusters[0], "fscs")
+
+
+# ----------------------------------------------------------------------
+# in-process resilience (simulate backend)
+# ----------------------------------------------------------------------
+
+class TestInProcessResilience:
+    def test_crash_degrades_exactly_faulted_cluster(self):
+        result = _fresh(figure5_program())
+        report = result.analyze_all(
+            backend="simulate", policy=RunPolicy(retries=1, degrade=True),
+            faults=[FaultSpec(kind="crash", match="#1")])
+        assert report.degraded == {1: "fsci"}
+        assert report.statuses.count("degraded") == 1
+        assert report.cluster_status(1) == "degraded"
+        assert report.cluster_precision(1) == "fsci"
+        assert result.degraded_clusters == {1: "fsci"}
+        assert result.degraded_precision_of([result.clusters[1]]) == "fsci"
+        assert result.degraded_precision_of([result.clusters[0]]) is None
+        assert report.attempts[1] == 2  # initial try + one retry
+
+    def test_crash_without_degrade_raises(self):
+        result = _fresh(figure5_program())
+        with pytest.raises(ClusterExecutionError, match="cluster 0"):
+            result.analyze_all(
+                backend="simulate",
+                policy=RunPolicy(retries=1, degrade=False),
+                faults=[FaultSpec(kind="crash", match="#0")])
+
+    def test_corrupt_outcome_is_caught_and_degraded(self):
+        result = _fresh(figure5_program())
+        report = result.analyze_all(
+            backend="simulate", policy=RunPolicy(retries=1, degrade=True),
+            faults=[FaultSpec(kind="corrupt", match="#0")])
+        assert 0 in report.degraded
+        assert validate_outcome(report.results[0],
+                                [str(p) for p in
+                                 result.clusters[0].pointer_members])
+
+    def test_flaky_once_recovers_on_retry(self, tmp_path):
+        result = _fresh(figure5_program())
+        report = result.analyze_all(
+            backend="simulate", policy=RunPolicy(retries=2, degrade=True),
+            faults=[FaultSpec(kind="flaky-once", match="*",
+                              token_dir=str(tmp_path))])
+        assert report.degraded == {}
+        assert result.degraded_clusters == {}
+        assert all(n == 2 for n in report.attempts.values())
+
+    def test_degraded_outcomes_never_cached(self, tmp_path):
+        result = _fresh(figure5_program())
+        cache = SummaryCache(str(tmp_path))
+        report = result.analyze_all(
+            backend="simulate", cache=cache,
+            policy=RunPolicy(retries=0, degrade=True),
+            faults=[FaultSpec(kind="crash", match="#0")])
+        assert 0 in report.degraded
+        # Only the healthy clusters were stored.
+        assert len(cache) == len(result.clusters) - 1
+        assert cache.get(report.fingerprints[0]) is None
+        # A later healthy run recomputes cluster 0 at full precision and
+        # backfills the cache.
+        clean = _fresh(figure5_program()).analyze_all(
+            backend="simulate", cache=cache)
+        assert clean.degraded == {}
+        assert clean.cache_hits == len(result.clusters) - 1
+        assert len(cache) == len(result.clusters)
+
+    def test_partial_cache_run_with_policy(self, tmp_path):
+        """A policy-armed run over a *partially* warm cache: the pending
+        clusters are a non-prefix subset of the targets, so attempt
+        counts must be remapped from batch positions back to input
+        order (regression: this used to IndexError on every daemon
+        ``invalidate`` with a policy armed)."""
+        result = _fresh(figure5_program())
+        cache = SummaryCache(str(tmp_path))
+        first = result.analyze_all(backend="simulate", cache=cache)
+        n = len(result.clusters)
+        assert n >= 2
+        # Evict the LAST cluster's entry so pending == [n - 1].
+        os.remove(cache._path(first.fingerprints[n - 1]))
+        again = _fresh(figure5_program()).analyze_all(
+            backend="simulate", cache=cache,
+            policy=RunPolicy(retries=0, degrade=True))
+        assert again.cache_hits == n - 1
+        assert again.degraded == {}
+        assert again.attempts == {n - 1: 1}
+        assert [r["points_to"] for r in again.results] == \
+            [r["points_to"] for r in first.results]
+
+    def test_budget_exceeded_still_raises_without_policy(self):
+        result = _fresh(figure5_program(), fscs_budget=1)
+        with pytest.raises(AnalysisBudgetExceeded):
+            result.analyze_all(backend="simulate")
+
+    def test_budget_exceeded_degrades_with_policy(self):
+        result = _fresh(figure5_program(), fscs_budget=1)
+        report = result.analyze_all(
+            backend="simulate", policy=RunPolicy(degrade=True))
+        assert len(report.degraded) == len(result.clusters)
+        assert all(is_degraded(r) for r in report.results)
+
+
+# ----------------------------------------------------------------------
+# processes backend: the real fault matrix
+# ----------------------------------------------------------------------
+
+class TestProcessesFaultMatrix:
+    def _clean(self, result):
+        return _fresh(figure5_program()).analyze_all(
+            backend="simulate").results
+
+    @pytest.mark.parametrize("kind", ["crash", "corrupt"])
+    def test_fault_degrades_only_faulted_cluster(self, kind):
+        result = _fresh(figure5_program())
+        clean = self._clean(result)
+        report = result.analyze_all(
+            backend="processes", jobs=2,
+            policy=RunPolicy(cluster_timeout=30.0, retries=1,
+                             degrade=True),
+            faults=[FaultSpec(kind=kind, match="#0")])
+        assert 0 in report.degraded
+        # A crash can take part-mates down with it (BrokenProcessPool),
+        # but they must all recover at full precision on retry.
+        assert list(report.degraded) == [0]
+        _assert_superset(clean[0], report.results[0])
+        for i, outcome in enumerate(report.results):
+            if i != 0:
+                assert outcome["points_to"] == clean[i]["points_to"]
+
+    def test_hang_trips_timeout_and_degrades(self):
+        result = _fresh(figure5_program())
+        clean = self._clean(result)
+        report = result.analyze_all(
+            backend="processes", jobs=2,
+            policy=RunPolicy(cluster_timeout=0.5, retries=0, grace=1.0,
+                             degrade=True),
+            faults=[FaultSpec(kind="hang", match="#0", duration=15.0)])
+        assert 0 in report.degraded
+        _assert_superset(clean[0], report.results[0])
+
+    def test_flaky_once_recovers_across_processes(self, tmp_path):
+        result = _fresh(figure5_program())
+        clean = self._clean(result)
+        report = result.analyze_all(
+            backend="processes", jobs=2,
+            policy=RunPolicy(retries=2, degrade=True),
+            faults=[FaultSpec(kind="flaky-once", match="#0",
+                              token_dir=str(tmp_path))])
+        assert report.degraded == {}
+        assert report.results[0]["points_to"] == clean[0]["points_to"]
+
+    def test_crash_without_policy_is_structured_error(self):
+        result = _fresh(figure5_program())
+        with pytest.raises(ClusterExecutionError):
+            result.analyze_all(
+                backend="processes", jobs=2,
+                faults=[FaultSpec(kind="crash", match="#0")])
+
+    def test_three_fault_kinds_at_once(self):
+        """The acceptance scenario: crash + hang + corrupt in one run."""
+        result = _fresh(figure5_program())
+        assert len(result.clusters) >= 3
+        clean = self._clean(result)
+        report = result.analyze_all(
+            backend="processes", jobs=2,
+            policy=RunPolicy(cluster_timeout=1.0, retries=1, grace=1.0,
+                             degrade=True),
+            faults=[FaultSpec(kind="crash", match="#0"),
+                    FaultSpec(kind="hang", match="#1", duration=3.0),
+                    FaultSpec(kind="corrupt", match="#2")])
+        assert sorted(report.degraded) == [0, 1, 2]
+        assert set(report.degraded.values()) <= {"fsci", "andersen",
+                                                 "steensgaard"}
+        for i in (0, 1, 2):
+            _assert_superset(clean[i], report.results[i])
+        for i in range(3, len(report.results)):
+            assert report.cluster_status(i) == "ok"
+            assert report.results[i]["points_to"] == clean[i]["points_to"]
+
+
+# ----------------------------------------------------------------------
+# corpus-wide differential: degraded ⊇ clean, program by program
+# ----------------------------------------------------------------------
+
+class TestCorpusDegradationDifferential:
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_degraded_covers_clean(self, name):
+        cfg = next(c for c in corpus_configs(scale=SCALE)
+                   if c.name == name)
+        program = generate(cfg).program
+        clean = _fresh(program).analyze_all(backend="simulate")
+        degraded = _fresh(program).analyze_all(
+            backend="simulate", policy=RunPolicy(retries=0, degrade=True),
+            faults=[FaultSpec(kind="crash", match="*")])
+        n = len(clean.results)
+        assert len(degraded.results) == n
+        assert len(degraded.degraded) == n  # every cluster fell
+        for clean_outcome, degr_outcome in zip(clean.results,
+                                               degraded.results):
+            assert is_degraded(degr_outcome)
+            _assert_superset(clean_outcome, degr_outcome)
+
+
+# ----------------------------------------------------------------------
+# CLI end to end
+# ----------------------------------------------------------------------
+
+def _run_cli(args, cwd):
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(os.path.dirname(__file__), "..",
+                                       "src"))
+    return subprocess.run([sys.executable, "-m", "repro"] + args,
+                          capture_output=True, text=True, env=env,
+                          cwd=cwd)
+
+
+class TestCLIResilience:
+    def test_analyze_degrades_faulted_clusters(self, tmp_path):
+        example = os.path.abspath(
+            os.path.join(EXAMPLES_DIR, "server_demo.c"))
+        proc = _run_cli(
+            ["analyze", example, "--backend", "processes", "--jobs", "2",
+             "--degrade", "--cluster-timeout", "30",
+             "--inject-fault", "crash:#0", "--inject-fault", "corrupt:#1"],
+            str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "degraded clusters: 2" in proc.stdout
+        assert "#0: fsci" in proc.stdout
+
+    def test_analyze_without_degrade_fails_cleanly(self, tmp_path):
+        example = os.path.abspath(
+            os.path.join(EXAMPLES_DIR, "server_demo.c"))
+        proc = _run_cli(
+            ["analyze", example, "--backend", "processes", "--jobs", "2",
+             "--inject-fault", "crash:#0"], str(tmp_path))
+        assert proc.returncode == 1
+        assert "cluster 0 failed" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_analyze_rejects_bad_fault_spec(self, tmp_path):
+        example = os.path.abspath(
+            os.path.join(EXAMPLES_DIR, "server_demo.c"))
+        proc = _run_cli(["analyze", example, "--inject-fault", "meltdown"],
+                        str(tmp_path))
+        assert proc.returncode != 0
+        assert "unknown fault kind" in proc.stderr

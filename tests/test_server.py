@@ -2,6 +2,7 @@
 
 import json
 import os
+import socket
 import tempfile
 import threading
 import time
@@ -10,6 +11,7 @@ import pytest
 
 from repro.core import (
     BootstrapAnalyzer,
+    FaultSpec,
     build_payload,
     payload_fingerprint,
     resolve_pointer,
@@ -524,3 +526,114 @@ class TestTransport:
             server.request_shutdown()
             thread.join(30.0)
         assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+def _read_response(sock_obj):
+    """One newline-framed response off a raw socket."""
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = sock_obj.recv(65536)
+        assert chunk, "connection closed mid-response"
+        buf += chunk
+    return json.loads(buf)
+
+
+class TestConnectionRobustness:
+    """A hostile or buggy client must not take its connection (let alone
+    the daemon) down: malformed and oversized lines get structured
+    errors, and the same connection keeps answering afterwards."""
+
+    def test_malformed_line_then_normal_request(self, unix_daemon,
+                                                demo_file):
+        _server, sock = unix_daemon
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.connect(sock)
+            s.settimeout(30.0)
+            s.sendall(b"{this is not json\n")
+            err = _read_response(s)
+            assert err["error"]["code"] == protocol.PARSE_ERROR
+            s.sendall(protocol.encode(
+                {"id": 7, "method": "ping", "params": {}}))
+            assert _read_response(s)["result"]["pong"] is True
+
+    def test_oversized_line_rejected_and_resynced(self, unix_daemon,
+                                                  demo_file):
+        _server, sock = unix_daemon
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.connect(sock)
+            s.settimeout(60.0)
+            s.sendall(b"x" * (protocol.MAX_REQUEST_BYTES + 64))
+            err = _read_response(s)
+            assert err["error"]["code"] == protocol.REQUEST_TOO_LARGE
+            # Finish the monster line; the daemon resyncs at its newline
+            # and the connection answers normal requests again.
+            s.sendall(b"yyy\n")
+            s.sendall(protocol.encode(
+                {"id": 8, "method": "ping", "params": {}}))
+            assert _read_response(s)["result"]["pong"] is True
+
+
+class TestDegradedAnswers:
+    """With faults injected and degradation on, the daemon returns
+    partial (sound, coarser) results plus structured warnings instead of
+    erroring out."""
+
+    @pytest.fixture()
+    def degraded_server(self):
+        return AliasServer(ServerConfig(
+            degrade=True, retries=0,
+            inject_faults=[FaultSpec(kind="crash", match="*")]))
+
+    def test_points_to_carries_warnings(self, degraded_server, demo_file):
+        result = result_of(degraded_server, "points_to",
+                           file=demo_file, ptr="q")
+        warnings = result.get("warnings")
+        assert warnings, result
+        assert all(w["code"] == "degraded-precision" for w in warnings)
+        assert all(w["precision"] in ("fsci", "andersen", "steensgaard")
+                   for w in warnings)
+        # Sound: the degraded answer covers the clean one.
+        assert set(result["objects"]) >= set(
+            fresh_points_to(DEMO, "q"))
+
+    def test_summary_counts_degraded_clusters(self, degraded_server,
+                                              demo_file):
+        refresh = result_of(degraded_server, "invalidate", file=demo_file)
+        assert refresh["degraded"] == refresh["clusters"] > 0
+        summary = degraded_server.files.get(demo_file).summary()
+        assert summary["degraded"] == summary["clusters"]
+        assert summary["last_refresh"]["degraded"] == summary["clusters"]
+
+    def test_clean_server_has_no_warnings(self, server, demo_file):
+        result = result_of(server, "points_to", file=demo_file, ptr="q")
+        assert "warnings" not in result
+
+    def test_invalidate_after_edit_with_policy_no_faults(self, demo_file):
+        """A policy-armed but healthy server must survive the partial
+        reanalysis an edit + invalidate triggers (regression: the
+        attempt-count remap used to IndexError whenever the pending
+        clusters were a non-prefix subset)."""
+        armed = AliasServer(ServerConfig(degrade=True, retries=0))
+        result_of(armed, "points_to", file=demo_file, ptr="q")
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        refresh = result_of(armed, "invalidate", file=demo_file)
+        assert 0 < refresh["reanalyzed"] < refresh["clusters"]
+        assert refresh["degraded"] == 0
+        edited = result_of(armed, "points_to", file=demo_file, ptr="u")
+        assert "warnings" not in edited
+        assert edited["objects"] == fresh_points_to(DEMO_EDITED, "u")
+
+    def test_healthy_reload_clears_warnings(self, demo_file):
+        flaky = AliasServer(ServerConfig(
+            degrade=True, retries=0,
+            inject_faults=[FaultSpec(kind="crash", match="*")]))
+        degraded = result_of(flaky, "points_to", file=demo_file, ptr="q")
+        assert degraded.get("warnings")
+        # Same store, faults gone: invalidate forces a clean reanalysis.
+        flaky.files.config.inject_faults = None
+        result_of(flaky, "invalidate", file=demo_file)
+        clean = result_of(flaky, "points_to", file=demo_file, ptr="q")
+        assert "warnings" not in clean
+        assert clean["objects"] == fresh_points_to(DEMO, "q")

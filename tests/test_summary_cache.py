@@ -72,6 +72,48 @@ class TestSummaryCacheUnit:
         path.write_text("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined_not_retried(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = "ee" + "4" * 62
+        cache.put(key, {"ok": True})
+        path = tmp_path / "ee" / (key + ".json")
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+        # The bad file moved aside: it no longer shadows the key, so a
+        # recomputed outcome can be stored and served again.
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / (key + ".json")).exists()
+        assert cache.corrupt == 1
+        cache.put(key, {"ok": True})
+        assert cache.get(key) == {"ok": True}
+
+    def test_non_dict_json_is_quarantined(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        key = "ab" + "5" * 62
+        cache.put(key, {"ok": True})
+        (tmp_path / "ab" / (key + ".json")).write_text("[1, 2, 3]")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_quarantine_excluded_from_contents(self, tmp_path):
+        cache = SummaryCache(str(tmp_path))
+        good, bad = "aa" + "6" * 62, "bb" + "7" * 62
+        cache.put(good, {})
+        cache.put(bad, {})
+        (tmp_path / "bb" / (bad + ".json")).write_text("?")
+        cache.get(bad)
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["quarantined"] == 1
+        assert stats["corrupt_this_session"] == 1
+        # Pruning never touches the quarantine corner.
+        stale = time.time() - 10 * 86400
+        qpath = tmp_path / "quarantine" / (bad + ".json")
+        os.utime(qpath, (stale, stale))
+        assert cache.prune(max_age_days=5) == 0
+        assert qpath.exists()
+
     def test_no_temp_file_debris(self, tmp_path):
         cache = SummaryCache(str(tmp_path))
         cache.put("aa" + "3" * 62, {"v": 1})
