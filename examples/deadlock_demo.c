@@ -1,0 +1,51 @@
+// Demo for `repro deadlocks`: two spawned threads acquire the same two
+// locks in opposite orders (the classic ABBA deadlock).  A third thread
+// agrees with t1's order — it never deadlocks against t1, but its
+// opposite order against t2 makes a second reported cycle.
+//
+//   PYTHONPATH=src python -m repro deadlocks examples/deadlock_demo.c
+//
+// Threads are the functions handed to spawn(); the direct calls below
+// keep their bodies on main's supergraph so the sliced FSCI reaches
+// them (the generator's convention too).
+
+int obj_a;
+int obj_b;
+int *pa;
+int *pb;
+
+void lock(int *l) { }
+void unlock(int *l) { }
+
+void t1(void) {
+    lock(pa);
+    lock(pb);
+    unlock(pb);
+    unlock(pa);
+}
+
+void t2(void) {
+    lock(pb);
+    lock(pa);
+    unlock(pa);
+    unlock(pb);
+}
+
+void t3(void) {
+    lock(pa);
+    lock(pb);
+    unlock(pb);
+    unlock(pa);
+}
+
+int main() {
+    pa = &obj_a;
+    pb = &obj_b;
+    spawn(t1);
+    spawn(t2);
+    spawn(t3);
+    t1();
+    t2();
+    t3();
+    return 0;
+}

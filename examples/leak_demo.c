@@ -1,0 +1,31 @@
+// Demo for `repro leaks`: one allocation whose only reference dies
+// with the helper's frame (flagged), one freed on the way out and one
+// published into a global (both silent).
+//
+//   PYTHONPATH=src python -m repro leaks examples/leak_demo.c
+
+int *keep;
+
+void lost(void) {
+    int *p;
+    p = malloc(4);
+}
+
+void tidy(void) {
+    int *q;
+    q = malloc(4);
+    free(q);
+}
+
+void publish(void) {
+    int *r;
+    r = malloc(4);
+    keep = r;
+}
+
+int main() {
+    lost();
+    tidy();
+    publish();
+    return 0;
+}

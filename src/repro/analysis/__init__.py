@@ -17,15 +17,25 @@ from .constraints import (
 )
 from .dataflow import ForwardDataflow, Supergraph
 from .demand import DemandAndersen, demand_points_to
+from .demand_engine import (
+    DemandEngine,
+    DemandResult,
+    DemandView,
+    EngineStats,
+)
 from .fsci import FSCI, FSCIResult
 from .fscs import ClusterFSCS, whole_program_fscs
 from .mustalias import MustAlias, MustAliasResult, MUST_NULL, TOP as MUST_TOP
 from .oneflow import OneFlow
 from .oracle import (
     ConcreteExecutor,
+    ConcreteHeapExecutor,
+    ConcreteLockExecutor,
     ConcreteTaintExecutor,
     OracleResult,
     execute,
+    execute_heap,
+    execute_lock_orders,
     execute_taint,
 )
 from .steensgaard import Steensgaard, SteensgaardResult
@@ -43,13 +53,16 @@ from .unionfind import UnionFind
 
 __all__ = [
     "Andersen", "AndersenResult", "AddrTerm", "Atom", "ClusterFSCS",
-    "ConcreteExecutor", "ConcreteTaintExecutor", "Constraint",
-    "DemandAndersen", "DerefTerm", "FSCI", "FSCIResult", "demand_points_to",
+    "ConcreteExecutor", "ConcreteHeapExecutor", "ConcreteLockExecutor",
+    "ConcreteTaintExecutor", "Constraint",
+    "DemandAndersen", "DemandEngine", "DemandResult", "DemandView",
+    "DerefTerm", "EngineStats", "FSCI", "FSCIResult", "demand_points_to",
     "ForwardDataflow", "MapPointsTo", "MustAlias", "MustAliasResult", "NULL_MARKER", "NullTerm", "ObjTerm", "OneFlow", "null_atom",
     "OracleResult", "PointerAnalysis", "PointsToResult", "SatOracle",
     "Steensgaard", "SteensgaardResult", "SummaryEngine", "SummaryTuple",
     "Supergraph", "TRUE", "Term", "UnionFind", "UnknownTerm", "conjoin",
-    "execute", "execute_taint", "format_constraint", "merge",
+    "execute", "execute_heap", "execute_lock_orders", "execute_taint",
+    "format_constraint", "merge",
     "points_to_atom",
     "precision_refines", "same_object_atom", "whole_program_fscs",
 ]

@@ -73,10 +73,11 @@ class ConcreteExecutor:
         self.max_steps = max_steps
         self.max_paths = max_paths
 
-    def run(self) -> OracleResult:
+    def run(self, entry: Optional[str] = None) -> OracleResult:
         result = OracleResult(pts={}, pts_at={}, paths_explored=0,
                               truncated=False)
-        entry_fn = self.program.entry
+        entry_fn = entry if entry is not None else self.program.entry
+        self._entry = entry_fn
         entry_cfg = self.program.cfg_of(entry_fn)
         # A frame: (function, node). The stack models call/return; value
         # memory is global (single cell per variable).
@@ -88,10 +89,24 @@ class ConcreteExecutor:
     def _record(self, loc: Loc, state: Dict[MemObject, Value],
                 result: OracleResult) -> None:
         for cell, value in state.items():
+            if isinstance(cell, tuple):  # event entry, not a memory cell
+                continue
             if value in (NULL, UNINIT):
                 continue
             result.pts.setdefault(cell, set()).add(value)  # type: ignore[arg-type]
             result.pts_at.setdefault((loc, cell), set()).add(value)  # type: ignore[arg-type]
+
+    # -- subclass hooks ----------------------------------------------------
+    def _on_call(self, loc: Loc, stmt: CallStmt,
+                 state: Dict[MemObject, Value]) -> Dict[MemObject, Value]:
+        """Called at every direct call site before descending into the
+        callee; event-stamping executors override this."""
+        return state
+
+    def _on_path_end(self, state: Dict[MemObject, Value],
+                     result: OracleResult) -> None:
+        """Called once per genuinely completed path (not truncations or
+        infeasible branches) with the final state."""
 
     def _assume_holds(self, stmt: Assume,
                       state: Dict[MemObject, Value]) -> bool:
@@ -158,6 +173,7 @@ class ConcreteExecutor:
 
             if isinstance(stmt, CallStmt):
                 self._record(loc, state, result)
+                state = self._on_call(loc, stmt, state)
                 succs = cfg.successors(node)
                 targets = [t for t in stmt.targets
                            if t in self.program.functions]
@@ -193,11 +209,13 @@ class ConcreteExecutor:
                                   state, steps, result)
                 else:
                     result.paths_explored += 1
+                    self._on_path_end(state, result)
                 return
 
             succs = cfg.successors(node)
             if not succs:
                 result.paths_explored += 1
+                self._on_path_end(state, result)
                 return
             if len(succs) == 1:
                 node = succs[0]
@@ -246,16 +264,6 @@ class ConcreteTaintExecutor(ConcreteExecutor):
     def _taint(state: Dict[MemObject, Value],
                cell: Value) -> FrozenSet[Tuple[str, Loc]]:
         return state.get(("taint", cell), frozenset())  # type: ignore[arg-type,return-value]
-
-    def _record(self, loc: Loc, state: Dict[MemObject, Value],
-                result: OracleResult) -> None:
-        for cell, value in state.items():
-            if isinstance(cell, tuple):  # taint entry, not a memory cell
-                continue
-            if value in (NULL, UNINIT):
-                continue
-            result.pts.setdefault(cell, set()).add(value)  # type: ignore[arg-type]
-            result.pts_at.setdefault((loc, cell), set()).add(value)  # type: ignore[arg-type]
 
     # -- semantics ---------------------------------------------------------
     def _step(self, loc: Loc, state: Dict[MemObject, Value]
@@ -333,3 +341,168 @@ def execute_taint(program: Program, spec: Optional[object] = None,
     executor = ConcreteTaintExecutor(program, spec, max_steps, max_paths)
     result = executor.run()
     return result, executor.flows
+
+
+# ---------------------------------------------------------------------------
+# heap-lifetime oracle (memory leaks)
+# ---------------------------------------------------------------------------
+
+
+class ConcreteHeapExecutor(ConcreteExecutor):
+    """The concrete executor with allocation-lifetime events layered on.
+
+    Each allocation site's lifecycle rides in the state under
+    ``("heap", site)`` keys (``"live"`` / ``"freed"``).  At every genuine
+    path completion the executor walks the concrete reference chain from
+    the exit roots (globals plus the entry function's frame) and tallies,
+    per site: paths where it was allocated, freed, and left live but
+    unreachable.  :attr:`must_leaked` is then the set of sites leaked on
+    *every* path that allocated them and freed on none — exactly the
+    must-fact ``checkers/leak.py`` claims, so its findings must cover it
+    (0 false negatives) on oracle-sized programs.
+    """
+
+    def __init__(self, program: Program, max_steps: int = 300,
+                 max_paths: int = 4000) -> None:
+        super().__init__(program, max_steps, max_paths)
+        self.alloc_paths: Dict[MemObject, int] = {}
+        self.freed_paths: Dict[MemObject, int] = {}
+        self.leaked_paths: Dict[MemObject, int] = {}
+
+    def _step(self, loc: Loc, state: Dict[MemObject, Value]
+              ) -> Dict[MemObject, Value]:
+        from ..ir import AllocSite
+        stmt = self.program.stmt_at(loc)
+        pre = state
+        state = super()._step(loc, state)
+        if isinstance(stmt, AddrOf) and isinstance(stmt.target, AllocSite):
+            state = dict(state)
+            state[("heap", stmt.target)] = "live"  # type: ignore[index]
+        elif isinstance(stmt, NullAssign) and stmt.is_free:
+            victim = pre.get(stmt.lhs, UNINIT)
+            if isinstance(victim, AllocSite):
+                state = dict(state)
+                state[("heap", victim)] = "freed"  # type: ignore[index]
+        return state
+
+    def _on_path_end(self, state: Dict[MemObject, Value],
+                     result: OracleResult) -> None:
+        reachable: Set[MemObject] = set()
+        frontier = [cell for cell in state
+                    if isinstance(cell, Var)
+                    and cell.function in (None, self._entry)]
+        while frontier:
+            value = state.get(frontier.pop(), UNINIT)
+            if value in (NULL, UNINIT) or value in reachable \
+                    or isinstance(value, tuple):
+                continue
+            reachable.add(value)  # type: ignore[arg-type]
+            frontier.append(value)
+        for cell, value in state.items():
+            if not (isinstance(cell, tuple) and cell[0] == "heap"):
+                continue
+            site = cell[1]
+            self.alloc_paths[site] = self.alloc_paths.get(site, 0) + 1
+            if value == "freed":
+                self.freed_paths[site] = self.freed_paths.get(site, 0) + 1
+            elif site not in reachable:
+                self.leaked_paths[site] = \
+                    self.leaked_paths.get(site, 0) + 1
+
+    @property
+    def must_leaked(self) -> Set[MemObject]:
+        """Sites leaked on every completed path that allocated them and
+        freed on none — the concrete ground truth for must-leaks."""
+        return {site for site, n in self.alloc_paths.items()
+                if self.leaked_paths.get(site, 0) == n
+                and self.freed_paths.get(site, 0) == 0}
+
+
+def execute_heap(program: Program, max_steps: int = 300,
+                 max_paths: int = 4000
+                 ) -> Tuple[OracleResult, "ConcreteHeapExecutor"]:
+    """Run the heap-lifetime oracle; returns (facts, executor)."""
+    executor = ConcreteHeapExecutor(program, max_steps, max_paths)
+    result = executor.run()
+    return result, executor
+
+
+# ---------------------------------------------------------------------------
+# lock-order oracle (deadlocks)
+# ---------------------------------------------------------------------------
+
+#: One concretely-observed acquisition order: lock ``wanted`` was taken
+#: at ``site`` while ``held`` was already held.
+RealizedOrder = Tuple[MemObject, MemObject, Loc]
+
+
+class ConcreteLockExecutor(ConcreteExecutor):
+    """The concrete executor with lock-acquisition events layered on.
+
+    The held-lock stack rides in the state under the ``("held",)`` key
+    (a tuple, so dict copies share it immutably).  Every ``A`` held →
+    ``B`` acquired observation on a concrete path is recorded in
+    :attr:`orders`; :func:`execute_lock_orders` then attributes each
+    order to the threads that can execute its site and reports the
+    cross-thread inverse pairs — each one a concretely-realizable
+    deadlock schedule the static checker must cover.
+    """
+
+    def __init__(self, program: Program, max_steps: int = 300,
+                 max_paths: int = 4000) -> None:
+        super().__init__(program, max_steps, max_paths)
+        self.orders: Set[RealizedOrder] = set()
+
+    def _on_call(self, loc: Loc, stmt: CallStmt,
+                 state: Dict[MemObject, Value]) -> Dict[MemObject, Value]:
+        from ..applications.lockset import LOCK_FUNCTIONS, UNLOCK_FUNCTIONS
+        from ..ir.program import param_var
+        callee = stmt.callee
+        if callee is None:
+            return state
+        if callee in LOCK_FUNCTIONS:
+            obj = state.get(param_var(callee, 0), UNINIT)
+            if obj in (NULL, UNINIT) or isinstance(obj, tuple):
+                return state
+            held = state.get(("held",), ())  # type: ignore[arg-type]
+            for prior in held:  # type: ignore[union-attr]
+                if prior != obj:
+                    self.orders.add((prior, obj, loc))
+            state = dict(state)
+            state[("held",)] = tuple(held) + (obj,)  # type: ignore[index]
+        elif callee in UNLOCK_FUNCTIONS:
+            obj = state.get(param_var(callee, 0), UNINIT)
+            held = state.get(("held",), ())  # type: ignore[arg-type]
+            if obj in held:  # type: ignore[operator]
+                state = dict(state)
+                state[("held",)] = tuple(  # type: ignore[index]
+                    h for h in held if h != obj)  # type: ignore[union-attr]
+        return state
+
+
+def execute_lock_orders(program: Program, entries: List[str],
+                        max_steps: int = 300, max_paths: int = 4000
+                        ) -> Tuple[Set[RealizedOrder],
+                                   Set[FrozenSet[MemObject]]]:
+    """Run the lock oracle from the program entry and derive the
+    concretely-realizable two-lock deadlock cycles.
+
+    Returns ``(orders, cycles)`` where each cycle is the ``{A, B}`` of
+    an inverse acquisition pair driveable by two distinct threads.
+    """
+    from ..applications.races import thread_assignment
+    executor = ConcreteLockExecutor(program, max_steps, max_paths)
+    executor.run()
+    threads = thread_assignment(program, entries)
+    cycles: Set[FrozenSet[MemObject]] = set()
+    for a, b, site_ab in executor.orders:
+        t_ab = threads.get(site_ab.function, frozenset())
+        for held2, wanted2, site_ba in executor.orders:
+            if (held2, wanted2) != (b, a):
+                continue
+            t_ba = threads.get(site_ba.function, frozenset())
+            # Two distinct threads can drive the inverse pair iff both
+            # sites run in some thread and the union names two threads.
+            if t_ab and t_ba and len(t_ab | t_ba) >= 2:
+                cycles.add(frozenset({a, b}))
+    return executor.orders, cycles

@@ -9,6 +9,7 @@ from .corpus import (
     build,
     corpus_configs,
 )
+from .demand import run_demand_bench
 from .figure1 import Figure1Data, compute_figure1, run_figure1
 from .parallel import run_parallel_bench
 from .resilience import run_resilience_bench
@@ -31,7 +32,8 @@ __all__ = [
     "Table1Row", "Timed", "Figure1Data", "SynthConfig", "SynthProgram",
     "ascii_histogram", "autofs_like", "build", "compute_figure1",
     "corpus_configs", "format_csv", "format_table", "generate",
-    "generate_source", "measure_program", "ratio", "run_figure1",
+    "generate_source", "measure_program", "ratio", "run_demand_bench",
+    "run_figure1",
     "run_parallel_bench", "run_resilience_bench", "run_table1",
     "run_taint_bench",
     "shape_report", "timed",

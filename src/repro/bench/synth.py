@@ -50,6 +50,8 @@ class SynthConfig:
     lock_count: int = 0            # lock pointers + lock()/unlock() calls
     fp_sites: int = 0              # function-pointer call sites
     taint_webs: int = 0            # seeded source->...->sink chains
+    leak_webs: int = 0             # allocation webs (leaked/freed/escaped)
+    deadlock_pairs: int = 0        # two-thread lock pairs (cyclic or not)
     recursion: bool = True
     seed: int = 2008
 
@@ -67,6 +69,15 @@ class SynthProgram:
     #: the source/sink names and whether a sanitizer breaks the chain
     #: (``sanitized`` webs must NOT produce a flow).
     taint_truth: List[Dict[str, object]] = field(default_factory=list)
+    #: Ground truth for the allocation webs: one entry per web with the
+    #: site label, its variant (leaked / freed / escaped) and whether
+    #: the leak checker must flag it.
+    leak_truth: List[Dict[str, object]] = field(default_factory=list)
+    #: Ground truth for the lock pairs: thread entries, lock objects and
+    #: whether their acquisition orders form a cycle.
+    deadlock_truth: List[Dict[str, object]] = field(default_factory=list)
+    #: Spawned thread entry functions (deadlock pairs register two each).
+    thread_entries: List[str] = field(default_factory=list)
 
 
 class _Gen:
@@ -82,6 +93,9 @@ class _Gen:
         self.hub_sizes: List[int] = []
         self.lock_vars: List[Var] = []
         self.taint_truth: List[Dict[str, object]] = []
+        self.leak_truth: List[Dict[str, object]] = []
+        self.deadlock_truth: List[Dict[str, object]] = []
+        self.thread_entries: List[str] = []
         self._uid = 0
 
     # -- plumbing ----------------------------------------------------------
@@ -268,6 +282,73 @@ class _Gen:
         self.web_count += 1
         return created
 
+    def leak_web(self, index: int) -> int:
+        """One allocation-heavy web called from ``main``, cycling through
+        three variants with known ground truth:
+
+        * ``leaked`` — the only reference dies with the helper's frame;
+        * ``freed`` — the allocation is freed before the frame dies;
+        * ``escaped`` — the allocation is published into a global.
+        """
+        wid = self.uid()
+        variant = ("leaked", "freed", "escaped")[index % 3]
+        fname = f"lw{wid}fn"
+        label = f"lw{wid}site"
+        fn = self.em(fname)
+        ptr = f"lw{wid}p"
+        fn.alloc(ptr, label)
+        created = 1
+        if variant == "freed":
+            fn.free(ptr)
+        elif variant == "escaped":
+            keep = f"lw{wid}keep"
+            self.builder.global_var(keep)
+            fn.copy(keep, ptr)
+            created += 1
+        self.em("main").call(fname)
+        self.leak_truth.append({
+            "web": wid, "site": label, "function": fname,
+            "variant": variant, "leaked": variant == "leaked",
+        })
+        self.web_count += 1
+        return created
+
+    def deadlock_pair(self, index: int) -> int:
+        """Two spawned threads over two locks: even-indexed pairs take
+        them in opposite orders (an ABBA cycle, ground truth ``cycle``),
+        odd-indexed pairs agree on the order (must stay silent)."""
+        wid = self.uid()
+        cyclic = index % 2 == 0
+        obj_a, obj_b = f"dl{wid}obja", f"dl{wid}objb"
+        ptr_a, ptr_b = f"dl{wid}a", f"dl{wid}b"
+        for g in (obj_a, obj_b, ptr_a, ptr_b):
+            self.builder.global_var(g)
+        main = self.em("main")
+        main.addr(ptr_a, obj_a)
+        main.addr(ptr_b, obj_b)
+        t1, t2 = f"dl{wid}t1", f"dl{wid}t2"
+        orders = {t1: (ptr_a, ptr_b),
+                  t2: (ptr_b, ptr_a) if cyclic else (ptr_a, ptr_b)}
+        for tname, (first, second) in orders.items():
+            fb = self.em(tname)
+            fb.call("lock", [first])
+            fb.call("lock", [second])
+            fb.call("unlock", [second])
+            fb.call("unlock", [first])
+            fp = f"dl{wid}fp_{tname}"
+            self.builder.global_var(fp)
+            main.addr(fp, Var(tname))
+            main.extern_call("spawn", [fp])
+            main.call(tname)  # threads also run under main's supergraph
+            self.thread_entries.append(tname)
+        self.lock_vars.extend([Var(ptr_a), Var(ptr_b)])
+        self.deadlock_truth.append({
+            "pair": wid, "threads": (t1, t2),
+            "locks": (obj_a, obj_b), "cycle": cyclic,
+        })
+        self.web_count += 1
+        return 4  # two lock pointers + two function pointers
+
     def interprocedural_flows(self) -> int:
         """Route some pointers through parameters and returns."""
         rng = self.rng
@@ -329,7 +410,7 @@ class _Gen:
                     with br.then():
                         fb.call(dst)
         # Lock/unlock primitives as tiny leaf functions.
-        if self.cfg.lock_count:
+        if self.cfg.lock_count or self.cfg.deadlock_pairs:
             for prim in ("lock", "unlock"):
                 fb = FunctionBuilder(self.builder, prim, params=("l",))
                 fb.skip(prim)
@@ -344,6 +425,12 @@ class _Gen:
         # web can exhaust its path budget.
         for i in range(cfg.taint_webs):
             budget -= self.taint_web(i)
+        # Leak webs and deadlock pairs also emit main-side calls early,
+        # for the same oracle-path-budget reason.
+        for i in range(cfg.leak_webs):
+            budget -= self.leak_web(i)
+        for i in range(cfg.deadlock_pairs):
+            budget -= self.deadlock_pair(i)
         self.build_callgraph()
         for frac in cfg.hub_fractions:
             size = max(8, int(cfg.pointers * frac))
@@ -376,7 +463,10 @@ class _Gen:
                             web_count=self.web_count,
                             hub_sizes=self.hub_sizes,
                             lock_vars=self.lock_vars,
-                            taint_truth=self.taint_truth)
+                            taint_truth=self.taint_truth,
+                            leak_truth=self.leak_truth,
+                            deadlock_truth=self.deadlock_truth,
+                            thread_entries=self.thread_entries)
 
 
 def generate(config: SynthConfig) -> SynthProgram:

@@ -17,15 +17,24 @@ from .base import (
     register_checker,
     run_checkers,
 )
+from .deadlock import (
+    DeadlockChecker,
+    DeadlockRunResult,
+    run_deadlocks,
+    spawn_entries,
+)
 from .doublefree import DoubleFreeChecker
 from .heapfacts import FreeFacts
+from .leak import LeakChecker, LeakRunResult, run_leaks
 from .nullderef import NullDerefChecker
 from .taint import TaintChecker, TaintRunResult, run_taint
 from .useafterfree import UseAfterFreeChecker
 
 __all__ = [
     "CHECKER_REGISTRY", "CheckReport", "Checker", "CheckerContext",
-    "CheckerStats", "DoubleFreeChecker", "FreeFacts", "NullDerefChecker",
-    "TaintChecker", "TaintRunResult", "UseAfterFreeChecker",
-    "register_checker", "run_checkers", "run_taint",
+    "CheckerStats", "DeadlockChecker", "DeadlockRunResult",
+    "DoubleFreeChecker", "FreeFacts", "LeakChecker", "LeakRunResult",
+    "NullDerefChecker", "TaintChecker", "TaintRunResult",
+    "UseAfterFreeChecker", "register_checker", "run_checkers",
+    "run_deadlocks", "run_leaks", "run_taint", "spawn_entries",
 ]

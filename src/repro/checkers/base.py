@@ -17,11 +17,12 @@ The framework owns what every checker would otherwise reimplement:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..analysis.fsci import FSCI, FSCIResult
+from ..analysis.demand_engine import DemandEngine
+from ..analysis.fsci import FSCIResult
 from ..core.bootstrap import BootstrapAnalyzer, BootstrapResult
-from ..core.queries import DemandSelection, select_clusters
+from ..core.queries import DemandSelection
 from ..core.report import (
     Diagnostic,
     TraceStep,
@@ -66,8 +67,7 @@ class CheckerContext:
     def __init__(self, program: Program, result: BootstrapResult) -> None:
         self.program = program
         self.result = result
-        self._fsci_cache: Dict[FrozenSet[Var], Tuple[Optional[FSCIResult],
-                                                     DemandSelection]] = {}
+        self.engine = DemandEngine(program, result)
         self._free_cache: Dict[int, FreeFacts] = {}
 
     def demand_fsci(self, interesting: Iterable[Var]
@@ -75,22 +75,7 @@ class CheckerContext:
         """A sliced FSCI covering exactly the clusters that contain an
         interesting pointer.  Returns ``(None, selection)`` when no
         cluster qualifies (nothing to check — everything was skipped)."""
-        wanted = frozenset(v for v in interesting if isinstance(v, Var))
-        cached = self._fsci_cache.get(wanted)
-        if cached is not None:
-            return cached
-        selection = select_clusters(self.result, wanted)
-        fsci: Optional[FSCIResult] = None
-        if selection.selected:
-            tracked: Set[object] = set(wanted)
-            relevant: Set[Loc] = set()
-            for cluster in selection.selected:
-                tracked |= cluster.slice.vp
-                relevant |= cluster.slice.statements
-            fsci = FSCI(self.program, tracked=tracked, relevant=relevant,
-                        callgraph=self.result.callgraph).run()
-        self._fsci_cache[wanted] = (fsci, selection)
-        return fsci, selection
+        return self.engine.sliced_fsci(interesting)
 
     def free_facts(self, fsci: FSCIResult) -> FreeFacts:
         """Free-provenance facts over ``fsci``'s points-to view (cached)."""

@@ -1,6 +1,7 @@
 """The taint checker: demand-driven driver around the taint engine.
 
-:func:`run_taint` owns the paper's demand loop.  The engine resolves
+:func:`run_taint` runs the paper's demand loop on the shared
+:class:`~repro.analysis.demand_engine.DemandEngine`.  The engine resolves
 indirect loads and stores through a points-to resolver backed by a
 *sliced* FSCI covering only the clusters that contain pointers taint
 actually moves through.  Clusters are alias-closed (every pointer that
@@ -24,9 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import FrozenSet, List, Optional, Set
 
-from ..analysis.fsci import FSCIResult
+from ..analysis.demand_engine import DemandView, EngineStats, make_resolver
 from ..analysis.taint import (
-    Resolver,
     TaintEngine,
     TaintFlow,
     TaintSpec,
@@ -40,7 +40,7 @@ from ..core.report import (
     dedup_diagnostics,
     suppress_diagnostics,
 )
-from ..ir import Loc, MemObject, Program, Var
+from ..ir import Program, Var
 from .base import (
     Checker,
     CheckerContext,
@@ -51,21 +51,9 @@ from .base import (
 RULE_ID = "taint-flow"
 CHECKER_NAME = "taint"
 
-
-def _make_resolver(fsci: Optional[FSCIResult],
-                   tracked: Set[MemObject]) -> Resolver:
-    def resolve(loc: Loc, ptr: Var):
-        if fsci is None or ptr not in tracked:
-            return None
-        pts = fsci.pts_before(loc, ptr)
-        if pts:
-            return pts
-        # ``loc`` may lie outside the sliced supergraph's reached states
-        # (e.g. a function the slice omitted); fall back to the pointer's
-        # flow-insensitive projection over the slice — a sound
-        # may-superset of the flow-sensitive answer.
-        return fsci.points_to(ptr)
-    return resolve
+#: Kept as an alias: bench/taint.py builds its whole-program baseline on
+#: the exact resolver the demand loop uses.
+_make_resolver = make_resolver
 
 
 @dataclass
@@ -78,6 +66,7 @@ class TaintRunResult:
     selection: DemandSelection
     demanded: FrozenSet[Var]
     rounds: int
+    engine: Optional[EngineStats] = None
 
     @property
     def counts(self):
@@ -107,12 +96,15 @@ def run_taint(program: Program,
               spec: Optional[TaintSpec] = None,
               result: Optional[BootstrapResult] = None,
               ctx: Optional[CheckerContext] = None,
-              max_rounds: int = 10) -> TaintRunResult:
+              max_rounds: int = 10,
+              budget: Optional[int] = None) -> TaintRunResult:
     """Demand-driven interprocedural taint analysis.
 
     ``max_rounds`` bounds the demand loop; the demanded-pointer set grows
     monotonically, so the loop normally exits as soon as one engine run
-    demands nothing new.
+    demands nothing new.  ``budget`` caps the cumulative number of
+    cluster slices the query may analyze (``AnalysisBudgetExceeded``
+    beyond it).
     """
     if spec is None:
         spec = TaintSpec.default()
@@ -120,23 +112,18 @@ def run_taint(program: Program,
         if result is None:
             result = BootstrapAnalyzer(program).run()
         ctx = CheckerContext(program, result)
-    demanded: Set[Var] = set(source_argument_pointers(program, spec))
-    rounds = 0
-    while True:
-        rounds += 1
-        fsci, selection = ctx.demand_fsci(frozenset(demanded))
-        tracked: Set[MemObject] = set(demanded)
-        for cluster in selection.selected:
-            tracked |= cluster.slice.vp
-        engine = TaintEngine(program, spec,
-                             _make_resolver(fsci, tracked),
+
+    def client(view: DemandView):
+        engine = TaintEngine(program, spec, view.resolver,
                              callgraph=ctx.result.callgraph)
         report = engine.run()
-        fresh = {v for v in report.demanded
-                 if v in program.pointers} - demanded
-        if not fresh or rounds >= max_rounds:
-            break
-        demanded |= fresh
+        return report, report.demanded
+
+    outcome = ctx.engine.run(
+        source_argument_pointers(program, spec), client,
+        max_rounds=max_rounds, budget=budget)
+    report = outcome.value
+    selection = outcome.selection
     raw = [_flow_diagnostic(ctx, flow) for flow in report.flows]
     level = ctx.result.degraded_precision_of(selection.selected)
     if level is not None:
@@ -156,7 +143,8 @@ def run_taint(program: Program,
     )
     return TaintRunResult(
         diagnostics=kept, flows=report.flows, stats=stats,
-        selection=selection, demanded=frozenset(demanded), rounds=rounds)
+        selection=selection, demanded=outcome.demanded,
+        rounds=outcome.rounds, engine=outcome.stats)
 
 
 @register_checker

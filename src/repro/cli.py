@@ -203,43 +203,57 @@ def cmd_partitions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_sarif(path: str, diags) -> None:
+    import json
+
+    from .core import diagnostics_to_sarif
+    try:
+        with open(path, "w") as handle:
+            json.dump(diagnostics_to_sarif(diags), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot write {path}: {exc.strerror}")
+
+
 def cmd_races(args: argparse.Namespace) -> int:
+    import json
+
+    from .applications import race_diagnostics
+    from .core import diagnostics_to_dict
     program = _load(args.file, args.entry)
     threads = args.threads.split(",") if args.threads else []
     if not threads:
         raise SystemExit("--threads f1,f2 is required")
     warnings = RaceDetector(program, threads).run()
+    diags = race_diagnostics(program, warnings)
+    if args.sarif:
+        _write_sarif(args.sarif, diags)
     if args.json:
-        import json
-
-        from .applications import race_diagnostics
-        from .core import diagnostics_to_dict
-        diags = race_diagnostics(program, warnings)
         print(json.dumps(diagnostics_to_dict(diags), indent=2,
                          sort_keys=True))
-        return 1 if warnings and args.fail_on_race else 0
-    locks = lock_pointers(program)
-    print(f"{len(find_lock_sites(program))} lock/unlock sites; "
-          f"lock pointers: {sorted(map(str, locks))}")
-    result = BootstrapAnalyzer(program).run()
-    sel = select_clusters(result, locks)
-    print(f"demand-driven: {len(sel.selected)}/{sel.total_clusters} "
-          f"clusters involve lock pointers")
-    print(f"{len(warnings)} race warning(s)")
-    for w in warnings:
-        print("  " + str(w))
-    return 1 if warnings and args.fail_on_race else 0
+    else:
+        locks = lock_pointers(program)
+        print(f"{len(find_lock_sites(program))} lock/unlock sites; "
+              f"lock pointers: {sorted(map(str, locks))}")
+        result = BootstrapAnalyzer(program).run()
+        sel = select_clusters(result, locks)
+        print(f"demand-driven: {len(sel.selected)}/{sel.total_clusters} "
+              f"clusters involve lock pointers")
+        print(f"{len(warnings)} race warning(s)")
+        for w in warnings:
+            print("  " + str(w))
+        if args.sarif:
+            print(f"SARIF written to {args.sarif}")
+    fail_on = args.fail_on or ("warning" if args.fail_on_race else None)
+    return 1 if _severity_fails(diags, fail_on) else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
     import json
 
     from .checkers import CHECKER_REGISTRY, run_checkers
-    from .core import (
-        diagnostics_to_dict,
-        diagnostics_to_sarif,
-        render_diagnostics_text,
-    )
+    from .core import diagnostics_to_dict, render_diagnostics_text
     names = list(dict.fromkeys(args.checkers)) if args.checkers else None
     if names:
         unknown = [n for n in names if n not in CHECKER_REGISTRY]
@@ -251,14 +265,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     report = run_checkers(program, names=names)
     diags = report.diagnostics
     if args.sarif:
-        try:
-            with open(args.sarif, "w") as handle:
-                json.dump(diagnostics_to_sarif(diags), handle, indent=2,
-                          sort_keys=True)
-                handle.write("\n")
-        except OSError as exc:
-            raise SystemExit(
-                f"repro: cannot write {args.sarif}: {exc.strerror}")
+        _write_sarif(args.sarif, diags)
     if args.json:
         print(json.dumps(diagnostics_to_dict(diags), indent=2,
                          sort_keys=True))
@@ -287,11 +294,7 @@ def cmd_taint(args: argparse.Namespace) -> int:
 
     from .analysis.taint import TaintSpec
     from .checkers import run_taint
-    from .core import (
-        diagnostics_to_dict,
-        diagnostics_to_sarif,
-        render_diagnostics_text,
-    )
+    from .core import diagnostics_to_dict, render_diagnostics_text
     spec = None
     if args.taint_spec:
         try:
@@ -307,14 +310,7 @@ def cmd_taint(args: argparse.Namespace) -> int:
     run = run_taint(program, spec=spec)
     diags = run.diagnostics
     if args.sarif:
-        try:
-            with open(args.sarif, "w") as handle:
-                json.dump(diagnostics_to_sarif(diags), handle, indent=2,
-                          sort_keys=True)
-                handle.write("\n")
-        except OSError as exc:
-            raise SystemExit(
-                f"repro: cannot write {args.sarif}: {exc.strerror}")
+        _write_sarif(args.sarif, diags)
     if args.json:
         print(json.dumps(diagnostics_to_dict(diags), indent=2,
                          sort_keys=True))
@@ -327,6 +323,85 @@ def cmd_taint(args: argparse.Namespace) -> int:
         st = run.stats
         print(f"{args.file}: {len(diags)} taint flow(s)"
               + (f" ({summary})" if summary else ""))
+        print(f"  demand loop: {run.rounds} round(s), "
+              f"{len(run.demanded)} pointer(s) demanded; analyzed "
+              f"{st.clusters_selected}/{st.clusters_total} clusters "
+              f"({st.clusters_skipped} skipped), "
+              f"{st.pointers_selected}/{st.pointers_total} pointers; "
+              f"{st.suppressed} suppressed")
+        if args.sarif:
+            print(f"SARIF written to {args.sarif}")
+    fail_on = args.fail_on or ("note" if args.fail_on_finding else None)
+    return 1 if _severity_fails(diags, fail_on) else 0
+
+
+def cmd_leaks(args: argparse.Namespace) -> int:
+    import json
+
+    from .checkers import run_leaks
+    from .core import diagnostics_to_dict, render_diagnostics_text
+    program = _load(args.file, args.entry)
+    run = run_leaks(program, budget=args.budget)
+    diags = run.diagnostics
+    if args.sarif:
+        _write_sarif(args.sarif, diags)
+    if args.json:
+        print(json.dumps(diagnostics_to_dict(diags), indent=2,
+                         sort_keys=True))
+    else:
+        if diags:
+            print(render_diagnostics_text(diags))
+        counts = run.counts
+        summary = ", ".join(f"{counts[s]} {s}(s)" for s in
+                            ("error", "warning", "note") if s in counts)
+        st = run.stats
+        print(f"{args.file}: {len(diags)} leaked allocation(s)"
+              + (f" ({summary})" if summary else ""))
+        print(f"  demand loop: {run.rounds} round(s), "
+              f"{len(run.demanded)} pointer(s) demanded; analyzed "
+              f"{st.clusters_selected}/{st.clusters_total} clusters "
+              f"({st.clusters_skipped} skipped), "
+              f"{st.pointers_selected}/{st.pointers_total} pointers; "
+              f"{st.suppressed} suppressed")
+        if args.sarif:
+            print(f"SARIF written to {args.sarif}")
+    fail_on = args.fail_on or ("note" if args.fail_on_finding else None)
+    return 1 if _severity_fails(diags, fail_on) else 0
+
+
+def cmd_deadlocks(args: argparse.Namespace) -> int:
+    import json
+
+    from .checkers import run_deadlocks
+    from .core import diagnostics_to_dict, render_diagnostics_text
+    program = _load(args.file, args.entry)
+    threads = [t for t in (args.threads or "").split(",") if t] or None
+    if threads:
+        unknown = [t for t in threads if t not in program.functions]
+        if unknown:
+            raise SystemExit(
+                f"repro deadlocks: unknown thread entr"
+                f"{'y' if len(unknown) == 1 else 'ies'}: "
+                f"{', '.join(unknown)}")
+    run = run_deadlocks(program, thread_entries=threads,
+                        budget=args.budget)
+    diags = run.diagnostics
+    if args.sarif:
+        _write_sarif(args.sarif, diags)
+    if args.json:
+        print(json.dumps(diagnostics_to_dict(diags), indent=2,
+                         sort_keys=True))
+    else:
+        if diags:
+            print(render_diagnostics_text(diags))
+        counts = run.counts
+        summary = ", ".join(f"{counts[s]} {s}(s)" for s in
+                            ("error", "warning", "note") if s in counts)
+        st = run.stats
+        entries = ", ".join(run.thread_entries) or "none found"
+        print(f"{args.file}: {len(diags)} lock-order cycle(s)"
+              + (f" ({summary})" if summary else ""))
+        print(f"  thread entries: {entries}")
         print(f"  demand loop: {run.rounds} round(s), "
               f"{len(run.demanded)} pointer(s) demanded; analyzed "
               f"{st.clusters_selected}/{st.clusters_total} clusters "
@@ -395,7 +470,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 #: ``repro query`` positional-argument shapes per method.  ``*name``
 #: swallows the remaining operands; ``?name`` is optional.  The ``spec``
 #: slot is a path to a taint-spec JSON file, parsed client-side and sent
-#: as the structured ``spec`` parameter.
+#: as the structured ``spec`` parameter; the ``threads`` slot is a
+#: comma-separated list of thread entry functions, split client-side.
 _QUERY_SPECS = {
     "ping": (),
     "stats": (),
@@ -406,6 +482,8 @@ _QUERY_SPECS = {
     "must-alias": ("file", "p", "q"),
     "diagnostics": ("file", "*checkers"),
     "taint": ("file", "?spec"),
+    "leaks": ("file",),
+    "deadlocks": ("file", "?threads"),
 }
 
 
@@ -453,6 +531,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 raise SystemExit(
                     f"repro query taint: bad spec JSON: {exc}")
+        elif slot == "threads":
+            value = [t for t in value.split(",") if t]
         params[slot] = value
     if operands:
         raise SystemExit(
@@ -591,7 +671,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--entry", default="main")
     p.add_argument("--threads", help="comma-separated thread entries")
-    p.add_argument("--fail-on-race", action="store_true")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="write race warnings as SARIF 2.1.0 to OUT")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default=None,
+                   help="exit 1 when any warning at or above this "
+                        "severity remains")
+    p.add_argument("--fail-on-race", action="store_true",
+                   help="alias for --fail-on warning")
     p.add_argument("--json", action="store_true",
                    help="emit warnings as JSON diagnostics")
     p.set_defaults(func=cmd_races)
@@ -633,6 +720,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-finding", action="store_true",
                    help="alias for --fail-on note")
     p.set_defaults(func=cmd_taint)
+
+    p = sub.add_parser(
+        "leaks", help="demand-driven memory-leak analysis on a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="cluster budget for the demand loop; exceeding "
+                        f"it exits with code {EXIT_BUDGET}")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="write findings as SARIF 2.1.0 to OUT")
+    p.add_argument("--json", action="store_true",
+                   help="print findings as JSON instead of text")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default=None,
+                   help="exit 1 when any finding at or above this "
+                        "severity remains")
+    p.add_argument("--fail-on-finding", action="store_true",
+                   help="alias for --fail-on note")
+    p.set_defaults(func=cmd_leaks)
+
+    p = sub.add_parser(
+        "deadlocks",
+        help="lock-order-cycle (deadlock) analysis on a file")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--threads",
+                   help="comma-separated thread entries (default: "
+                        "functions passed to spawn-like primitives)")
+    p.add_argument("--budget", type=int, default=None, metavar="N",
+                   help="cluster budget for the demand loop; exceeding "
+                        f"it exits with code {EXIT_BUDGET}")
+    p.add_argument("--sarif", metavar="OUT",
+                   help="write findings as SARIF 2.1.0 to OUT")
+    p.add_argument("--json", action="store_true",
+                   help="print findings as JSON instead of text")
+    p.add_argument("--fail-on", choices=["note", "warning", "error"],
+                   default=None,
+                   help="exit 1 when any finding at or above this "
+                        "severity remains")
+    p.add_argument("--fail-on-finding", action="store_true",
+                   help="alias for --fail-on note")
+    p.set_defaults(func=cmd_deadlocks)
 
     p = sub.add_parser(
         "demand", help="demand-driven Andersen points-to queries")

@@ -66,6 +66,8 @@ class AliasServer:
             "must_alias": self._m_must_alias,
             "diagnostics": self._m_diagnostics,
             "taint": self._m_taint,
+            "leaks": self._m_leaks,
+            "deadlocks": self._m_deadlocks,
             "invalidate": self._m_invalidate,
             "stats": self._m_stats,
             "shutdown": self._m_shutdown,
@@ -182,6 +184,22 @@ class AliasServer:
                                "spec must be a JSON object "
                                "(sources/sinks/sanitizers)")
         return state.taint(spec)
+
+    def _m_leaks(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        state = self.files.get(self._param(params, "file"))
+        state.queries += 1
+        return state.leaks()
+
+    def _m_deadlocks(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        state = self.files.get(self._param(params, "file"))
+        state.queries += 1
+        threads = params.get("threads")
+        if threads is not None and (
+                not isinstance(threads, list)
+                or not all(isinstance(t, str) for t in threads)):
+            raise RequestError(protocol.INVALID_PARAMS,
+                               "threads must be a list of function names")
+        return state.deadlocks(threads)
 
     def _m_invalidate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         state = self.files.invalidate(self._param(params, "file"))

@@ -240,6 +240,11 @@ class FileState:
         self._must = None
         self._diagnostics: Dict[Tuple[str, ...], Dict[str, Any]] = {}
         self._taint: Dict[str, Dict[str, Any]] = {}
+        #: Demand-engine scenario cache (leaks, deadlocks) keyed by
+        #: (verb, *parameters); dropped wholesale on reload, like
+        #: ``_taint``, so invalidation stays fingerprint-grained at the
+        #: cluster level and query-grained here.
+        self._scenarios: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -379,6 +384,73 @@ class FileState:
                 if warnings:
                     cached["warnings"] = warnings
                 self._taint[key] = cached
+        out = dict(cached)
+        out["refresh"] = self.refresh.to_dict()
+        return out
+
+    def leaks(self) -> Dict[str, Any]:
+        """Memory-leak findings for this file, cached per query shape.
+
+        Same caching discipline as :meth:`taint`: the result lives on
+        the :class:`FileState`, so a reload (watch or ``invalidate``)
+        rebuilds it against the fresh bootstrap result while unchanged
+        clusters come back from the fingerprint-keyed store.
+        """
+        from ..checkers import run_leaks
+        key: Tuple[Any, ...] = ("leaks",)
+        with self._lock:
+            cached = self._scenarios.get(key)
+            if cached is None:
+                run = run_leaks(self.program, result=self.result)
+                cached = {
+                    "diagnostics": diagnostics_to_dict(run.diagnostics),
+                    "leaked": sorted(str(s) for s in run.leaked),
+                    "stats": dataclasses.asdict(run.stats),
+                    "engine": (dataclasses.asdict(run.engine)
+                               if run.engine is not None else None),
+                    "rounds": run.rounds,
+                    "demanded": sorted(str(v) for v in run.demanded),
+                }
+                warnings = self.degraded_warnings()
+                if warnings:
+                    cached["warnings"] = warnings
+                self._scenarios[key] = cached
+        out = dict(cached)
+        out["refresh"] = self.refresh.to_dict()
+        return out
+
+    def deadlocks(self, threads: Optional[Sequence[str]] = None
+                  ) -> Dict[str, Any]:
+        """Lock-order-cycle findings, cached per thread-entry tuple."""
+        from ..checkers import run_deadlocks
+        names = tuple(threads) if threads else ()
+        unknown = [t for t in names if t not in self.program.functions]
+        if unknown:
+            raise RequestError(
+                INVALID_PARAMS,
+                f"unknown thread entr"
+                f"{'y' if len(unknown) == 1 else 'ies'}: "
+                f"{', '.join(unknown)}")
+        key: Tuple[Any, ...] = ("deadlocks", names)
+        with self._lock:
+            cached = self._scenarios.get(key)
+            if cached is None:
+                run = run_deadlocks(self.program, result=self.result,
+                                    thread_entries=list(names) or None)
+                cached = {
+                    "diagnostics": diagnostics_to_dict(run.diagnostics),
+                    "cycles": [c.key for c in run.cycles],
+                    "thread_entries": list(run.thread_entries),
+                    "stats": dataclasses.asdict(run.stats),
+                    "engine": (dataclasses.asdict(run.engine)
+                               if run.engine is not None else None),
+                    "rounds": run.rounds,
+                    "demanded": sorted(str(v) for v in run.demanded),
+                }
+                warnings = self.degraded_warnings()
+                if warnings:
+                    cached["warnings"] = warnings
+                self._scenarios[key] = cached
         out = dict(cached)
         out["refresh"] = self.refresh.to_dict()
         return out

@@ -325,7 +325,7 @@ class TestSuppression:
 class TestDemandDrivenStats:
     def test_clean_program_skips_clusters(self):
         report = check(CLEAN)
-        assert len(report.stats) == 4
+        assert len(report.stats) == 6
         for st in report.stats:
             assert st.clusters_skipped >= 1
             assert st.clusters_selected < st.clusters_total
