@@ -49,6 +49,9 @@ class Supergraph:
                  functions: Optional[Iterable[str]] = None) -> None:
         self.program = program
         names = set(functions) if functions is not None else set(program.functions)
+        #: The included functions, sorted — the canonical deterministic
+        #: iteration order for clients walking the graph's statements.
+        self.names: List[str] = sorted(names)
         self._succs: Dict[Loc, List[Loc]] = {}
         self._preds: Dict[Loc, List[Loc]] = {}
         self.entry = Loc(program.entry, program.cfg_of(program.entry).entry)
@@ -56,7 +59,7 @@ class Supergraph:
         # hash-seeded iteration order, or worker processes (with their own
         # PYTHONHASHSEED) would traverse the supergraph differently than
         # the parent.
-        for name in sorted(names):
+        for name in self.names:
             cfg = program.cfg_of(name)
             for idx, stmt in cfg.statements():
                 loc = Loc(name, idx)

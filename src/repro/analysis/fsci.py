@@ -28,7 +28,7 @@ must-fact (a bug our property-based fuzzing actually caught).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..ir import (
     AddrOf,
@@ -47,6 +47,7 @@ from ..ir import (
 )
 from .base import PointerAnalysis, PointsToResult
 from .dataflow import ForwardDataflow, Supergraph
+from .kernel import NodeTable, popcount
 
 
 class _Uninit:
@@ -98,6 +99,22 @@ EMPTY: FrozenSet[MemObject] = frozenset()
 #: Lattice bottom for unreached nodes (distinct from {} == "all uninit").
 BOTTOM = None
 
+# -- kernel (mask) encoding of the same domain ----------------------------
+#
+# A kernel state is ``Dict[int, int]``: dense cell id -> value mask.  The
+# two reserved low bits carry the sentinels, object ``i`` sits at bit
+# ``_RESERVED + i``, and a missing key means {UNINIT} — exactly mirroring
+# the frozenset domain above, bijectively, so the fixpoint trajectory
+# (state equality, join results, iteration counts) is identical.
+
+UNINIT_BIT = 1
+NULL_BIT = 2
+_SENT_MASK = UNINIT_BIT | NULL_BIT
+_RESERVED = 2
+
+#: A kernel state (mask-valued); ``None`` is still lattice bottom.
+MaskState = Dict[int, int]
+
 
 def _value(state: PtsState, cell: object) -> FrozenSet[object]:
     """The abstract value of ``cell``: missing key means uninitialized."""
@@ -119,6 +136,26 @@ def _join(a: Optional[PtsState], b: Optional[PtsState]) -> Optional[PtsState]:
     for k, w in b.items():
         if k not in a:
             out[k] = w | UNINIT_SET
+    return out
+
+
+def _join_kernel(a: Optional[MaskState],
+                 b: Optional[MaskState]) -> Optional[MaskState]:
+    """Mask-space twin of :func:`_join`: missing keys join as UNINIT."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is b:
+        return a
+    out: MaskState = {}
+    bget = b.get
+    for k, v in a.items():
+        w = bget(k)
+        out[k] = (v | w) if w is not None else (v | UNINIT_BIT)
+    for k, w in b.items():
+        if k not in a:
+            out[k] = w | UNINIT_BIT
     return out
 
 
@@ -249,6 +286,110 @@ class FSCIResult(PointsToResult):
         return self._engine.iterations
 
 
+class KernelFSCIResult(FSCIResult):
+    """:class:`FSCIResult` over mask-valued states.
+
+    The engine's states are ``Dict[int, int]`` (see the kernel encoding
+    notes above); every accessor decodes through the :class:`NodeTable`
+    at the API boundary and returns the exact frozensets / booleans the
+    frozenset backend produces — the differential suite compares the two
+    result objects accessor by accessor.
+    """
+
+    def __init__(self, engine: ForwardDataflow, universe: Set[Var],
+                 table: NodeTable) -> None:
+        super().__init__(engine, universe)
+        self._table = table
+
+    # -- mask plumbing ---------------------------------------------------
+    def _mask_before(self, loc: Loc, p: MemObject) -> int:
+        state = self._engine.state_before(loc)
+        if state is None:
+            return UNINIT_BIT
+        idx = self._table.id_of(p)
+        if idx is None:
+            return UNINIT_BIT
+        return state.get(idx, UNINIT_BIT)
+
+    def _mask_after(self, loc: Loc, p: MemObject) -> int:
+        state = self._engine.state_after(loc)
+        if state is None:
+            return UNINIT_BIT
+        idx = self._table.id_of(p)
+        if idx is None:
+            return UNINIT_BIT
+        return state.get(idx, UNINIT_BIT)
+
+    # -- decoded accessors ----------------------------------------------
+    def pts_before(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
+        return self._table.objects_of(self._mask_before(loc, p))
+
+    def pts_after(self, loc: Loc, p: MemObject) -> FrozenSet[MemObject]:
+        return self._table.objects_of(self._mask_after(loc, p))
+
+    def maybe_uninit_before(self, loc: Loc, p: MemObject) -> bool:
+        return bool(self._mask_before(loc, p) & UNINIT_BIT)
+
+    def must_point_to(self, p: MemObject, obj: MemObject, loc: Loc) -> bool:
+        idx = self._table.id_of(obj)
+        if idx is None:
+            return False
+        return self._mask_before(loc, p) == 1 << (_RESERVED + idx)
+
+    def may_null_before(self, loc: Loc, p: MemObject) -> bool:
+        return bool(self._mask_before(loc, p) & _SENT_MASK)
+
+    def must_null_before(self, loc: Loc, p: MemObject) -> bool:
+        return self._mask_before(loc, p) == NULL_BIT
+
+    def explicit_null_before(self, loc: Loc, p: MemObject) -> bool:
+        return bool(self._mask_before(loc, p) & NULL_BIT)
+
+    def maybe_uninit_only_before(self, loc: Loc, p: MemObject) -> bool:
+        return self._mask_before(loc, p) == UNINIT_BIT
+
+    def cells_after(self, loc: Loc) -> Dict[MemObject, FrozenSet[MemObject]]:
+        state = self._engine.state_after(loc)
+        if state is None:
+            return {}
+        table = self._table
+        return {table.obj_of(k): table.objects_of(v)
+                for k, v in state.items()}
+
+    def may_values_equal(self, p: MemObject, q: MemObject, loc: Loc) -> bool:
+        if p == q:
+            return True
+        vp = self._mask_before(loc, p)
+        vq = self._mask_before(loc, q)
+        if (vp | vq) & UNINIT_BIT:
+            return True
+        if vp & vq & NULL_BIT:
+            return True
+        return bool(vp & vq & ~_SENT_MASK)
+
+    def must_values_equal(self, p: MemObject, q: MemObject, loc: Loc) -> bool:
+        if p == q:
+            return True
+        vp = self._mask_before(loc, p)
+        vq = self._mask_before(loc, q)
+        if vp == NULL_BIT and vq == NULL_BIT:
+            return True
+        return vp == vq and not vp & _SENT_MASK and popcount(vp) == 1
+
+    def points_to(self, p: Var) -> FrozenSet[MemObject]:
+        if self._summary is None:
+            acc: Dict[int, int] = {}
+            for state in self._engine._out.values():
+                if state is None:
+                    continue
+                for k, v in state.items():
+                    acc[k] = acc.get(k, 0) | v
+            table = self._table
+            self._summary = {table.obj_of(k): table.objects_of(v)
+                             for k, v in acc.items()}
+        return self._summary.get(p, EMPTY)
+
+
 class FSCI(PointerAnalysis):
     """Forward interprocedural may-points-to fixpoint.
 
@@ -266,6 +407,10 @@ class FSCI(PointerAnalysis):
         can influence it.
     max_iterations:
         Abort knob for the deliberately-unscalable unclustered baseline.
+    use_kernel:
+        Run the dataflow over mask states (default).  ``False`` selects
+        the frozenset reference backend; both produce identical results
+        through every :class:`FSCIResult` accessor.
     """
 
     name = "fsci"
@@ -276,8 +421,10 @@ class FSCI(PointerAnalysis):
                  functions: Optional[Iterable[str]] = None,
                  max_iterations: Optional[int] = None,
                  callgraph: Optional[CallGraph] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 use_kernel: bool = True) -> None:
         super().__init__(program)
+        self._use_kernel = use_kernel
         self._tracked: Optional[FrozenSet[MemObject]] = (
             frozenset(tracked) if tracked is not None else None)
         self._relevant = relevant
@@ -384,8 +531,197 @@ class FSCI(PointerAnalysis):
 
     def run(self) -> FSCIResult:
         graph = Supergraph(self.program, functions=self._functions)
+        if self._use_kernel:
+            return self._run_kernel(graph)
         engine: ForwardDataflow[Optional[PtsState]] = ForwardDataflow(
             graph, self._transfer, _join, initial={}, bottom=BOTTOM)
         engine.run(max_iterations=self._max_iterations,
                    deadline=self._deadline)
         return FSCIResult(engine, set(self.program.pointers))
+
+    # ------------------------------------------------------------------
+    # kernel backend: per-location transfer closures over mask states
+    # ------------------------------------------------------------------
+    def _run_kernel(self, graph: Supergraph) -> FSCIResult:
+        table = NodeTable(reserved=_RESERVED)
+        ops = self._compile_kernel(graph, table)
+
+        def transfer(loc: Loc, stmt: Statement,
+                     state: MaskState) -> MaskState:
+            f = ops.get(loc)
+            return f(state) if f is not None else state
+
+        engine: ForwardDataflow[Optional[MaskState]] = ForwardDataflow(
+            graph, transfer, _join_kernel, initial={}, bottom=BOTTOM)
+        engine.run(max_iterations=self._max_iterations,
+                   deadline=self._deadline)
+        return KernelFSCIResult(engine, set(self.program.pointers), table)
+
+    def _compile_kernel(self, graph: Supergraph, table: NodeTable
+                        ) -> Dict[Loc, Callable[[MaskState], MaskState]]:
+        """Intern every operand of the graph's statements (statement
+        order, hence hash-seed independent) and compile each location's
+        transfer function to a closure over mask states.  Locations with
+        no entry are skips — sliced-out assigns, calls, frees."""
+        stmts = []
+        for name in graph.names:
+            cfg = self.program.cfg_of(name)
+            for idx, stmt in cfg.statements():
+                stmts.append((Loc(name, idx), stmt))
+        intern = table.intern
+        for _loc, stmt in stmts:
+            if isinstance(stmt, (Copy, Load, Store)):
+                intern(stmt.lhs)
+                intern(stmt.rhs)
+            elif isinstance(stmt, AddrOf):
+                intern(stmt.lhs)
+                intern(stmt.target)
+            elif isinstance(stmt, NullAssign):
+                intern(stmt.lhs)
+            elif isinstance(stmt, Assume):
+                intern(stmt.lhs)
+                if stmt.rhs is not None:
+                    intern(stmt.rhs)
+        # Per-id gates (every id a mask can ever hold was interned above,
+        # so these arrays are complete).
+        tracked_arr = [self._is_tracked(table.obj_of(i))
+                       for i in range(len(table))]
+        strong_arr = [tracked_arr[i] and self._strong_updatable(table.obj_of(i))
+                      for i in range(len(table))]
+        ops: Dict[Loc, Callable[[MaskState], MaskState]] = {}
+        relevant = self._relevant
+        for loc, stmt in stmts:
+            if relevant is not None and loc not in relevant \
+                    and stmt.is_pointer_assign:
+                continue
+            op = self._compile_stmt(stmt, table, tracked_arr, strong_arr)
+            if op is not None:
+                ops[loc] = op
+        return ops
+
+    def _compile_stmt(self, stmt: Statement, table: NodeTable,
+                      tracked_arr: List[bool], strong_arr: List[bool]
+                      ) -> Optional[Callable[[MaskState], MaskState]]:
+        """One statement's mask transfer, mirroring :meth:`_transfer`
+        case by case; ``None`` means "behaves as a skip"."""
+        intern = table.intern
+        if isinstance(stmt, Copy):
+            if not self._is_tracked(stmt.lhs):
+                return None
+            li, ri = intern(stmt.lhs), intern(stmt.rhs)
+
+            def op_copy(state: MaskState, li: int = li,
+                        ri: int = ri) -> MaskState:
+                out = dict(state)
+                out[li] = state.get(ri, UNINIT_BIT)
+                return out
+            return op_copy
+        if isinstance(stmt, AddrOf):
+            if not self._is_tracked(stmt.lhs):
+                return None
+            li = intern(stmt.lhs)
+            tbit = 1 << (_RESERVED + intern(stmt.target))
+
+            def op_addr(state: MaskState, li: int = li,
+                        tbit: int = tbit) -> MaskState:
+                out = dict(state)
+                out[li] = tbit
+                return out
+            return op_addr
+        if isinstance(stmt, Load):
+            if not self._is_tracked(stmt.lhs):
+                return None
+            li, ri = intern(stmt.lhs), intern(stmt.rhs)
+
+            def op_load(state: MaskState, li: int = li,
+                        ri: int = ri) -> MaskState:
+                targets = state.get(ri, UNINIT_BIT)
+                # Garbage or NULL targets read garbage; real targets
+                # contribute their cells' values.
+                gathered = UNINIT_BIT if targets & _SENT_MASK else 0
+                real = targets >> _RESERVED
+                while real:
+                    low = real & -real
+                    gathered |= state.get(low.bit_length() - 1, UNINIT_BIT)
+                    real ^= low
+                out = dict(state)
+                out[li] = gathered
+                return out
+            return op_load
+        if isinstance(stmt, Store):
+            li, ri = intern(stmt.lhs), intern(stmt.rhs)
+
+            def op_store(state: MaskState, li: int = li,
+                         ri: int = ri) -> MaskState:
+                targets = state.get(li, UNINIT_BIT)
+                real = targets & ~_SENT_MASK
+                if not real:
+                    return state
+                rhs_value = state.get(ri, UNINIT_BIT)
+                out = dict(state)
+                if targets == real and not real & (real - 1):
+                    # Exactly one target, no sentinels: strong update if
+                    # the cell is tracked and single-instance.
+                    only = real.bit_length() - 1 - _RESERVED
+                    if strong_arr[only]:
+                        out[only] = rhs_value
+                        return out
+                bits = real >> _RESERVED
+                while bits:
+                    low = bits & -bits
+                    oid = low.bit_length() - 1
+                    if tracked_arr[oid]:
+                        out[oid] = state.get(oid, UNINIT_BIT) | rhs_value
+                    bits ^= low
+                return out
+            return op_store
+        if isinstance(stmt, NullAssign):
+            if not self._is_tracked(stmt.lhs):
+                return None
+            li = intern(stmt.lhs)
+
+            def op_null(state: MaskState, li: int = li) -> MaskState:
+                out = dict(state)
+                out[li] = NULL_BIT
+                return out
+            return op_null
+        if isinstance(stmt, Assume):
+            li = intern(stmt.lhs)
+            lt = self._is_tracked(stmt.lhs)
+            if stmt.rhs is None:
+                if not lt:
+                    return None
+                eq = stmt.equal
+
+                def op_assume_null(state: MaskState, li: int = li,
+                                   eq: bool = eq) -> MaskState:
+                    lv = state.get(li, UNINIT_BIT)
+                    if lv & UNINIT_BIT:
+                        return state
+                    keep = (lv & NULL_BIT) if eq else (lv & ~NULL_BIT)
+                    if keep == lv:
+                        return state
+                    out = dict(state)
+                    out[li] = keep
+                    return out
+                return op_assume_null
+            ri = intern(stmt.rhs)
+            rt = self._is_tracked(stmt.rhs)
+            if not stmt.equal or not (lt or rt):
+                return None  # != refines nothing set-wise, in general
+
+            def op_assume(state: MaskState, li: int = li, ri: int = ri,
+                          lt: bool = lt, rt: bool = rt) -> MaskState:
+                lv = state.get(li, UNINIT_BIT)
+                rv = state.get(ri, UNINIT_BIT)
+                if (lv | rv) & UNINIT_BIT:
+                    return state
+                common = lv & rv
+                out = dict(state)
+                if lt:
+                    out[li] = common
+                if rt:
+                    out[ri] = common
+                return out
+            return op_assume
+        return None

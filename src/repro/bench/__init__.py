@@ -12,6 +12,7 @@ from .corpus import (
 from .demand import run_demand_bench
 from .figure1 import Figure1Data, compute_figure1, run_figure1
 from .parallel import run_parallel_bench
+from .profile_solvers import run_kernel_bench
 from .resilience import run_resilience_bench
 from .metrics import (
     TIMEOUT,
@@ -33,7 +34,7 @@ __all__ = [
     "ascii_histogram", "autofs_like", "build", "compute_figure1",
     "corpus_configs", "format_csv", "format_table", "generate",
     "generate_source", "measure_program", "ratio", "run_demand_bench",
-    "run_figure1",
+    "run_figure1", "run_kernel_bench",
     "run_parallel_bench", "run_resilience_bench", "run_table1",
     "run_taint_bench",
     "shape_report", "timed",

@@ -14,6 +14,7 @@ what EXPERIMENTS.md compares.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -85,7 +86,11 @@ def _config_for(row: PaperRow, scale: float) -> SynthConfig:
         overlap=overlap,
         lock_count=2 if row.kloc >= 8 else 1,
         fp_sites=1 if row.kloc >= 15 else 0,
-        seed=hash(row.name) % (2 ** 31),
+        # zlib.crc32, not hash(): str hashing is salted by PYTHONHASHSEED,
+        # which made every interpreter generate a *different* corpus
+        # program for the same name — unreproducible benches and a
+        # worthless cross-process differential suite.
+        seed=zlib.crc32(row.name.encode("utf-8")) % (2 ** 31),
     )
 
 

@@ -49,6 +49,11 @@ class BootstrapConfig:
     parts: int = 5
     fscs_budget: Optional[int] = None
     max_cond_atoms: int = 4
+    #: Use the bitmask solver kernels for in-process cluster analyses
+    #: (``False`` = frozenset reference backends; identical results).
+    #: Deliberately *not* shipped in payloads: fingerprints and worker
+    #: outcomes are representation-independent.
+    use_kernel: bool = True
 
 
 class BootstrapResult:
@@ -92,7 +97,8 @@ class BootstrapResult:
                     probe = ClusterFSCS(
                         self.program, cluster=(),
                         tracked=parent.vp, relevant=parent.statements,
-                        callgraph=self.callgraph)
+                        callgraph=self.callgraph,
+                        use_kernel=self.config.use_kernel)
                     fsci = probe.fsci
                     self._fsci_cache[cache_key] = fsci
             analysis = ClusterFSCS(
@@ -104,6 +110,7 @@ class BootstrapResult:
                 fsci=fsci,
                 max_cond_atoms=self.config.max_cond_atoms,
                 budget=self.config.fscs_budget,
+                use_kernel=self.config.use_kernel,
             )
             self._analyses[key] = analysis
         return analysis

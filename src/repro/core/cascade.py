@@ -51,6 +51,9 @@ class CascadeConfig:
     use_oneflow: bool = False
     oneflow_threshold: Optional[int] = None
     cycle_elimination: bool = True
+    #: Solve the Andersen stage with the bitmask kernel backend
+    #: (``False`` = frozenset reference backend; identical results).
+    use_kernel: bool = True
 
 
 @dataclass
@@ -123,7 +126,8 @@ def run_cascade(program: Program,
                                relevant_statements(program, steens, g))
                     next_groups.extend(andersen_refine(
                         program, steens, g, g_slice,
-                        cycle_elimination=config.cycle_elimination))
+                        cycle_elimination=config.cycle_elimination,
+                        use_kernel=config.use_kernel))
                     origin = "andersen"
                 else:
                     next_groups.append(g)

@@ -56,7 +56,8 @@ class Cluster:
 def andersen_refine(program: Program, steens: SteensgaardResult,
                     partition: FrozenSet[MemObject],
                     slice_: Optional[RelevantSlice] = None,
-                    cycle_elimination: bool = True
+                    cycle_elimination: bool = True,
+                    use_kernel: bool = True
                     ) -> List[FrozenSet[MemObject]]:
     """Split ``partition`` into Andersen clusters using only its slice.
 
@@ -67,7 +68,8 @@ def andersen_refine(program: Program, steens: SteensgaardResult,
         slice_ = relevant_statements(program, steens, partition)
     stmts = [program.stmt_at(loc) for loc in slice_.statements]
     result = Andersen(program, statements=stmts,
-                      cycle_elimination=cycle_elimination).run()
+                      cycle_elimination=cycle_elimination,
+                      use_kernel=use_kernel).run()
     return _clusters_over(result.points_to_obj, partition)
 
 

@@ -334,9 +334,9 @@ def degrade_payload(payload: Dict[str, Any], error: str = "",
     parent-side).  The sliced sub-program is observationally identical
     to the full program for this cluster (Theorem 6), so the rungs'
     answers match what in-process degradation would produce."""
-    from ..ir.serialize import cluster_from_dict, program_from_dict
-    program = program_from_dict(payload["subprogram"])
-    cluster = cluster_from_dict(payload["cluster"])
+    from .shipping import payload_cluster, payload_program
+    program = payload_program(payload)
+    cluster = payload_cluster(payload)
     deadline = (time.monotonic() + cluster_timeout
                 if cluster_timeout is not None else None)
     return degrade_ladder(program, cluster, error=error, attempts=attempts,

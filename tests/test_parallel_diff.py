@@ -96,15 +96,16 @@ int main() {
 """
 
 
-def _fresh(program):
+def _fresh(program, use_kernel=True):
     config = BootstrapConfig(
-        cascade=CascadeConfig(andersen_threshold=6))
+        cascade=CascadeConfig(andersen_threshold=6),
+        use_kernel=use_kernel)
     return BootstrapAnalyzer(program, config).run()
 
 
-def _outcomes(program, backend, **kw):
+def _outcomes(program, backend, use_kernel=True, **kw):
     """Per-cluster outcomes from a fresh analysis under one backend."""
-    report = _fresh(program).analyze_all(backend=backend, **kw)
+    report = _fresh(program, use_kernel).analyze_all(backend=backend, **kw)
     return report
 
 
@@ -140,6 +141,21 @@ class TestCorpusDifferential:
         for report in (sim, thr, prc):
             _assert_full_coverage(report, n)
 
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_kernel_on_off_agree(self, name):
+        """The bitmask kernels are pure representation: switching them
+        off (frozenset reference backends) must not change any cluster,
+        any outcome, or any payload fingerprint."""
+        cfg = next(c for c in corpus_configs(scale=SCALE)
+                   if c.name == name)
+        program = generate(cfg).program
+        on = _outcomes(program, "simulate", use_kernel=True)
+        off = _outcomes(program, "simulate", use_kernel=False)
+        assert _points_to(on) == _points_to(off)
+        assert [r["stats"] for r in on.results] == \
+            [r["stats"] for r in off.results]
+        assert len(on.results) == len(off.results)
+
 
 class TestExamplesDifferential:
     @pytest.mark.parametrize("example", EXAMPLES)
@@ -159,6 +175,54 @@ class TestExamplesDifferential:
         greedy = _outcomes(program, "simulate", scheduler="greedy")
         lpt = _outcomes(program, "simulate", scheduler="lpt")
         assert _points_to(greedy) == _points_to(lpt)
+
+
+#: Runs the whole corpus through the kernel solvers and digests every
+#: per-cluster points-to set; three backends on one representative
+#: program pin the worker path (workers inherit a fresh random
+#: PYTHONHASHSEED of their own on top of the one we set).
+_CORPUS_DIGEST_SCRIPT = """
+import hashlib, json, sys
+from repro.bench import corpus_configs, generate
+from repro.core import BootstrapAnalyzer, BootstrapConfig, CascadeConfig
+
+digest = hashlib.sha256()
+for cfg in corpus_configs(scale=%r):
+    program = generate(cfg).program
+    config = BootstrapConfig(cascade=CascadeConfig(andersen_threshold=6))
+    boot = BootstrapAnalyzer(program, config).run()
+    backends = (("simulate", {}), ("threads", {"jobs": 2}),
+                ("processes", {"jobs": 2})) \
+        if cfg.name == "ctrace" else (("simulate", {}),)
+    for backend, kw in backends:
+        report = boot.analyze_all(backend=backend, **kw)
+        blob = json.dumps([r["points_to"] for r in report.results],
+                          sort_keys=True)
+        digest.update(cfg.name.encode())
+        digest.update(backend.encode())
+        digest.update(blob.encode())
+print(digest.hexdigest())
+""" % SCALE
+
+
+class TestCorpusHashSeedDeterminism:
+    """Satellite 2: the twenty-program corpus through the kernel
+    solvers produces one bit-identical digest under different
+    PYTHONHASHSEED values."""
+
+    def test_corpus_digest_stable_across_hash_seeds(self, tmp_path):
+        outs = set()
+        for seed in (0, 12345):
+            env = dict(os.environ, PYTHONHASHSEED=str(seed),
+                       PYTHONPATH=os.path.join(
+                           os.path.dirname(__file__), "..", "src"))
+            proc = subprocess.run(
+                [sys.executable, "-c", _CORPUS_DIGEST_SCRIPT],
+                capture_output=True, text=True, env=env,
+                cwd=str(tmp_path))
+            assert proc.returncode == 0, proc.stderr
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1 and outs.pop()
 
 
 def _run_cli(args, seed, cwd):

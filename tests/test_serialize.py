@@ -196,3 +196,119 @@ class TestClusterRoundTrip:
         for cluster in boot.clusters:
             data = json.loads(json.dumps(cluster_to_dict(cluster)))
             assert cluster_from_dict(data) == cluster
+
+
+class TestWireFormat:
+    """Version-2 interned payloads: round-trip identity and the
+    size-regression contract against the legacy inline format."""
+
+    def _table(self):
+        from repro.ir import SymbolTable
+        return SymbolTable()
+
+    @pytest.mark.parametrize("factory", ALL,
+                             ids=[f.__name__ for f in ALL])
+    def test_program_round_trips(self, factory):
+        from repro.ir import decode_symbols, program_from_wire, program_to_wire
+        program = factory()
+        table = self._table()
+        wire = json.loads(json.dumps(program_to_wire(program, table)))
+        objs = decode_symbols(table.syms, table.fnames)
+        again = program_from_wire(wire, objs, table.fnames)
+        assert format_program(again) == format_program(program)
+
+    @given(program=programs())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_round_trip(self, program):
+        from repro.ir import decode_symbols, program_from_wire, program_to_wire
+        table = self._table()
+        wire = json.loads(json.dumps(program_to_wire(program, table)))
+        objs = decode_symbols(table.syms, table.fnames)
+        again = program_from_wire(wire, objs, table.fnames)
+        assert format_program(again) == format_program(program)
+
+    def test_cluster_round_trips(self):
+        from repro.ir import cluster_from_wire, cluster_to_wire, decode_symbols
+        sl = _sample_slice()
+        cluster = Cluster(members=sl.cluster, slice=sl, origin="andersen",
+                          parent_size=7, parent_slice=_sample_slice())
+        table = self._table()
+        wire = json.loads(json.dumps(cluster_to_wire(cluster, table)))
+        objs = decode_symbols(table.syms, table.fnames)
+        again = cluster_from_wire(wire, objs, table.fnames)
+        assert again == cluster
+        assert again.parent_slice == cluster.parent_slice
+
+    def test_symbol_table_is_order_deterministic(self):
+        from repro.ir import slice_to_wire
+        a, b = _sample_slice(), _sample_slice(reverse=True)
+        ta, tb = self._table(), self._table()
+        wa = json.dumps(slice_to_wire(a, ta), sort_keys=True)
+        wb = json.dumps(slice_to_wire(b, tb), sort_keys=True)
+        assert wa == wb
+        assert ta.syms == tb.syms and ta.fnames == tb.fnames
+
+    def test_clone_isolates_tails(self):
+        table = self._table()
+        table.ref(Var("p"))
+        clone = table.clone()
+        clone.ref(Var("q", "f"))
+        clone.fref("g")
+        assert len(table) == 1 and len(clone) == 2
+        assert table.fnames == [] and clone.fnames == ["f", "g"]
+
+
+class TestPayloadSizeRegression:
+    """Satellite: the interned sendmail payload must be *strictly
+    smaller* than the PR-2 inline format, and decode node-for-node
+    identical."""
+
+    def _payloads(self):
+        from repro.bench import build
+        from repro.core import BootstrapConfig, CascadeConfig
+        from repro.core.shipping import build_payload
+        from repro.ir import CallGraph
+        program = build("sendmail", scale=0.004).program
+        config = BootstrapConfig(
+            cascade=CascadeConfig(andersen_threshold=6))
+        boot = BootstrapAnalyzer(program, config).run()
+        callgraph = CallGraph(program)
+        cache = {}
+        pairs = []
+        for cluster in boot.clusters:
+            v1 = build_payload(program, cluster, callgraph=callgraph,
+                               subprogram_cache=cache, compact=False)
+            v2 = build_payload(program, cluster, callgraph=callgraph,
+                               subprogram_cache=cache)
+            pairs.append((v1, v2))
+        return pairs
+
+    @staticmethod
+    def _size(payload):
+        return len(json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8"))
+
+    def test_interned_payloads_strictly_smaller_and_identical(self):
+        from repro.core.shipping import (
+            _fsci_fingerprint,
+            payload_cluster,
+            payload_program,
+        )
+        pairs = self._payloads()
+        assert pairs
+        groups_v1, groups_v2 = {}, {}
+        for i, (v1, v2) in enumerate(pairs):
+            assert v2["version"] == 2 and v1["version"] == 1
+            assert self._size(v2) < self._size(v1), f"cluster {i}"
+            # Node-for-node identical decode through a real JSON hop.
+            hop = json.loads(json.dumps(v2))
+            assert format_program(payload_program(hop)) == \
+                format_program(payload_program(v1))
+            assert payload_cluster(hop) == payload_cluster(v1)
+            assert v2["config"] == v1["config"]
+            groups_v1.setdefault(_fsci_fingerprint(v1), []).append(i)
+            groups_v2.setdefault(_fsci_fingerprint(v2), []).append(i)
+        # Sibling sub-clusters share worker-side FSCI runs; the interned
+        # format must preserve exactly that grouping.
+        assert sorted(groups_v1.values()) == sorted(groups_v2.values())
