@@ -103,6 +103,48 @@ def run_parallel_bench(name: str = LARGEST, scale: float = 0.02,
             "cpus": cpus, "runs": runs, "cache": cache}
 
 
+def check_gate(current: Dict[str, Any], baseline: Dict[str, Any],
+               tolerance: float = 0.2) -> List[str]:
+    """Soft regression gate against a committed baseline JSON.
+
+    Wall-clock is machine-dependent, so the gate compares the two
+    machine-independent numbers: ``machine_speedup`` per jobs count
+    (the schedule's balance) and the warm-cache skip ratio.  Each may
+    drift down by ``tolerance`` (fractional) before failing — the same
+    ratio-based discipline as ``profile_solvers --gate``.
+    """
+    failures = []
+    if current.get("program") != baseline.get("program"):
+        failures.append(
+            f"program mismatch: current {current.get('program')!r} vs "
+            f"baseline {baseline.get('program')!r} (pass matching "
+            "--program/--scale to compare)")
+        return failures
+    base_by_jobs = {r["jobs"]: r for r in baseline.get("runs", [])
+                    if r.get("backend") == "processes"}
+    for run in current.get("runs", []):
+        if run.get("backend") != "processes":
+            continue
+        base = base_by_jobs.get(run["jobs"])
+        if base is None:
+            continue
+        floor = base["machine_speedup"] * (1.0 - tolerance)
+        if run["machine_speedup"] < floor:
+            failures.append(
+                f"machine_speedup at jobs={run['jobs']}: "
+                f"{run['machine_speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['machine_speedup']:.2f}x "
+                f"- {tolerance:.0%})")
+    cur_skip = current.get("cache", {}).get("warm_skip_ratio", 0.0)
+    base_skip = baseline.get("cache", {}).get("warm_skip_ratio", 0.0)
+    skip_floor = base_skip * (1.0 - tolerance)
+    if cur_skip < skip_floor:
+        failures.append(
+            f"warm_skip_ratio: {cur_skip:.0%} fell below {skip_floor:.0%} "
+            f"(baseline {base_skip:.0%} - {tolerance:.0%})")
+    return failures
+
+
 def render(data: Dict[str, Any]) -> str:
     rows = [[r["backend"], str(r["jobs"]), f"{r['wall_time']:.2f}",
              f"{r['speedup']:.2f}x", f"{r['machine_speedup']:.2f}x"]
@@ -132,6 +174,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="lpt")
     parser.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path (default BENCH_parallel.json)")
+    parser.add_argument("--gate", metavar="BASELINE",
+                        help="compare against a baseline BENCH_parallel.json "
+                             "and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drift below the baseline "
+                             "ratios (default 0.2)")
     args = parser.parse_args(argv)
     jobs_list = [int(j) for j in args.jobs.split(",") if j]
     data = run_parallel_bench(name=args.program, scale=args.scale,
@@ -142,6 +190,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handle.write("\n")
     print(render(data))
     print(f"\nwritten to {args.out}")
+    if args.gate:
+        with open(args.gate) as handle:
+            baseline = json.load(handle)
+        failures = check_gate(data, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate: ok")
     return 0
 
 

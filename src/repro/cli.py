@@ -15,6 +15,9 @@ Examples::
     python -m repro serve --socket /tmp/repro.sock   # query daemon
     python -m repro query --socket /tmp/repro.sock \
         points-to driver.c p                         # ask the daemon
+    python -m repro fleet serve --port 7400 --workers 4 \
+        --cache .repro-cache                         # sharded fleet
+    python -m repro fleet status --port 7400         # ring + breakers
     python -m repro cache stats .repro-cache         # summary-cache peek
     python -m repro table1 --scale 0.02              # the paper's table
     python -m repro figure1                          # the paper's figure
@@ -436,19 +439,27 @@ def cmd_demand(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    from .server import AliasServer, ServerConfig
-    if (args.socket is None) == (args.port is None):
-        raise SystemExit(
-            "repro serve: pass exactly one of --socket PATH or --port N")
-    config = ServerConfig(
+def _server_config(args: argparse.Namespace) -> "ServerConfig":
+    """The :class:`ServerConfig` shared by ``serve`` and ``fleet
+    serve`` (both parsers carry the same analysis flags)."""
+    from .server import ServerConfig
+    return ServerConfig(
         entry=args.entry, threshold=args.threshold, oneflow=args.oneflow,
         parts=args.parts, backend=args.backend, jobs=args.jobs,
         scheduler=args.scheduler, fscs_budget=args.fscs_budget,
         max_clusters=args.max_clusters, max_files=args.max_files,
         cache_dir=args.cache, watch=not args.no_watch,
+        max_request_bytes=args.max_request_bytes,
         cluster_timeout=args.cluster_timeout, retries=args.retries,
         degrade=args.degrade)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import AliasServer
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(
+            "repro serve: pass exactly one of --socket PATH or --port N")
+    config = _server_config(args)
     from .server.protocol import RequestError
     server = AliasServer(config, socket_path=args.socket,
                          host=args.host, port=args.port)
@@ -491,7 +502,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     import json
 
     from .server import protocol
-    from .server.client import ServerClient, ServerError
+    from .server.client import ConnectError, ServerClient, ServerError
     if (args.socket is None) == (args.port is None):
         raise SystemExit(
             "repro query: pass exactly one of --socket PATH or --port N")
@@ -542,6 +553,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         with ServerClient(socket_path=args.socket, host=args.host,
                           port=args.port, timeout=args.timeout) as client:
             result = client.call(args.method.replace("-", "_"), **params)
+    except ConnectError as exc:
+        raise SystemExit(f"repro query: cannot reach the daemon: {exc}")
     except ServerError as exc:
         print(f"repro query: {exc}", file=sys.stderr)
         return EXIT_BUDGET if exc.code == protocol.BUDGET_EXCEEDED else 1
@@ -554,6 +567,74 @@ def cmd_query(args: argparse.Namespace) -> int:
         # query itself succeeded.  Point stdout at devnull so the
         # interpreter's shutdown flush stays quiet too.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .fleet import DEFAULT_REPLICAS, FleetConfig, FleetCoordinator
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(
+            "repro fleet serve: pass exactly one of --socket PATH "
+            "or --port N")
+    if not args.worker and args.workers < 1:
+        raise SystemExit("repro fleet serve: --workers must be >= 1")
+    config = FleetConfig(
+        workers=args.workers, worker_addrs=args.worker or [],
+        replicas=args.replicas if args.replicas is not None
+        else DEFAULT_REPLICAS,
+        balance_epsilon=args.balance_epsilon,
+        conns_per_worker=args.conns_per_worker,
+        max_inflight=args.max_inflight, max_per_shard=args.max_per_shard,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        worker_timeout=args.worker_timeout,
+        probe_interval=args.probe_interval,
+        respawn=not args.no_respawn, envelope_all=args.envelope_all,
+        server=_server_config(args))
+    coordinator = FleetCoordinator(config, host=args.host,
+                                   port=args.port,
+                                   socket_path=args.socket)
+    # The front door binds inside the event loop; announce the resolved
+    # address (workers included) the moment it is ready.
+    ready = threading.Event()
+
+    def announce() -> None:
+        ready.wait()
+        workers = ", ".join(
+            f"{name}={shard.link.host}:{shard.link.port}"
+            for name, shard in sorted(coordinator.shards.items()))
+        print(f"repro fleet: listening on {coordinator.address} "
+              f"({len(coordinator.shards)} worker(s): {workers})",
+              flush=True)
+
+    threading.Thread(target=announce, daemon=True).start()
+    coordinator.serve_forever(ready=ready)
+    print("repro fleet: drained, shut down cleanly")
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .server.client import ServerClient, ServerError
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(
+            "repro fleet status: pass exactly one of --socket PATH "
+            "or --port N")
+    try:
+        with ServerClient(socket_path=args.socket, host=args.host,
+                          port=args.port,
+                          timeout=args.timeout) as client:
+            status = client.fleet_status()
+    except ServerError as exc:
+        print(f"repro fleet status: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        raise SystemExit(
+            f"repro fleet status: cannot reach the coordinator: {exc}")
+    print(json.dumps(status, indent=2, sort_keys=True))
     return 0
 
 
@@ -776,50 +857,124 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the answers as JSON")
     p.set_defaults(func=cmd_demand)
 
+    def add_daemon_flags(p: argparse.ArgumentParser) -> None:
+        """Bind address + analysis knobs shared by ``serve`` and
+        ``fleet serve`` (one daemon or every spawned worker)."""
+        p.add_argument("--socket", metavar="PATH",
+                       help="serve on a Unix domain socket at PATH")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+        p.add_argument("--port", type=int, default=None,
+                       help="serve on TCP PORT (0 picks a free port)")
+        p.add_argument("--entry", default="main")
+        p.add_argument("--threshold", type=int, default=60)
+        p.add_argument("--oneflow", action="store_true")
+        p.add_argument("--parts", type=int, default=5)
+        p.add_argument("--backend",
+                       choices=["simulate", "threads", "processes"],
+                       default="simulate",
+                       help="how (re)analysis executes clusters "
+                            "(processes = the PR-2 worker pool)")
+        p.add_argument("--jobs", type=int, default=None)
+        p.add_argument("--scheduler", choices=["greedy", "lpt"],
+                       default="greedy")
+        p.add_argument("--cache", metavar="DIR",
+                       help="on-disk summary cache backing the "
+                            "in-memory LRU; restarts warm-start from "
+                            "it (fleet workers share it)")
+        p.add_argument("--max-files", type=int, default=16,
+                       help="resident per-file analysis states (LRU)")
+        p.add_argument("--max-clusters", type=int, default=4096,
+                       help="resident per-cluster outcomes (LRU)")
+        p.add_argument("--max-request-bytes", type=int,
+                       default=4 * 1024 * 1024, metavar="N",
+                       help="reject request lines longer than N bytes "
+                            "with a structured REQUEST_TOO_LARGE error "
+                            "(default 4 MiB)")
+        p.add_argument("--fscs-budget", type=int, default=None,
+                       metavar="N")
+        p.add_argument("--cluster-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per cluster "
+                            "(re)analysis")
+        p.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="attempts per failed cluster beyond the "
+                            "first")
+        p.add_argument("--degrade", action="store_true",
+                       help="answer queries from sound coarser results "
+                            "when a cluster analysis fails; responses "
+                            "carry degraded-precision warnings")
+        p.add_argument("--no-watch", action="store_true",
+                       help="do not auto-reload files whose content "
+                            "changed (clients must send invalidate)")
+
     p = sub.add_parser(
         "serve", help="run the persistent alias query daemon")
     p.add_argument("files", nargs="*", metavar="FILE",
                    help="source files to analyze before accepting "
                         "connections")
-    p.add_argument("--socket", metavar="PATH",
-                   help="serve on a Unix domain socket at PATH")
-    p.add_argument("--host", default="127.0.0.1",
-                   help="TCP bind address (default 127.0.0.1)")
-    p.add_argument("--port", type=int, default=None,
-                   help="serve on TCP PORT (0 picks a free port)")
-    p.add_argument("--entry", default="main")
-    p.add_argument("--threshold", type=int, default=60)
-    p.add_argument("--oneflow", action="store_true")
-    p.add_argument("--parts", type=int, default=5)
-    p.add_argument("--backend",
-                   choices=["simulate", "threads", "processes"],
-                   default="simulate",
-                   help="how (re)analysis executes clusters "
-                        "(processes = the PR-2 worker pool)")
-    p.add_argument("--jobs", type=int, default=None)
-    p.add_argument("--scheduler", choices=["greedy", "lpt"],
-                   default="greedy")
-    p.add_argument("--cache", metavar="DIR",
-                   help="on-disk summary cache backing the in-memory "
-                        "LRU; restarts warm-start from it")
-    p.add_argument("--max-files", type=int, default=16,
-                   help="resident per-file analysis states (LRU)")
-    p.add_argument("--max-clusters", type=int, default=4096,
-                   help="resident per-cluster outcomes (LRU)")
-    p.add_argument("--fscs-budget", type=int, default=None, metavar="N")
-    p.add_argument("--cluster-timeout", type=float, default=None,
-                   metavar="SECONDS",
-                   help="wall-clock deadline per cluster (re)analysis")
-    p.add_argument("--retries", type=int, default=1, metavar="N",
-                   help="attempts per failed cluster beyond the first")
-    p.add_argument("--degrade", action="store_true",
-                   help="answer queries from sound coarser results when "
-                        "a cluster analysis fails; responses carry "
-                        "degraded-precision warnings")
-    p.add_argument("--no-watch", action="store_true",
-                   help="do not auto-reload files whose content changed "
-                        "(clients must send invalidate)")
+    add_daemon_flags(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="coordinate a fleet of alias daemons behind one front door")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    pf = fleet_sub.add_parser(
+        "serve",
+        help="run the coordinator (spawns workers unless --worker "
+             "names external ones)")
+    add_daemon_flags(pf)
+    pf.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="local worker daemons to spawn (default 2)")
+    pf.add_argument("--worker", action="append", metavar="HOST:PORT",
+                    help="externally managed worker daemon "
+                         "(repeatable; disables spawning)")
+    pf.add_argument("--replicas", type=int, default=None, metavar="N",
+                    help="virtual nodes per worker on the hash ring "
+                         "(default 1024)")
+    pf.add_argument("--balance-epsilon", type=float, default=0.05,
+                    metavar="E",
+                    help="bounded-load slack: no shard takes more than "
+                         "(1+E)/N of a file's cluster traffic "
+                         "(default 0.05)")
+    pf.add_argument("--conns-per-worker", type=int, default=2,
+                    metavar="N",
+                    help="pipelined connections per worker (default 2)")
+    pf.add_argument("--max-inflight", type=int, default=1024,
+                    metavar="N",
+                    help="admission control: global in-flight bound; "
+                         "excess gets a structured OVERLOADED error")
+    pf.add_argument("--max-per-shard", type=int, default=256,
+                    metavar="N",
+                    help="admission control: per-shard in-flight bound")
+    pf.add_argument("--breaker-threshold", type=int, default=3,
+                    metavar="N",
+                    help="consecutive failures that trip a shard's "
+                         "circuit breaker (default 3)")
+    pf.add_argument("--breaker-reset", type=float, default=2.0,
+                    metavar="SECONDS",
+                    help="seconds until an open breaker turns "
+                         "half-open and admits a heal probe")
+    pf.add_argument("--worker-timeout", type=float, default=300.0,
+                    metavar="SECONDS",
+                    help="per-request deadline on a worker")
+    pf.add_argument("--probe-interval", type=float, default=0.25,
+                    metavar="SECONDS",
+                    help="how often the heal loop checks sick shards")
+    pf.add_argument("--no-respawn", action="store_true",
+                    help="do not respawn dead spawned workers")
+    pf.add_argument("--envelope-all", action="store_true",
+                    help="attach the fleet envelope to every response, "
+                         "not only rerouted ones")
+    pf.set_defaults(func=cmd_fleet_serve)
+    pf = fleet_sub.add_parser(
+        "status", help="query a coordinator's fleet_status (JSON)")
+    pf.add_argument("--socket", metavar="PATH")
+    pf.add_argument("--host", default="127.0.0.1")
+    pf.add_argument("--port", type=int, default=None)
+    pf.add_argument("--timeout", type=float, default=30.0)
+    pf.set_defaults(func=cmd_fleet_status)
 
     p = sub.add_parser(
         "query", help="query a running daemon (JSON to stdout)")

@@ -39,6 +39,7 @@ from .shipping import (
     analyze_payload,
     analyze_payload_batch,
     build_payload,
+    cluster_fingerprints,
     cluster_outcome,
     cluster_subprogram,
     payload_fingerprint,
@@ -75,7 +76,8 @@ __all__ = [
     "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
     "SummaryCache",
     "TraceStep", "analyze_payload", "analyze_payload_batch",
-    "andersen_refine", "build_payload", "cluster_cost", "cluster_outcome",
+    "andersen_refine", "build_payload", "cluster_cost",
+    "cluster_fingerprints", "cluster_outcome",
     "cluster_subprogram", "demand_alias_sets", "greedy_parts", "lpt_parts",
     "payload_fingerprint", "resolve_pointer", "schedule_indices",
     "cascade_summary", "context_count", "dedup_diagnostics",

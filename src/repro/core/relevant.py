@@ -20,7 +20,14 @@ statement forms:
   of ``y``'s pointee partition — the cells ``*y`` may denote;
 * ``*x = r``  where ``x``'s pointee partition meets ``V_P`` (this covers
   both the paper's ``q > p`` case, transitively via the fixpoint, and
-  the cyclic ``q = ~q`` case)                 adds ``x`` and ``r``.
+  the cyclic ``q = ~q`` case)                 adds ``x`` and ``r``;
+* ``assume p == q`` / ``assume p != q`` with either operand in ``V_P``
+  adds the other operand.  This case is ours, not the paper's: our FSCI
+  refines state through assumes (Section 3 path sensitivity), so ``q``'s
+  value can *restrict* ``p``'s aliases.  Dropping ``q``'s definitions
+  from the slice would leave ``q`` uninitialised there, disable the
+  refinement, and let the sliced run report aliases the full run rules
+  out — strictly more facts, which breaks Theorem 6's equality.
 
 The fixpoint runs as a worklist over per-variable statement indexes
 built once per (program, Steensgaard result) pair and cached — the
@@ -40,6 +47,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..analysis.steensgaard import SteensgaardResult
 from ..ir import (
     AddrOf,
+    Assume,
     Copy,
     Load,
     Loc,
@@ -79,6 +87,9 @@ class RelevantIndex:
         self.assigns_by_lhs: Dict[Var, List[Tuple[Loc, object]]] = {}
         # Stores indexed by the partition their write may land in.
         self.stores_by_target_part: Dict[object, List[Tuple[Loc, Store]]] = {}
+        # Two-operand assumes indexed by each operand (FSCI refines both
+        # sides, so relevance flows across the comparison either way).
+        self.assumes_by_operand: Dict[Var, List[Tuple[Loc, Assume]]] = {}
         for loc, stmt in program.statements():
             if isinstance(stmt, (Copy, AddrOf, Load, NullAssign)):
                 self.assigns_by_lhs.setdefault(stmt.lhs, []).append((loc, stmt))
@@ -87,6 +98,10 @@ class RelevantIndex:
                 if part:
                     key = steens._part_of.get(next(iter(part)))
                     self.stores_by_target_part.setdefault(key, []).append(
+                        (loc, stmt))
+            elif isinstance(stmt, Assume) and stmt.rhs is not None:
+                for operand in (stmt.lhs, stmt.rhs):
+                    self.assumes_by_operand.setdefault(operand, []).append(
                         (loc, stmt))
 
     @classmethod
@@ -133,6 +148,14 @@ def relevant_statements(program: Program, steens: SteensgaardResult,
                 statements.add(loc)
                 add(stmt.lhs)
                 add(stmt.rhs)
+        # Assumes comparing v against another pointer: the other side's
+        # value gates the refinement of v, so it (and hence its defining
+        # statements, via the fixpoint) must survive the slice.
+        for loc, stmt in index.assumes_by_operand.get(v, ()):
+            statements.add(loc)
+            add(stmt.lhs)
+            assert stmt.rhs is not None  # single-operand assumes not indexed
+            add(stmt.rhs)
     return RelevantSlice(cluster=frozenset(cluster), vp=frozenset(vp),
                          statements=frozenset(statements))
 

@@ -149,21 +149,40 @@ DEFAULT_POLICY = RunPolicy(cluster_timeout=None, retries=1, degrade=False)
 
 
 class CircuitBreaker:
-    """Consecutive-failure counter shared across retry attempts."""
+    """Consecutive-failure counter shared across retry attempts.
 
-    def __init__(self, threshold: int) -> None:
+    Two deployments share this class.  At *pool* level (the PR-5 retry
+    loop) it is a one-way fuse: once ``threshold`` attempts in a row
+    have failed, remaining failures skip straight to degradation, and
+    the breaker never closes again within the run.  At *shard* level
+    (the fleet coordinator keeps one breaker per worker) the breaker
+    must also *heal*: pass ``reset_timeout`` and an open breaker turns
+    **half-open** that many seconds after its last recorded failure —
+    :meth:`allow_probe` then admits exactly one probe at a time, whose
+    success closes the breaker (the shard rejoins the ring) and whose
+    failure re-opens it for another ``reset_timeout``.
+    """
+
+    def __init__(self, threshold: int,
+                 reset_timeout: Optional[float] = None) -> None:
         self.threshold = threshold
+        self.reset_timeout = reset_timeout
         self.trips = 0
         self._consecutive = 0
+        self._last_failure = 0.0
+        self._probing = False
         self._lock = threading.Lock()
 
     def record_success(self) -> None:
         with self._lock:
             self._consecutive = 0
+            self._probing = False
 
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive += 1
+            self._last_failure = time.monotonic()
+            self._probing = False
             if self._consecutive == self.threshold:
                 self.trips += 1
 
@@ -171,6 +190,35 @@ class CircuitBreaker:
     def is_open(self) -> bool:
         with self._lock:
             return self._consecutive >= self.threshold
+
+    def allow_probe(self) -> bool:
+        """Half-open check: may the caller send one probe through an
+        open breaker?  True once per ``reset_timeout`` window — the
+        probe's ``record_success``/``record_failure`` decides whether
+        the breaker closes or re-opens.  Always False while closed (no
+        probe needed) or when no ``reset_timeout`` was given (the
+        pool-level one-way fuse)."""
+        if self.reset_timeout is None:
+            return False
+        with self._lock:
+            if self._consecutive < self.threshold or self._probing:
+                return False
+            if time.monotonic() - self._last_failure < self.reset_timeout:
+                return False
+            self._probing = True
+            return True
+
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (for status reports)."""
+        with self._lock:
+            if self._consecutive < self.threshold:
+                return "closed"
+            if self.reset_timeout is not None and (
+                    self._probing
+                    or time.monotonic() - self._last_failure
+                    >= self.reset_timeout):
+                return "half-open"
+            return "open"
 
 
 # ----------------------------------------------------------------------

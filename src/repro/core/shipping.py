@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.fscs import ClusterFSCS
 from ..ir import CallGraph, CFG, Loc, Program, Var
@@ -230,6 +230,27 @@ def build_payload(program: Program, cluster: Cluster,
 def _digest(data: Any) -> str:
     blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cluster_fingerprints(program: Program, clusters: Sequence[Cluster],
+                         callgraph: Optional[CallGraph] = None,
+                         max_cond_atoms: int = 4,
+                         budget: Optional[int] = None) -> List[str]:
+    """Payload fingerprints for a batch of clusters, input order.
+
+    Exactly the fingerprints ``analyze_all`` computes for the same
+    knobs (one shared ``subprogram_cache`` across the batch, so sibling
+    clusters serialize their sub-program once) — which makes them valid
+    shard keys: the fleet coordinator routes by them without paying for
+    any cluster's actual FSCS analysis, and the keys agree with the
+    summary-cache identity every worker caches under.
+    """
+    cg = callgraph or CallGraph(program)
+    cache: Dict[Any, Any] = {}
+    return [payload_fingerprint(build_payload(
+        program, cluster, cg, max_cond_atoms=max_cond_atoms,
+        budget=budget, subprogram_cache=cache))
+        for cluster in clusters]
 
 
 def payload_fingerprint(payload: Dict[str, Any]) -> str:

@@ -1,0 +1,104 @@
+"""Admission control for the fleet front door: bounded queues,
+structured back-pressure.
+
+An overload policy has to pick a failure mode.  Unbounded queueing
+picks the worst one — every client sees latency grow without bound and
+the coordinator's memory grows with it — so the front door bounds both
+the *global* number of admitted in-flight requests and the *per-shard*
+pending count, and rejects the excess immediately with a structured
+``OVERLOADED`` error carrying the live counts.  A rejected client
+knows within one round-trip that it should back off; a stalled client
+learns nothing, ever.
+
+The controller is a plain counter object, not an asyncio primitive: it
+never blocks (admission is a yes/no decision at arrival time, the
+waiting happens in the worker links' bounded FIFOs), so it works
+identically from the coordinator's event loop and from threaded tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from ..server.protocol import OVERLOADED, RequestError
+
+
+class AdmissionError(RequestError):
+    """A request rejected at the front door (maps to ``OVERLOADED``)."""
+
+    def __init__(self, message: str, data: Optional[Dict[str, Any]] = None
+                 ) -> None:
+        super().__init__(OVERLOADED, message, data)
+
+
+class AdmissionController:
+    """Bounded in-flight accounting, global and per shard.
+
+    ``admit(shard)`` either reserves a slot (caller must ``release`` it
+    on every exit path) or raises :class:`AdmissionError`.  A rerouted
+    request keeps its *home* shard's reservation: the bound tracks what
+    was admitted for that key range, wherever it is being served.
+    """
+
+    def __init__(self, max_inflight: int = 1024,
+                 max_per_shard: int = 256) -> None:
+        # 0 is a legal bound: it rejects every routed request (local
+        # methods like ping/fleet_status bypass admission), which is
+        # the "pause the fleet" switch and what the back-pressure tests
+        # exercise without needing to saturate real workers.
+        if max_inflight < 0 or max_per_shard < 0:
+            raise ValueError("admission bounds must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_per_shard = max_per_shard
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self._per_shard: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def admit(self, shard: str) -> None:
+        with self._lock:
+            if self.inflight >= self.max_inflight:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"overloaded: {self.inflight} requests in flight "
+                    f"(limit {self.max_inflight})",
+                    {"inflight": self.inflight,
+                     "max_inflight": self.max_inflight})
+            pending = self._per_shard.get(shard, 0)
+            if pending >= self.max_per_shard:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"overloaded: shard {shard} has {pending} requests "
+                    f"pending (limit {self.max_per_shard})",
+                    {"shard": shard, "pending": pending,
+                     "max_per_shard": self.max_per_shard})
+            self.inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            self.admitted += 1
+            self._per_shard[shard] = pending + 1
+
+    def release(self, shard: str) -> None:
+        with self._lock:
+            self.inflight = max(0, self.inflight - 1)
+            pending = self._per_shard.get(shard, 0) - 1
+            if pending <= 0:
+                self._per_shard.pop(shard, None)
+            else:
+                self._per_shard[shard] = pending
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "inflight": self.inflight,
+                "peak_inflight": self.peak_inflight,
+                "max_inflight": self.max_inflight,
+                "max_per_shard": self.max_per_shard,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "per_shard": dict(self._per_shard),
+            }

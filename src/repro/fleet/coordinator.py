@@ -1,0 +1,703 @@
+"""The fleet coordinator: one asyncio front door, N worker daemons.
+
+The PR-3 daemon already scales *within* one process: per-file locks,
+an LRU of file states, a fingerprint-keyed cluster store.  The fleet
+scales *across* processes with the same protocol end to end — a client
+cannot tell a coordinator from a single daemon except by asking
+(``ping`` answers ``role: coordinator``), and a healthy response is the
+worker's bytes forwarded verbatim, which is how the fleet bench checks
+bit-identity against a lone daemon.
+
+Routing is by **cluster payload fingerprint**
+(:func:`~repro.core.shipping.cluster_fingerprints`): the coordinator
+parses and bootstraps each served file once — partitioning and
+clustering only, never the expensive per-cluster FSCS — and maps every
+pointer to the fingerprint of its primary cluster.  A ``points_to p``
+lands on the consistent-hash home of *p's cluster key*, which is also
+the worker whose summary cache is warm for that cluster, because the
+fingerprint **is** the cache key.  Homes are refined per file with
+bounded loads (:meth:`HashRing.assign`, weights = pointers per
+cluster): no shard carries more than ``(1 + balance_epsilon)`` times
+its fair share of a file's query traffic, so warm throughput scales
+with the fleet instead of with the luckiest arc.  Whole-file queries
+(diagnostics,
+taint, leaks, deadlocks) route by a digest over all of the file's
+fingerprints, so one worker owns each file's full-program passes.
+
+Every worker is an *unmodified* daemon holding complete per-file state;
+routing buys cache locality, not correctness, so any worker can answer
+any query and rerouting is always sound.  The failure path:
+
+* a worker failure (connect error, dropped connection, timeout) is
+  recorded on that shard's :class:`~repro.core.resilience.CircuitBreaker`
+  — the PR-5 pool-level fuse promoted to shard level with a
+  ``reset_timeout`` so it can heal;
+* while a breaker is open the shard's whole key range reroutes along
+  the hash ring's successor order (``preference(key)[1:]``), and every
+  rerouted answer is tagged with a ``fleet`` envelope
+  (``rerouted: true``, the home shard it was moved off).  Tagged
+  answers follow the resilience ladder's tagged-never-cached
+  discipline: the envelope is attached on the way out and stored
+  nowhere;
+* the probe loop respawns dead spawned workers and sends one ping per
+  ``reset_timeout`` window through half-open breakers; a success closes
+  the breaker and the shard's key range snaps home, where the worker
+  re-warms from the shared on-disk summary cache instead of recomputing
+  the world.
+
+Back-pressure is explicit: admission control
+(:class:`~repro.fleet.admission.AdmissionController`) bounds global and
+per-shard in-flight counts and rejects the excess with structured
+``OVERLOADED`` errors — the front door never queues unboundedly and
+never stalls a client silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import BootstrapAnalyzer, CircuitBreaker, cluster_fingerprints
+from ..core.queries import resolve_pointer
+from ..errors import ReproError
+from ..server import protocol
+from ..server.protocol import PROTOCOL_VERSION, RequestError
+from ..server.store import ServerConfig
+from .admission import AdmissionController, AdmissionError
+from .ring import DEFAULT_REPLICAS, HashRing
+from .worker import LocalWorker, WorkerError, WorkerLink, parse_worker_addr
+
+#: Methods the coordinator answers itself (no worker round-trip).
+_LOCAL_METHODS = frozenset({"ping", "stats", "fleet_status", "shutdown"})
+
+#: Which request parameter names the routing pointer per method; methods
+#: absent here route by the whole file's key.
+_POINTER_PARAM = {"points_to": "ptr", "alias": "p", "must_alias": "p"}
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-level knobs; ``server`` carries the per-worker analysis
+    knobs (spawned workers are started with matching ``repro serve``
+    flags, so every shard computes identical answers)."""
+
+    #: How many local workers to spawn (ignored when ``worker_addrs``
+    #: names externally managed daemons).
+    workers: int = 2
+    #: Externally managed workers as ``host:port`` strings.
+    worker_addrs: List[str] = field(default_factory=list)
+    replicas: int = DEFAULT_REPLICAS
+    #: Bounded-load slack for :meth:`HashRing.assign`: no shard's
+    #: cluster-weight share of a file exceeds ``(1 + epsilon) / N``.
+    balance_epsilon: float = 0.05
+    conns_per_worker: int = 2
+    max_inflight: int = 1024
+    max_per_shard: int = 256
+    #: Shard breaker: consecutive failures to trip, seconds until the
+    #: open breaker turns half-open and admits a heal probe.
+    breaker_threshold: int = 3
+    breaker_reset: float = 2.0
+    worker_timeout: float = 300.0
+    probe_interval: float = 0.25
+    #: Respawn dead spawned workers (healing); addressed workers are
+    #: never respawned, only probed.
+    respawn: bool = True
+    #: Attach the fleet envelope to every response, not only rerouted
+    #: ones (diagnostics; defeats the verbatim-forward fast path).
+    envelope_all: bool = False
+    spawn_timeout: float = 60.0
+    drain_grace: float = 10.0
+    server: ServerConfig = field(default_factory=ServerConfig)
+
+    def serve_args(self) -> List[str]:
+        """``repro serve`` flags reproducing ``self.server`` in a
+        spawned worker."""
+        cfg = self.server
+        args = ["--entry", cfg.entry, "--threshold", str(cfg.threshold),
+                "--parts", str(cfg.parts), "--backend", cfg.backend,
+                "--scheduler", cfg.scheduler,
+                "--max-files", str(cfg.max_files),
+                "--max-clusters", str(cfg.max_clusters),
+                "--max-request-bytes", str(cfg.max_request_bytes),
+                "--retries", str(cfg.retries)]
+        if cfg.oneflow:
+            args.append("--oneflow")
+        if cfg.jobs is not None:
+            args += ["--jobs", str(cfg.jobs)]
+        if cfg.cache_dir is not None:
+            args += ["--cache", cfg.cache_dir]
+        if cfg.fscs_budget is not None:
+            args += ["--fscs-budget", str(cfg.fscs_budget)]
+        if cfg.cluster_timeout is not None:
+            args += ["--cluster-timeout", str(cfg.cluster_timeout)]
+        if cfg.degrade:
+            args.append("--degrade")
+        if not cfg.watch:
+            args.append("--no-watch")
+        return args
+
+
+class _Shard:
+    """One worker as the coordinator sees it: link + breaker (+ the
+    subprocess handle when the coordinator spawned it)."""
+
+    def __init__(self, name: str, link: WorkerLink,
+                 breaker: CircuitBreaker,
+                 local: Optional[LocalWorker] = None) -> None:
+        self.name = name
+        self.link = link
+        self.breaker = breaker
+        self.local = local
+        self.rerouted_in = 0   # answers served here for other shards
+        self.rerouted_out = 0  # home traffic served elsewhere
+        self.heals = 0
+
+    def status(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "state": self.breaker.state(),
+            "trips": self.breaker.trips,
+            "heals": self.heals,
+            "rerouted_in": self.rerouted_in,
+            "rerouted_out": self.rerouted_out,
+            "link": self.link.stats(),
+        }
+        if self.local is not None:
+            out["spawned"] = True
+            out["pid"] = self.local.pid
+            out["alive"] = self.local.alive
+            out["spawns"] = self.local.spawns
+        else:
+            out["spawned"] = False
+        return out
+
+
+class RoutingState:
+    """Per-file shard keys: the cheap front half of the bootstrap.
+
+    Parsing + Steensgaard + Andersen clustering cost a small fraction
+    of the per-cluster FSCS the workers run, and yield exactly the
+    payload fingerprints ``analyze_all`` would compute — so the
+    coordinator knows every cluster's cache identity without ever
+    paying for its analysis, and the first query for a cluster pays the
+    FSCS once, on the key's home worker.
+    """
+
+    def __init__(self, path: str, stat: os.stat_result, program: Any,
+                 fingerprints: List[str],
+                 pointer_key: Dict[str, str]) -> None:
+        self.path = path
+        self.mtime_ns = stat.st_mtime_ns
+        self.size = stat.st_size
+        self.program = program
+        self.fingerprints = fingerprints
+        self.pointer_key = pointer_key
+        self.file_key = "file:" + hashlib.sha256(
+            "\n".join(fingerprints).encode("utf-8")).hexdigest()
+        #: key → home worker, filled in by :meth:`assign_homes` once
+        #: the coordinator's ring is known; empty means pure ring homes.
+        self.homes: Dict[str, str] = {}
+
+    @classmethod
+    def build(cls, path: str, config: ServerConfig) -> "RoutingState":
+        from ..frontend import parse_program
+        st = os.stat(path)
+        with open(path, "r") as handle:
+            source = handle.read()
+        program = parse_program(source, entry=config.entry, path=path)
+        result = BootstrapAnalyzer(program,
+                                   config.bootstrap_config()).run()
+        fps = cluster_fingerprints(
+            program, result.clusters, result.callgraph,
+            max_cond_atoms=config.max_cond_atoms,
+            budget=config.fscs_budget)
+        pointer_key: Dict[str, str] = {}
+        for cluster, fp in zip(result.clusters, fps):
+            for var in cluster.members:
+                pointer_key.setdefault(str(var), fp)
+        return cls(path, st, program, fps, pointer_key)
+
+    def assign_homes(self, ring: HashRing, epsilon: float) -> None:
+        """Balance this file's cluster keys over ``ring`` with bounded
+        loads.  A key's weight is how many of the file's pointers route
+        through it — exactly the per-key query load — so the busiest
+        shard's *traffic* share is what the bound caps, not just its
+        key count.  Deterministic: rebuilding the same file recreates
+        the same placement."""
+        weights: Dict[str, float] = {fp: 0.0 for fp in self.fingerprints}
+        for fp in self.pointer_key.values():
+            weights[fp] = weights.get(fp, 0.0) + 1.0
+        self.homes = ring.assign(weights, epsilon=epsilon)
+        self.homes.setdefault(self.file_key,
+                              ring.node_for(self.file_key) or "")
+
+    def stale(self) -> bool:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return True
+        return (st.st_mtime_ns != self.mtime_ns
+                or st.st_size != self.size)
+
+    def key_for_pointer(self, name: str) -> Optional[str]:
+        try:
+            var = resolve_pointer(self.program, name)
+        except LookupError:
+            return None
+        return self.pointer_key.get(str(var))
+
+
+class FleetCoordinator:
+    """Route fleet traffic; own the local workers' lifecycle."""
+
+    def __init__(self, config: Optional[FleetConfig] = None,
+                 host: str = "127.0.0.1",
+                 port: Optional[int] = None,
+                 socket_path: Optional[str] = None) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        self.config = config or FleetConfig()
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.ring = HashRing(replicas=self.config.replicas)
+        self.shards: Dict[str, _Shard] = {}
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_per_shard=self.config.max_per_shard)
+        self.started = time.time()
+        self.reroutes = 0
+        self.respawns = 0
+        self._errors = 0
+        self._method_count: Dict[str, int] = {}
+        self._routing: "OrderedDict[str, RoutingState]" = OrderedDict()
+        self._routing_locks: Dict[str, asyncio.Lock] = {}
+        self._draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    def serve_forever(self, install_signal_handlers: bool = True,
+                      ready: Optional[threading.Event] = None) -> None:
+        """Spawn the workers, serve until shut down, then drain.
+
+        ``ready`` (for in-process embedding: tests, the bench) is set
+        once the front door is bound — ``self.port`` resolves the
+        kernel-chosen port first.
+        """
+        asyncio.run(self._main(install_signal_handlers, ready))
+
+    def request_shutdown(self) -> None:
+        """Stop and drain; safe from any thread or a signal handler."""
+        self._draining = True
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _main(self, install_signal_handlers: bool,
+                    ready: Optional[threading.Event]) -> None:
+        self._loop = asyncio.get_event_loop()
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            import signal
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        sig, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    break
+        await self._start_workers()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path)
+        else:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port)
+            self.port = server.sockets[0].getsockname()[1]
+        probe_task = self._loop.create_task(self._probe_loop())
+        try:
+            if ready is not None:
+                ready.set()
+            await self._stop.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            await self._wait_for_drain()
+            probe_task.cancel()
+            try:
+                await probe_task
+            except asyncio.CancelledError:
+                pass
+            await self._stop_workers()
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+
+    async def _wait_for_drain(self) -> None:
+        deadline = time.monotonic() + self.config.drain_grace
+        while self.admission.inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+
+    async def _start_workers(self) -> None:
+        conf = self.config
+        if conf.worker_addrs:
+            for i, arg in enumerate(conf.worker_addrs):
+                host, port = parse_worker_addr(arg)
+                self._add_shard(f"w{i}", host, port, local=None)
+            return
+        if conf.workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        locals_ = [LocalWorker(f"w{i}", serve_args=conf.serve_args(),
+                               spawn_timeout=conf.spawn_timeout)
+                   for i in range(conf.workers)]
+        loop = asyncio.get_event_loop()
+        addrs = await asyncio.gather(*[
+            loop.run_in_executor(None, w.spawn) for w in locals_])
+        for worker, (host, port) in zip(locals_, addrs):
+            self._add_shard(worker.name, host, port, local=worker)
+
+    def _add_shard(self, name: str, host: str, port: int,
+                   local: Optional[LocalWorker]) -> None:
+        link = WorkerLink(name, host, port,
+                          conns=self.config.conns_per_worker,
+                          timeout=self.config.worker_timeout)
+        breaker = CircuitBreaker(self.config.breaker_threshold,
+                                 reset_timeout=self.config.breaker_reset)
+        self.shards[name] = _Shard(name, link, breaker, local=local)
+        self.ring.add(name)
+
+    async def _stop_workers(self) -> None:
+        loop = asyncio.get_event_loop()
+        for shard in self.shards.values():
+            await shard.link.close()
+        await asyncio.gather(*[
+            loop.run_in_executor(None, shard.local.terminate)
+            for shard in self.shards.values() if shard.local is not None])
+
+    # ------------------------------------------------------------------
+    # healing
+    # ------------------------------------------------------------------
+    async def _probe_loop(self) -> None:
+        """Respawn dead spawned workers; ping through half-open
+        breakers.  A probe success closes the breaker — the shard's key
+        range snaps back home and re-warms from the shared disk cache."""
+        ping = protocol.encode({"id": "fleet-probe", "method": "ping",
+                                "v": PROTOCOL_VERSION})
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(self.config.probe_interval)
+            for shard in self.shards.values():
+                if not shard.breaker.is_open:
+                    continue
+                local = shard.local
+                if local is not None and not local.alive \
+                        and self.config.respawn:
+                    try:
+                        host, port = await loop.run_in_executor(
+                            None, local.spawn)
+                    except WorkerError:
+                        shard.breaker.record_failure()
+                        continue
+                    shard.link.set_address(host, port)
+                    self.respawns += 1
+                if not shard.breaker.allow_probe():
+                    continue
+                try:
+                    await shard.link.call_raw(ping, timeout=5.0)
+                except WorkerError:
+                    shard.breaker.record_failure()
+                else:
+                    shard.breaker.record_success()
+                    shard.heals += 1
+
+    # ------------------------------------------------------------------
+    # front door
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """One client connection: the daemon's line loop, async.
+
+        Requests on one connection are handled in order (same semantics
+        as the daemon's per-connection thread); concurrency comes from
+        concurrent connections.  Oversized lines get a structured error
+        and the stream resyncs at the next newline, exactly like the
+        threaded daemon.
+        """
+        max_bytes = self.config.server.max_request_bytes
+        buf = b""
+        discarding = False
+        too_large = protocol.encode(protocol.err(
+            None, protocol.REQUEST_TOO_LARGE,
+            f"request line exceeds {max_bytes} bytes",
+            {"max_request_bytes": max_bytes}))
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if discarding:
+                        discarding = False
+                        continue
+                    if not line.strip():
+                        continue
+                    if len(line) > max_bytes:
+                        writer.write(too_large)
+                        await writer.drain()
+                        continue
+                    writer.write(await self.dispatch_line(line))
+                    await writer.drain()
+                if not discarding and len(buf) > max_bytes:
+                    writer.write(too_large)
+                    await writer.drain()
+                    buf = b""
+                    discarding = True
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except asyncio.CancelledError:
+            # Loop teardown mid-connection (shutdown path): end the
+            # handler quietly, the front server is already closed.
+            return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def dispatch_line(self, line: bytes) -> bytes:
+        """One wire frame in, one wire frame out (the coordinator's
+        analogue of ``AliasServer.handle_line``)."""
+        request_id: Any = None
+        try:
+            request = protocol.decode(line)
+            request_id = request.get("id")
+            request_id, method, params = \
+                protocol.validate_request(request)
+        except RequestError as exc:
+            self._errors += 1
+            return protocol.encode(protocol.err(
+                request_id, exc.code, str(exc), exc.data))
+        self._method_count[method] = \
+            self._method_count.get(method, 0) + 1
+        if self._draining and method not in ("stats", "fleet_status"):
+            self._errors += 1
+            return protocol.encode(protocol.err(
+                request_id, protocol.SHUTTING_DOWN,
+                "coordinator is shutting down"))
+        if method in _LOCAL_METHODS:
+            return await self._handle_local(request_id, method)
+        return await self._route(request, request_id, method, params)
+
+    # ------------------------------------------------------------------
+    # local methods
+    # ------------------------------------------------------------------
+    async def _handle_local(self, request_id: Any, method: str) -> bytes:
+        if method == "ping":
+            result: Any = {"pong": True, "role": "coordinator",
+                           "protocol": PROTOCOL_VERSION,
+                           "pid": os.getpid(),
+                           "workers": len(self.shards)}
+        elif method == "fleet_status":
+            result = self.fleet_status()
+        elif method == "stats":
+            result = await self._aggregate_stats()
+        else:  # shutdown
+            self.request_shutdown()
+            result = {"shutting_down": True}
+        return protocol.encode(protocol.ok(request_id, result))
+
+    def fleet_status(self) -> Dict[str, Any]:
+        files = {}
+        for path, rs in self._routing.items():
+            shares = {node: 0 for node in self.ring.nodes()}
+            for fp in rs.fingerprints:
+                node = rs.homes.get(fp) or self.ring.node_for(fp)
+                if node:
+                    shares[node] += 1
+            files[path] = {
+                "clusters": len(rs.fingerprints),
+                "file_key_home": rs.homes.get(rs.file_key)
+                or self.ring.node_for(rs.file_key),
+                "shares": shares,
+            }
+        return {
+            "role": "coordinator",
+            "protocol": PROTOCOL_VERSION,
+            "address": self.address,
+            "draining": self._draining,
+            "uptime_seconds": time.time() - self.started,
+            "ring": {"nodes": self.ring.nodes(),
+                     "replicas": self.ring.replicas},
+            "workers": {name: shard.status()
+                        for name, shard in sorted(self.shards.items())},
+            "admission": self.admission.stats(),
+            "requests": dict(sorted(self._method_count.items())),
+            "errors": self._errors,
+            "reroutes": self.reroutes,
+            "respawns": self.respawns,
+            "files": files,
+        }
+
+    async def _aggregate_stats(self) -> Dict[str, Any]:
+        async def one(shard: _Shard) -> Tuple[str, Any]:
+            frame = protocol.encode({"id": "fleet-stats",
+                                     "method": "stats",
+                                     "v": PROTOCOL_VERSION})
+            try:
+                raw = await shard.link.call_raw(frame, timeout=30.0)
+                return shard.name, protocol.decode(raw).get("result")
+            except (WorkerError, RequestError) as exc:
+                return shard.name, {"error": str(exc)}
+
+        pairs = await asyncio.gather(
+            *[one(s) for s in self.shards.values()])
+        return {
+            "role": "coordinator",
+            "protocol": PROTOCOL_VERSION,
+            "coordinator": {
+                "uptime_seconds": time.time() - self.started,
+                "requests": dict(sorted(self._method_count.items())),
+                "errors": self._errors,
+                "reroutes": self.reroutes,
+                "respawns": self.respawns,
+                "admission": self.admission.stats(),
+            },
+            "workers": dict(sorted(pairs)),
+        }
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _routing_state(self, path: str) -> Optional[RoutingState]:
+        """The (possibly rebuilt) routing state for ``path``; ``None``
+        when the file cannot be parsed — the request still routes (by a
+        path-derived key) so the *worker* produces the same structured
+        error a single daemon would."""
+        lock = self._routing_locks.setdefault(path, asyncio.Lock())
+        async with lock:
+            rs = self._routing.get(path)
+            if rs is not None and not rs.stale():
+                self._routing.move_to_end(path)
+                return rs
+            loop = asyncio.get_event_loop()
+            try:
+                rs = await loop.run_in_executor(
+                    None, RoutingState.build, path,
+                    self.config.server)
+            except (ReproError, OSError, RequestError):
+                self._routing.pop(path, None)
+                return None
+            rs.assign_homes(self.ring, self.config.balance_epsilon)
+            self._routing[path] = rs
+            self._routing.move_to_end(path)
+            while len(self._routing) > self.config.server.max_files:
+                dropped, _ = self._routing.popitem(last=False)
+                self._routing_locks.pop(dropped, None)
+            return rs
+
+    async def _shard_key(self, method: str,
+                         params: Dict[str, Any]) -> Tuple[str,
+                                                          Optional[str]]:
+        """``(key, home)`` for a request: ``home`` is the bounded-load
+        placement's pick when the key belongs to a routed file, ``None``
+        when only the pure ring home applies (fileless or unparseable
+        requests)."""
+        file_param = params.get("file")
+        if not isinstance(file_param, str) or not file_param:
+            # Fileless or malformed: deterministic key so the worker's
+            # own validation error is served consistently.
+            return f"method:{method}", None
+        path = os.path.abspath(file_param)
+        if method == "invalidate":
+            # Drop our map too — the file's cluster keys are about to
+            # change; rebuilt lazily on the next routed query.
+            self._routing.pop(path, None)
+        rs = await self._routing_state(path)
+        if rs is None:
+            return "path:" + path, None
+        pointer_param = _POINTER_PARAM.get(method)
+        if pointer_param is not None:
+            name = params.get(pointer_param)
+            if isinstance(name, str) and name:
+                key = rs.key_for_pointer(name)
+                if key is not None:
+                    return key, rs.homes.get(key)
+        return rs.file_key, rs.homes.get(rs.file_key)
+
+    async def _route(self, request: Dict[str, Any], request_id: Any,
+                     method: str, params: Dict[str, Any]) -> bytes:
+        key, placed = await self._shard_key(method, params)
+        pref = self.ring.preference(key)
+        if placed is not None and placed in self.shards \
+                and pref and pref[0] != placed:
+            # Bounded-load placement moved this key off its arc home;
+            # reroutes still walk the ring's successor order.
+            pref = [placed] + [n for n in pref if n != placed]
+        home = pref[0]
+        try:
+            self.admission.admit(home)
+        except AdmissionError as exc:
+            self._errors += 1
+            return protocol.encode(protocol.err(
+                request_id, exc.code, str(exc), exc.data))
+        stamped = dict(request)
+        stamped["v"] = PROTOCOL_VERSION
+        frame = protocol.encode(stamped)
+        last_error: Optional[Exception] = None
+        try:
+            for i, name in enumerate(pref):
+                shard = self.shards[name]
+                if shard.breaker.is_open:
+                    last_error = last_error or WorkerError(
+                        f"shard {name} circuit breaker is open")
+                    continue
+                try:
+                    raw = await shard.link.call_raw(frame)
+                except WorkerError as exc:
+                    shard.breaker.record_failure()
+                    last_error = exc
+                    continue
+                shard.breaker.record_success()
+                if i == 0 and not self.config.envelope_all:
+                    # Fast path: the worker's bytes, verbatim.
+                    return raw
+                if i > 0:
+                    self.reroutes += 1
+                    shard.rerouted_in += 1
+                    self.shards[home].rerouted_out += 1
+                env = protocol.envelope(name, key=key, rerouted=i > 0,
+                                        home=home if i > 0 else None)
+                response = protocol.decode(raw)
+                return protocol.encode(
+                    protocol.with_envelope(response, env))
+            self._errors += 1
+            return protocol.encode(protocol.err(
+                request_id, protocol.SHARD_UNAVAILABLE,
+                f"no worker can serve shard key {key[:16]}…: "
+                f"{last_error}",
+                {"key": key, "tried": pref,
+                 "last_error": str(last_error)}))
+        finally:
+            self.admission.release(home)

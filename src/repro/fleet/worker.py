@@ -1,0 +1,326 @@
+"""Worker daemons and the coordinator's async links to them.
+
+A fleet worker is just the PR-3 :class:`~repro.server.daemon.AliasServer`
+— same protocol, same stores, same resilience knobs — reached over TCP.
+Workers come in two flavors:
+
+* :class:`LocalWorker` — spawned by the coordinator as a subprocess
+  (``python -m repro serve --port 0 ...``); the kernel-chosen port is
+  parsed off the daemon's "listening on" line.  Local workers can be
+  respawned after a crash, which is how a dead shard heals.
+* *addressed* workers — any ``host:port`` the operator points the
+  coordinator at (:func:`parse_worker_addr`); the coordinator never
+  manages their lifecycle, only their circuit breaker.
+
+:class:`WorkerLink` is the coordinator's side of the wire: a small pool
+of persistent connections per worker, each carrying pipelined frames.
+The daemon handles one connection with one thread, sequentially, so
+responses per connection come back in request order — the link matches
+them FIFO without ever decoding a response (the hot path moves opaque
+bytes).  Writes are fire-and-forget into the transport buffer, which
+coalesces every frame queued in one event-loop iteration into a single
+send: that is the front door's query *batching*.
+
+A link failure (reset, EOF, timeout) fails every in-flight future on
+that connection; the coordinator records it on the worker's breaker and
+reroutes.  A timeout additionally *poisons* the connection — the FIFO
+discipline would otherwise misalign the late response with the next
+request — so the link drops it and reconnects fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: StreamReader limit for worker responses (diagnostics on big files
+#: can be megabytes; the default 64 KiB readline limit would truncate).
+RESPONSE_LIMIT = 32 * 1024 * 1024
+
+_LISTEN_RE = re.compile(r"listening on tcp:([0-9.]+):(\d+)")
+
+
+class WorkerError(ReproError):
+    """A worker link failed (connect, transport, or timeout)."""
+
+
+class WorkerTimeout(WorkerError):
+    """A worker did not answer within the per-request deadline."""
+
+
+def parse_worker_addr(arg: str) -> Tuple[str, int]:
+    """``host:port`` (or bare ``port`` for localhost) -> address."""
+    host, sep, port = arg.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", arg
+    try:
+        return (host or "127.0.0.1"), int(port)
+    except ValueError:
+        raise ValueError(f"bad worker address {arg!r}: expected "
+                         "HOST:PORT or PORT")
+
+
+# ----------------------------------------------------------------------
+# local subprocess workers
+# ----------------------------------------------------------------------
+
+class LocalWorker:
+    """One spawned ``repro serve`` subprocess the coordinator owns."""
+
+    def __init__(self, name: str, serve_args: Optional[List[str]] = None,
+                 spawn_timeout: float = 60.0) -> None:
+        self.name = name
+        self.serve_args = list(serve_args or [])
+        self.spawn_timeout = spawn_timeout
+        self.proc: Optional[subprocess.Popen] = None
+        self.host = "127.0.0.1"
+        self.port: Optional[int] = None
+        self.spawns = 0
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> Tuple[str, int]:
+        """Start (or restart) the daemon; returns its bound address."""
+        env = dict(os.environ)
+        # The worker must import the same repro package the coordinator
+        # runs, installed or straight from a source tree.
+        pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        parts = [pkg_root] + [p for p in
+                              env.get("PYTHONPATH", "").split(os.pathsep)
+                              if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--host", self.host, "--port", "0"] + self.serve_args,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True)
+        self.spawns += 1
+        self.port = self._wait_for_port()
+        return self.host, self.port
+
+    def _wait_for_port(self) -> int:
+        """Parse the daemon's "listening on" line off its stdout, then
+        keep draining the pipe in the background so the worker never
+        blocks on a full pipe buffer."""
+        assert self.proc is not None and self.proc.stdout is not None
+        found: List[int] = []
+
+        def reader() -> None:
+            for line in self.proc.stdout:
+                if not found:
+                    match = _LISTEN_RE.search(line)
+                    if match:
+                        found.append(int(match.group(2)))
+                        ready.set()
+            ready.set()
+
+        ready = threading.Event()
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + self.spawn_timeout
+        while not found:
+            if not ready.wait(0.1) and time.monotonic() > deadline:
+                break
+            if found:
+                break
+            if self.proc.poll() is not None:
+                raise WorkerError(
+                    f"worker {self.name} exited with code "
+                    f"{self.proc.returncode} before listening")
+            if time.monotonic() > deadline:
+                break
+            ready.clear()
+        if not found:
+            self.terminate()
+            raise WorkerError(
+                f"worker {self.name} did not report a port within "
+                f"{self.spawn_timeout:.0f}s")
+        return found[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    def terminate(self, grace: float = 5.0) -> None:
+        """SIGTERM (the daemon drains), then SIGKILL after ``grace``."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(grace)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(5.0)
+        if self.proc.stdout is not None:
+            try:
+                self.proc.stdout.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# async links
+# ----------------------------------------------------------------------
+
+class _Conn:
+    """One pipelined connection: FIFO futures matched to response lines."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.pending: Deque[asyncio.Future] = deque()
+        self.closed = False
+        self._read_task: Optional[asyncio.Task] = None
+
+    async def open(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port, limit=RESPONSE_LIMIT)
+        self._read_task = asyncio.get_event_loop().create_task(
+            self._read_loop())
+
+    def send(self, frame: bytes) -> "asyncio.Future[bytes]":
+        """Queue one frame; the returned future resolves to the raw
+        response line.  Never awaits: the transport buffer coalesces
+        everything queued in one loop iteration into one send."""
+        fut: asyncio.Future = asyncio.get_event_loop().create_future()
+        if self.closed or self.writer is None:
+            fut.set_exception(WorkerError(
+                f"connection to {self.host}:{self.port} is closed"))
+            return fut
+        self.pending.append(fut)
+        self.writer.write(frame)
+        return fut
+
+    async def _read_loop(self) -> None:
+        exc: Optional[BaseException] = None
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    break
+                if self.pending:
+                    fut = self.pending.popleft()
+                    if not fut.done():
+                        fut.set_result(line)
+        except (asyncio.CancelledError, Exception) as err:  # noqa: BLE001
+            exc = err
+        finally:
+            self.closed = True
+            failure = WorkerError(
+                f"connection to {self.host}:{self.port} lost"
+                + (f": {exc}" if exc else ""))
+            while self.pending:
+                fut = self.pending.popleft()
+                if not fut.done():
+                    fut.set_exception(failure)
+
+    async def close(self) -> None:
+        self.closed = True
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self.writer is not None:
+            try:
+                self.writer.close()
+                # wait_closed can hang on half-dead sockets; best effort.
+                await asyncio.wait_for(self.writer.wait_closed(), 1.0)
+            except (asyncio.TimeoutError, Exception):  # noqa: BLE001
+                pass
+
+
+class WorkerLink:
+    """The coordinator's connection pool to one worker."""
+
+    def __init__(self, name: str, host: str, port: int,
+                 conns: int = 2, timeout: float = 300.0) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.conns = max(1, conns)
+        self.timeout = timeout
+        self.served = 0
+        self.failures = 0
+        self._pool: List[_Conn] = []
+        self._rr = 0
+        self._connect_lock: Optional[asyncio.Lock] = None
+
+    def set_address(self, host: str, port: int) -> None:
+        """Point the link at a respawned worker (old conns are stale;
+        they fail on use and get replaced lazily)."""
+        self.host = host
+        self.port = port
+        for conn in self._pool:
+            conn.closed = True
+        self._pool = []
+
+    async def _get_conn(self) -> _Conn:
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        self._pool = [c for c in self._pool if not c.closed]
+        if len(self._pool) < self.conns:
+            async with self._connect_lock:
+                self._pool = [c for c in self._pool if not c.closed]
+                while len(self._pool) < self.conns:
+                    conn = _Conn(self.host, self.port)
+                    try:
+                        await conn.open()
+                    except OSError as exc:
+                        raise WorkerError(
+                            f"cannot connect to worker {self.name} at "
+                            f"{self.host}:{self.port}: {exc}")
+                    self._pool.append(conn)
+        self._rr = (self._rr + 1) % len(self._pool)
+        return self._pool[self._rr]
+
+    async def call_raw(self, frame: bytes,
+                       timeout: Optional[float] = None) -> bytes:
+        """One frame out, one raw response line back."""
+        conn = await self._get_conn()
+        fut = conn.send(frame)
+        try:
+            line = await asyncio.wait_for(
+                fut, timeout if timeout is not None else self.timeout)
+        except asyncio.TimeoutError:
+            # The FIFO would misalign the late response with the next
+            # request; poison the whole connection instead.
+            self.failures += 1
+            await conn.close()
+            raise WorkerTimeout(
+                f"worker {self.name} did not answer within "
+                f"{timeout if timeout is not None else self.timeout:.0f}s")
+        except WorkerError:
+            self.failures += 1
+            raise
+        self.served += 1
+        return line
+
+    async def close(self) -> None:
+        pool, self._pool = self._pool, []
+        for conn in pool:
+            await conn.close()
+
+    def stats(self) -> Dict[str, Any]:
+        return {"address": f"{self.host}:{self.port}",
+                "connections": len([c for c in self._pool
+                                    if not c.closed]),
+                "served": self.served, "failures": self.failures}

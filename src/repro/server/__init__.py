@@ -19,13 +19,13 @@ turns that observation into a long-running server:
   ``repro query``.
 """
 
-from .client import ServerClient, wait_for_server
+from .client import ConnectError, ServerClient, wait_for_server
 from .daemon import AliasServer
 from .protocol import PROTOCOL_VERSION, RequestError, ServerError
 from .store import ClusterStore, FileStore, RefreshStats, ServerConfig
 
 __all__ = [
-    "AliasServer", "ClusterStore", "FileStore", "PROTOCOL_VERSION",
-    "RefreshStats", "RequestError", "ServerClient", "ServerConfig",
-    "ServerError", "wait_for_server",
+    "AliasServer", "ClusterStore", "ConnectError", "FileStore",
+    "PROTOCOL_VERSION", "RefreshStats", "RequestError", "ServerClient",
+    "ServerConfig", "ServerError", "wait_for_server",
 ]

@@ -6,6 +6,17 @@ connection, so ids are a sanity check rather than a demultiplexer).
 Error responses surface as :class:`~repro.server.protocol.ServerError`
 with the structured code — ``repro query`` maps ``BUDGET_EXCEEDED`` to
 the same exit code the one-shot CLI uses for budget overruns.
+
+Transient transport failures — a refused or missing socket at connect
+time, a ``ConnectionError``/``BrokenPipeError`` or server-side close
+mid-call — are retried through a bounded reconnect-with-backoff loop
+(``reconnect_attempts`` tries, exponential ``reconnect_backoff``), so
+both fleet and single-daemon clients survive a worker restart instead
+of dying on the first dropped connection.  Every request is an
+idempotent query, so resending after a reconnect is safe; a client
+*timeout* is never retried (the analysis may still be running — a
+resend would double the work and the wait).  Pass
+``reconnect_attempts=0`` for the old fail-fast behavior.
 """
 
 from __future__ import annotations
@@ -13,10 +24,23 @@ from __future__ import annotations
 import os
 import socket
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from . import protocol
 from .protocol import ServerError
+
+
+class ConnectError(ServerError, ConnectionError):
+    """Connect attempts exhausted: the daemon is unreachable.
+
+    Both a :class:`ServerError` (structured code, existing handlers
+    keep working) and a :class:`ConnectionError` (callers that treat
+    "no daemon" differently from "the daemon answered with an error" —
+    e.g. ``repro query``'s exit paths — can catch the OSError side).
+    """
+
+    def __init__(self, message: str) -> None:
+        ServerError.__init__(self, protocol.INTERNAL_ERROR, message)
 
 
 class ServerClient:
@@ -24,32 +48,80 @@ class ServerClient:
 
     def __init__(self, socket_path: Optional[str] = None,
                  host: str = "127.0.0.1", port: Optional[int] = None,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0,
+                 reconnect_attempts: int = 3,
+                 reconnect_backoff: float = 0.05) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path or port")
         self.socket_path = socket_path
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        #: How many times this client re-established its connection.
+        self.reconnects = 0
         self._next_id = 0
-        if socket_path is not None:
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+        self._connect_with_backoff(first=True)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self.socket_path is not None:
             if not hasattr(socket, "AF_UNIX"):
                 raise ServerError(
                     protocol.INTERNAL_ERROR,
                     "Unix sockets are unavailable on this platform")
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except BaseException:
+                sock.close()
+                raise
         else:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout)
-        self._file = self._sock.makefile("rb")
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def _connect_with_backoff(self, first: bool = False) -> None:
+        """Establish (or re-establish) the connection; transient refusals
+        are retried ``reconnect_attempts`` times with exponential
+        backoff before the last error propagates."""
+        self._drop()
+        last: Optional[Exception] = None
+        for attempt in range(self.reconnect_attempts + 1):
+            if attempt:
+                time.sleep(self.reconnect_backoff * 2 ** (attempt - 1))
+            try:
+                self._connect()
+                if not first:
+                    self.reconnects += 1
+                return
+            except socket.timeout:
+                raise
+            except OSError as exc:
+                last = exc
+        raise ConnectError(
+            f"cannot connect after {self.reconnect_attempts + 1} "
+            f"attempt(s): {last}")
+
+    def _drop(self) -> None:
+        """Close the current connection, quietly."""
+        for attr in ("_file", "_sock"):
+            handle = getattr(self, attr, None)
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+                setattr(self, attr, None)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._drop()
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -60,16 +132,36 @@ class ServerClient:
     # ------------------------------------------------------------------
     def call(self, method: str, **params: Any) -> Any:
         """One request/response round-trip; raises :class:`ServerError`
-        on an error response or a dropped connection."""
+        on an error response, and reconnects (bounded, with backoff)
+        before resending when the connection itself drops."""
         self._next_id += 1
         request_id = self._next_id
         frame = protocol.encode({"id": request_id, "method": method,
                                  "params": params})
-        self._sock.sendall(frame)
-        line = self._file.readline()
-        if not line:
-            raise ServerError(protocol.INTERNAL_ERROR,
-                              "connection closed by server")
+        line = b""
+        for attempt in range(self.reconnect_attempts + 1):
+            try:
+                if self._sock is None:
+                    self._connect_with_backoff()
+                self._sock.sendall(frame)
+                line = self._file.readline()
+            except socket.timeout:
+                # The analysis may still be running server-side; a
+                # resend would double the work *and* the wait.
+                raise
+            except (ConnectionError, BrokenPipeError, OSError) as exc:
+                if attempt >= self.reconnect_attempts:
+                    raise ServerError(protocol.INTERNAL_ERROR,
+                                      f"connection lost: {exc}")
+                self._connect_with_backoff()
+                continue
+            if line:
+                break
+            # Orderly close mid-call: the daemon restarted under us.
+            if attempt >= self.reconnect_attempts:
+                raise ServerError(protocol.INTERNAL_ERROR,
+                                  "connection closed by server")
+            self._connect_with_backoff()
         response = protocol.decode(line)
         error = response.get("error")
         if error is not None:
@@ -119,6 +211,9 @@ class ServerClient:
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
 
+    def fleet_status(self) -> Dict[str, Any]:
+        return self.call("fleet_status")
+
     def shutdown(self) -> Dict[str, Any]:
         return self.call("shutdown")
 
@@ -134,7 +229,8 @@ def wait_for_server(socket_path: Optional[str] = None,
     while time.monotonic() < deadline:
         try:
             with ServerClient(socket_path=socket_path, host=host,
-                              port=port, timeout=5.0) as client:
+                              port=port, timeout=5.0,
+                              reconnect_attempts=0) as client:
                 client.ping()
                 return
         except (OSError, ServerError) as exc:

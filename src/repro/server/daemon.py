@@ -265,6 +265,7 @@ class AliasServer:
             # responses — the connection thread survives both.
             def handle(self) -> None:
                 self.request.settimeout(0.2)
+                max_bytes = alias_server.config.max_request_bytes
                 buf = b""
                 discarding = False  # inside an oversized line
                 while True:
@@ -288,6 +289,21 @@ class AliasServer:
                             continue
                         if not line.strip():
                             continue
+                        if len(line) > max_bytes:
+                            # A complete oversized line that fit in one
+                            # recv chunk (limits below the chunk size
+                            # would otherwise slip through the
+                            # buffer-growth check below).
+                            try:
+                                self.request.sendall(protocol.encode(
+                                    protocol.err(
+                                        None, protocol.REQUEST_TOO_LARGE,
+                                        "request line exceeds "
+                                        f"{max_bytes} bytes",
+                                        {"max_request_bytes": max_bytes})))
+                            except OSError:
+                                return
+                            continue
                         try:
                             response = alias_server.handle_line(line)
                         except Exception as exc:  # noqa: BLE001
@@ -298,14 +314,14 @@ class AliasServer:
                             self.request.sendall(response)
                         except OSError:
                             return
-                    if not discarding \
-                            and len(buf) > protocol.MAX_REQUEST_BYTES:
+                    if not discarding and len(buf) > max_bytes:
                         try:
                             self.request.sendall(protocol.encode(
                                 protocol.err(
                                     None, protocol.REQUEST_TOO_LARGE,
                                     "request line exceeds "
-                                    f"{protocol.MAX_REQUEST_BYTES} bytes")))
+                                    f"{max_bytes} bytes",
+                                    {"max_request_bytes": max_bytes})))
                         except OSError:
                             return
                         buf = b""

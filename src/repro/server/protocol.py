@@ -2,12 +2,26 @@
 
 A request is ``{"id": ..., "method": "...", "params": {...}}``; the
 response echoes the ``id`` with either a ``"result"`` or an ``"error"``
-object (``{"code", "message", "data"?}``) — the JSON-RPC shape without
-the envelope version field, framed by newlines so both ends can stream
-over a single connection.  All standard codes keep their JSON-RPC
-values; analysis-specific failures get codes in the implementation-
-defined ``-32000`` block so clients can tell a budget overrun from a
-genuine server bug.
+object (``{"code", "message", "data"?}``), framed by newlines so both
+ends can stream over a single connection.  All standard codes keep
+their JSON-RPC values; analysis-specific failures get codes in the
+implementation-defined ``-32000`` block so clients can tell a budget
+overrun from a genuine server bug.
+
+Requests may carry an optional ``"v"`` field naming the protocol
+version the sender speaks; a daemon that receives a mismatched version
+rejects the request with a structured :data:`VERSION_MISMATCH` error
+instead of mis-parsing it.  The fleet coordinator stamps ``"v"`` on
+every frame it forwards, so a worker from a different release refuses
+shard traffic loudly rather than answering with stale semantics.
+
+Fleet responses additionally carry a shard-aware *envelope* under the
+``"fleet"`` key of the result (:func:`with_envelope`): which worker
+answered, the shard key the request was routed by, and whether the
+answer was **rerouted** off its home shard because that shard's circuit
+breaker was open.  Rerouted answers follow the resilience ladder's
+tagged-never-cached semantics: the envelope is attached on the way out
+and never stored, so a healed shard serves untagged answers again.
 """
 
 from __future__ import annotations
@@ -33,12 +47,16 @@ BUDGET_EXCEEDED = -32001    # AnalysisBudgetExceeded during analysis
 ANALYSIS_ERROR = -32002     # target file fails to parse/normalize
 FILE_ERROR = -32003         # target file unreadable
 SHUTTING_DOWN = -32004      # request arrived while draining
-REQUEST_TOO_LARGE = -32005  # request line exceeds MAX_REQUEST_BYTES
+REQUEST_TOO_LARGE = -32005  # request line exceeds the size limit
+OVERLOADED = -32006         # admission control rejected the request
+SHARD_UNAVAILABLE = -32007  # no worker can serve the shard right now
+VERSION_MISMATCH = -32008   # request "v" differs from PROTOCOL_VERSION
 
-#: Upper bound on one request line.  A client that streams an unbounded
-#: line would otherwise grow the connection buffer without limit; the
-#: daemon answers ``REQUEST_TOO_LARGE`` and discards through the next
-#: newline instead of dying (or swallowing the memory).
+#: Default upper bound on one request line (``ServerConfig.
+#: max_request_bytes`` tunes it per daemon).  A client that streams an
+#: unbounded line would otherwise grow the connection buffer without
+#: limit; the daemon answers ``REQUEST_TOO_LARGE`` and discards through
+#: the next newline instead of dying (or swallowing the memory).
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
 
 
@@ -85,6 +103,13 @@ def validate_request(obj: Dict[str, Any]
                      ) -> Tuple[Any, str, Dict[str, Any]]:
     """``(id, method, params)`` of a request object, or
     :class:`RequestError`."""
+    version = obj.get("v")
+    if version is not None and version != PROTOCOL_VERSION:
+        raise RequestError(
+            VERSION_MISMATCH,
+            f"request speaks protocol {version!r}, "
+            f"this server speaks {PROTOCOL_VERSION}",
+            {"expected": PROTOCOL_VERSION, "got": version})
     method = obj.get("method")
     if not isinstance(method, str) or not method:
         raise RequestError(INVALID_REQUEST, "missing method")
@@ -104,3 +129,40 @@ def err(request_id: Any, code: int, message: str,
     if data is not None:
         error["data"] = data
     return {"id": request_id, "error": error}
+
+
+def envelope(worker: str, key: Optional[str] = None,
+             rerouted: bool = False,
+             home: Optional[str] = None) -> Dict[str, Any]:
+    """The shard-aware envelope the fleet coordinator attaches to
+    responses: which worker answered, the shard key the request was
+    routed by, and — when the home shard's breaker was open — the
+    worker the traffic was rerouted away from."""
+    out: Dict[str, Any] = {"worker": worker, "v": PROTOCOL_VERSION,
+                           "rerouted": bool(rerouted)}
+    if key is not None:
+        out["key"] = key
+    if rerouted and home is not None:
+        out["home"] = home
+    return out
+
+
+def with_envelope(response: Dict[str, Any],
+                  fleet: Dict[str, Any]) -> Dict[str, Any]:
+    """``response`` with the fleet envelope attached.  Results carry it
+    under ``result.fleet``; errors under ``error.data.fleet`` — either
+    way the un-enveloped payload is untouched, so stripping the key
+    recovers the worker's exact answer (the bit-identity the fleet
+    bench checks)."""
+    out = dict(response)
+    if isinstance(out.get("result"), dict):
+        result = dict(out["result"])
+        result["fleet"] = fleet
+        out["result"] = result
+    elif isinstance(out.get("error"), dict):
+        error = dict(out["error"])
+        data = dict(error.get("data") or {})
+        data["fleet"] = fleet
+        error["data"] = data
+        out["error"] = error
+    return out

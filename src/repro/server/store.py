@@ -53,6 +53,7 @@ from .protocol import (
     ANALYSIS_ERROR,
     FILE_ERROR,
     INVALID_PARAMS,
+    MAX_REQUEST_BYTES,
     RequestError,
 )
 
@@ -78,6 +79,10 @@ class ServerConfig:
     cache_dir: Optional[str] = None
     #: Re-check file mtime/hash at query time and reload on change.
     watch: bool = True
+    #: Upper bound on one request line; longer lines are rejected with
+    #: a structured ``REQUEST_TOO_LARGE`` error and the connection
+    #: resyncs at the next newline.
+    max_request_bytes: int = MAX_REQUEST_BYTES
     #: Resilience knobs (``repro serve --cluster-timeout/--retries/
     #: --degrade``).  All off by default: an un-tuned daemon fails loads
     #: exactly as before (e.g. a budget overrun stays a structured

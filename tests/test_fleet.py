@@ -1,0 +1,481 @@
+"""Fleet mode: hash ring, admission control, coordinator end to end."""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import BootstrapAnalyzer, build_payload, payload_fingerprint
+from repro.frontend import parse_program
+from repro.fleet import (
+    AdmissionController,
+    AdmissionError,
+    FleetConfig,
+    FleetCoordinator,
+    HashRing,
+    RoutingState,
+    parse_worker_addr,
+)
+from repro.server import AliasServer, ServerClient, ServerConfig, protocol
+from repro.server import wait_for_server
+from repro.server.protocol import ServerError
+
+from .test_server import DEMO, DEMO_EDITED, result_of
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_stable(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])      # insertion order irrelevant
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.node_for(k) for k in keys] == \
+            [b.node_for(k) for k in keys]
+
+    def test_every_key_lands_on_a_member(self):
+        ring = HashRing(["w0", "w1"])
+        for i in range(100):
+            assert ring.node_for(f"k{i}") in ("w0", "w1")
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.node_for("k") is None
+        assert ring.preference("k") == []
+        assert len(ring) == 0
+
+    def test_preference_starts_at_home_and_covers_all(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        for i in range(50):
+            pref = ring.preference(f"k{i}")
+            assert pref[0] == ring.node_for(f"k{i}")
+            assert sorted(pref) == ["w0", "w1", "w2", "w3"]
+
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove("w1")
+        for k in keys:
+            after = ring.node_for(k)
+            if before[k] != "w1":
+                assert after == before[k]     # untouched arcs stay put
+            else:
+                assert after != "w1"
+
+    def test_removed_keys_go_to_the_old_successor(self):
+        # The reroute invariant: when a node dies, its keys land exactly
+        # where preference() said they would.
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"key-{i}" for i in range(200)]
+        succ = {k: ring.preference(k) for k in keys}
+        ring.remove("w0")
+        for k in keys:
+            if succ[k][0] == "w0":
+                assert ring.node_for(k) == succ[k][1]
+
+    def test_add_is_idempotent_and_restores_mapping(self):
+        ring = HashRing(["w0", "w1"])
+        keys = [f"key-{i}" for i in range(200)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("w0")                        # no-op
+        assert {k: ring.node_for(k) for k in keys} == before
+        ring.remove("w0")
+        ring.add("w0")                        # heal: mapping snaps home
+        assert {k: ring.node_for(k) for k in keys} == before
+
+    def test_shares_cover_all_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"key-{i}" for i in range(300)]
+        shares = ring.shares(keys)
+        assert sum(shares.values()) == len(keys)
+        # Virtual nodes keep the distribution roughly even.
+        assert max(shares.values()) < 2 * min(shares.values())
+
+    def test_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_assign_bounds_the_busiest_node(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        weights = {f"key-{i}": 1.0 + (i % 5) for i in range(300)}
+        homes = ring.assign(weights, epsilon=0.05)
+        assert set(homes) == set(weights)
+        load = {n: 0.0 for n in ring.nodes()}
+        for key, node in homes.items():
+            load[node] += weights[key]
+        total = sum(weights.values())
+        # The bound: no node beyond (1+eps)/N of the total (plus one
+        # key of slack for the fallback path).
+        cap = 1.05 * total / 4 + max(weights.values())
+        assert max(load.values()) <= cap
+
+    def test_assign_is_deterministic_and_ring_aligned(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w1", "w0"])
+        weights = {f"key-{i}": float(1 + i % 7) for i in range(200)}
+        homes = a.assign(weights, epsilon=0.05)
+        assert homes == b.assign(weights, epsilon=0.05)
+        # A displaced key still lands on a node from its own preference
+        # list (reroutes walk the same successor order).
+        for key, node in homes.items():
+            assert node in a.preference(key)
+
+    def test_assign_with_big_slack_is_pure_consistent_hashing(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        weights = {f"key-{i}": 1.0 for i in range(100)}
+        homes = ring.assign(weights, epsilon=100.0)
+        assert homes == {k: ring.node_for(k) for k in weights}
+
+    def test_assign_empty(self):
+        assert HashRing().assign({"k": 1.0}) == {}
+        assert HashRing(["w0"]).assign({}) == {}
+
+
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_global_bound(self):
+        ctl = AdmissionController(max_inflight=2, max_per_shard=10)
+        ctl.admit("w0")
+        ctl.admit("w1")
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit("w0")
+        assert exc.value.code == protocol.OVERLOADED
+        ctl.release("w1")
+        ctl.admit("w0")                       # freed slot readmits
+
+    def test_per_shard_bound(self):
+        ctl = AdmissionController(max_inflight=100, max_per_shard=1)
+        ctl.admit("w0")
+        with pytest.raises(AdmissionError):
+            ctl.admit("w0")
+        ctl.admit("w1")                       # other shards unaffected
+
+    def test_stats(self):
+        ctl = AdmissionController(max_inflight=2, max_per_shard=2)
+        ctl.admit("w0")
+        ctl.admit("w0")
+        try:
+            ctl.admit("w0")
+        except AdmissionError:
+            pass
+        ctl.release("w0")
+        stats = ctl.stats()
+        assert stats["inflight"] == 1
+        assert stats["peak_inflight"] == 2
+        assert stats["admitted"] == 2
+        assert stats["rejected"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestWorkerAddr:
+    def test_host_port(self):
+        assert parse_worker_addr("10.0.0.5:7401") == ("10.0.0.5", 7401)
+
+    def test_bare_port(self):
+        assert parse_worker_addr("7401") == ("127.0.0.1", 7401)
+
+    def test_bad(self):
+        with pytest.raises(ValueError):
+            parse_worker_addr("nope")
+
+
+# ----------------------------------------------------------------------
+class TestRoutingState:
+    def test_keys_are_payload_fingerprints(self, demo_file):
+        """The cache-locality invariant: the coordinator's routing keys
+        must be exactly the fingerprints the workers' cluster stores key
+        their entries by."""
+        rs = RoutingState.build(demo_file, ServerConfig())
+        program = parse_program(DEMO, entry="main")
+        result = BootstrapAnalyzer(program).run()
+        expected = {payload_fingerprint(
+            build_payload(program, c, result.callgraph))
+            for c in result.clusters}
+        assert set(rs.fingerprints) == expected
+
+    def test_pointers_of_one_web_share_a_key(self, demo_file):
+        rs = RoutingState.build(demo_file, ServerConfig())
+        assert rs.key_for_pointer("p") == rs.key_for_pointer("q")
+        assert rs.key_for_pointer("t") == rs.key_for_pointer("u")
+        assert rs.key_for_pointer("p") != rs.key_for_pointer("t")
+
+    def test_stale_tracks_edits(self, demo_file):
+        rs = RoutingState.build(demo_file, ServerConfig())
+        assert not rs.stale()
+        with open(demo_file, "w") as handle:
+            handle.write(DEMO_EDITED)
+        future = time.time() + 10
+        os.utime(demo_file, (future, future))
+        assert rs.stale()
+
+    def test_serve_args_reproduce_server_config(self):
+        config = FleetConfig(server=ServerConfig(
+            max_request_bytes=123456, fscs_budget=77, watch=False))
+        args = config.serve_args()
+        assert "--max-request-bytes" in args
+        assert args[args.index("--max-request-bytes") + 1] == "123456"
+        assert args[args.index("--fscs-budget") + 1] == "77"
+        assert "--no-watch" in args
+
+
+# ----------------------------------------------------------------------
+def _start_coordinator(config):
+    coordinator = FleetCoordinator(config, port=0)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=coordinator.serve_forever,
+        kwargs={"install_signal_handlers": False, "ready": ready},
+        daemon=True)
+    thread.start()
+    assert ready.wait(120.0), "coordinator did not come up"
+    return coordinator, thread
+
+
+def _stop_coordinator(coordinator, thread):
+    coordinator.request_shutdown()
+    thread.join(60.0)
+    assert not thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One coordinator + two spawned workers, shared by the read-only
+    routing tests (worker spawns dominate the suite's cost)."""
+    config = FleetConfig(workers=2, probe_interval=0.1,
+                        breaker_reset=0.5)
+    coordinator, thread = _start_coordinator(config)
+    yield coordinator
+    _stop_coordinator(coordinator, thread)
+
+
+@pytest.fixture(scope="module")
+def fleet_demo(tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet") / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestCoordinatorRouting:
+    def test_ping_identifies_coordinator(self, fleet):
+        with ServerClient(port=fleet.port) as client:
+            result = client.ping()
+        assert result["pong"] is True
+        assert result["role"] == "coordinator"
+        assert result["workers"] == 2
+
+    def test_answers_match_single_daemon(self, fleet, fleet_demo):
+        single = AliasServer(ServerConfig())
+        with ServerClient(port=fleet.port) as client:
+            for name in ("p", "q", "r", "s", "t", "u", "v", "w"):
+                routed = client.points_to(fleet_demo, name)
+                direct = result_of(single, "points_to", file=fleet_demo,
+                                   ptr=name)
+                # Healthy answers are verbatim worker bytes: no fleet
+                # envelope, and identical content to a lone daemon.
+                assert "fleet" not in routed
+                assert routed == direct, name
+
+    def test_alias_and_whole_file_methods_route(self, fleet, fleet_demo):
+        with ServerClient(port=fleet.port) as client:
+            assert client.alias(fleet_demo, "p", "q")["may_alias"] is True
+            assert client.call("leaks",
+                               file=fleet_demo)["diagnostics"] == []
+
+    def test_clusters_spread_across_workers(self, fleet, fleet_demo):
+        with ServerClient(port=fleet.port) as client:
+            client.points_to(fleet_demo, "p")
+            status = client.fleet_status()
+        shares = status["files"][fleet_demo]["shares"]
+        assert sum(shares.values()) == \
+            status["files"][fleet_demo]["clusters"]
+        # DEMO's webs land on both workers (seed-stable split).
+        assert all(n > 0 for n in shares.values()), shares
+
+    def test_stats_aggregates_workers(self, fleet):
+        with ServerClient(port=fleet.port) as client:
+            stats = client.stats()
+        assert set(stats["workers"]) == {"w0", "w1"}
+        for worker_stats in stats["workers"].values():
+            assert "requests" in worker_stats
+
+    def test_version_mismatch_rejected(self, fleet):
+        with socket.create_connection(("127.0.0.1", fleet.port)) as s:
+            s.settimeout(30.0)
+            s.sendall(protocol.encode(
+                {"id": 1, "method": "ping", "params": {}, "v": 99}))
+            buf = b""
+            while not buf.endswith(b"\n"):
+                buf += s.recv(65536)
+        response = json.loads(buf)
+        assert response["error"]["code"] == protocol.VERSION_MISMATCH
+        assert response["error"]["data"]["expected"] == \
+            protocol.PROTOCOL_VERSION
+
+    def test_unknown_pointer_error_passes_through(self, fleet,
+                                                  fleet_demo):
+        with ServerClient(port=fleet.port) as client:
+            with pytest.raises(ServerError) as exc:
+                client.points_to(fleet_demo, "zz")
+        assert exc.value.code == protocol.INVALID_PARAMS
+
+    def test_envelope_names_worker_and_key(self, fleet_demo):
+        config = FleetConfig(workers=1, envelope_all=True)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=coordinator.port) as client:
+                result = client.points_to(fleet_demo, "p")
+            fleet_tag = result["fleet"]
+            assert fleet_tag["worker"] == "w0"
+            assert fleet_tag["rerouted"] is False
+            assert fleet_tag["key"]
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+
+class TestCoordinatorBackpressure:
+    def test_overloaded_is_structured(self, fleet_demo):
+        config = FleetConfig(workers=1, max_inflight=0)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=coordinator.port) as client:
+                assert client.ping()["pong"] is True   # local: no admit
+                with pytest.raises(ServerError) as exc:
+                    client.points_to(fleet_demo, "p")
+            assert exc.value.code == protocol.OVERLOADED
+            assert coordinator.admission.stats()["rejected"] == 1
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+
+class TestCoordinatorFaults:
+    def test_kill_reroute_heal(self, fleet_demo):
+        """The full failure story on live processes: SIGKILL a worker,
+        watch its key range reroute with tagged answers, then watch the
+        probe loop respawn it and the tags disappear."""
+        config = FleetConfig(workers=2, probe_interval=0.1,
+                             breaker_threshold=1, breaker_reset=0.2)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            names = ("p", "q", "r", "s", "t", "u", "v", "w")
+            with ServerClient(port=coordinator.port,
+                              timeout=120.0) as client:
+                baseline = {n: client.points_to(fleet_demo, n)
+                            for n in names}
+                assert all("fleet" not in r for r in baseline.values())
+
+                status = client.fleet_status()
+                victim = "w0"
+                os.kill(status["workers"][victim]["pid"], signal.SIGKILL)
+
+                rerouted = 0
+                for name in names:
+                    result = client.points_to(fleet_demo, name)
+                    tag = result.pop("fleet", None)
+                    assert result == baseline[name], name  # identical
+                    if tag is not None:
+                        assert tag["rerouted"] is True
+                        assert tag["home"] == victim
+                        assert tag["worker"] != victim
+                        rerouted += 1
+                assert rerouted > 0            # victim owned some keys
+
+                deadline = time.monotonic() + 30.0
+                healed = False
+                while time.monotonic() < deadline and not healed:
+                    time.sleep(0.2)
+                    status = client.fleet_status()
+                    healed = status["workers"][victim]["alive"] and \
+                        status["workers"][victim]["state"] == "closed"
+                assert healed, status["workers"][victim]
+
+                after = {n: client.points_to(fleet_demo, n)
+                         for n in names}
+                assert all("fleet" not in r for r in after.values())
+                assert after == baseline
+                assert status["workers"][victim]["spawns"] >= 2
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+    def test_all_workers_down_is_shard_unavailable(self, fleet_demo):
+        config = FleetConfig(workers=1, respawn=False,
+                             breaker_threshold=1, breaker_reset=3600.0,
+                             probe_interval=60.0)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=coordinator.port) as client:
+                client.points_to(fleet_demo, "p")      # warm + alive
+                status = client.fleet_status()
+                os.kill(status["workers"]["w0"]["pid"], signal.SIGKILL)
+                time.sleep(0.2)
+                with pytest.raises(ServerError) as exc:
+                    client.points_to(fleet_demo, "p")
+            assert exc.value.code == protocol.SHARD_UNAVAILABLE
+            assert exc.value.data["tried"] == ["w0"]
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+    def test_draining_coordinator_rejects_queries(self, fleet_demo):
+        config = FleetConfig(workers=1)
+        coordinator, thread = _start_coordinator(config)
+        port = coordinator.port
+        _stop_coordinator(coordinator, thread)
+        # After drain the socket is gone entirely.
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=5.0)
+
+
+class TestFleetCLI:
+    def test_fleet_serve_and_status_subprocess(self, fleet_demo):
+        """`repro fleet serve` + `repro fleet status` end to end."""
+        import re
+        import subprocess
+        import sys
+        env = dict(os.environ)
+        src_root = os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src_root)]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+               if p])
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "fleet", "serve",
+             "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True)
+        try:
+            line = ""
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if "listening on tcp:" in line or not line:
+                    break
+            match = re.search(r"tcp:[0-9.]+:(\d+)", line)
+            assert match, f"no listen line: {line!r}"
+            port = int(match.group(1))
+            wait_for_server(port=port, timeout=60.0)
+            status = subprocess.run(
+                [sys.executable, "-m", "repro", "fleet", "status",
+                 "--port", str(port)],
+                env=env, capture_output=True, text=True, timeout=60.0)
+            assert status.returncode == 0, status.stderr
+            payload = json.loads(status.stdout)
+            assert payload["role"] == "coordinator"
+            assert list(payload["workers"]) == ["w0"]
+            with ServerClient(port=port) as client:
+                client.shutdown()
+            assert proc.wait(60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(30.0)

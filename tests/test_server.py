@@ -574,6 +574,203 @@ class TestConnectionRobustness:
             assert _read_response(s)["result"]["pong"] is True
 
 
+class TestRequestSizeLimit:
+    """The oversized-request limit is per-daemon configuration, not a
+    protocol constant: a small limit must reject lines the default
+    accepts, and a raised limit must accept lines the default rejects —
+    both on a live transport, where the enforcement lives."""
+
+    @pytest.fixture()
+    def tiny_limit_daemon(self):
+        tmp = tempfile.mkdtemp(prefix="repro-srv-")
+        sock = os.path.join(tmp, "repro.sock")
+        server = AliasServer(ServerConfig(max_request_bytes=256),
+                             socket_path=sock)
+        thread = _serve_in_thread(server)
+        yield sock
+        server.request_shutdown()
+        thread.join(30.0)
+
+    def test_small_limit_rejects_below_default(self, tiny_limit_daemon):
+        # 4 KiB is far under the 4 MiB default and under one recv chunk;
+        # only the configured limit can reject it.
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.connect(tiny_limit_daemon)
+            s.settimeout(30.0)
+            s.sendall(b"x" * 4096 + b"\n")
+            err = _read_response(s)
+            assert err["error"]["code"] == protocol.REQUEST_TOO_LARGE
+            # The connection resyncs and keeps serving.
+            s.sendall(protocol.encode(
+                {"id": 2, "method": "ping", "params": {}}))
+            assert _read_response(s)["result"]["pong"] is True
+
+    def test_small_limit_still_accepts_normal_requests(
+            self, tiny_limit_daemon):
+        with ServerClient(socket_path=tiny_limit_daemon) as client:
+            assert client.ping()["pong"] is True
+
+    def test_raised_limit_accepts_above_default(self):
+        tmp = tempfile.mkdtemp(prefix="repro-srv-")
+        sock = os.path.join(tmp, "repro.sock")
+        big = 16 * 1024 * 1024
+        server = AliasServer(ServerConfig(max_request_bytes=big),
+                             socket_path=sock)
+        thread = _serve_in_thread(server)
+        try:
+            # A valid request bigger than the 4 MiB default: only the
+            # raised per-daemon limit lets it through.
+            pad = "x" * (protocol.MAX_REQUEST_BYTES + 1024)
+            with socket.socket(socket.AF_UNIX,
+                               socket.SOCK_STREAM) as s:
+                s.connect(sock)
+                s.settimeout(60.0)
+                s.sendall(protocol.encode(
+                    {"id": 3, "method": "ping",
+                     "params": {"pad": pad}}))
+                assert _read_response(s)["result"]["pong"] is True
+        finally:
+            server.request_shutdown()
+            thread.join(30.0)
+
+    def test_cli_flag_reaches_server_config(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "--port", "1", "--max-request-bytes", "512"])
+        assert args.max_request_bytes == 512
+        args = build_parser().parse_args(["serve", "--port", "1"])
+        assert args.max_request_bytes == protocol.MAX_REQUEST_BYTES
+
+
+class TestGracefulSigterm:
+    def test_sigterm_drains_inflight_concurrent_queries(self, tmp_path):
+        """SIGTERM mid-flight: every already-accepted query must still
+        get its full answer, and the daemon must exit cleanly (code 0)
+        rather than dropping connections on the floor."""
+        from repro.fleet.worker import LocalWorker
+
+        path = tmp_path / "demo.c"
+        path.write_text(DEMO)
+        worker = LocalWorker("drain-test")
+        worker.spawn()
+        try:
+            wait_for_server(port=worker.port, timeout=60.0)
+            # One ping round-trip per connection first: a bare connect
+            # can still be sitting in the TCP backlog when SIGTERM
+            # stops the accept loop (a dropped connection, not an
+            # in-flight query); an answered ping proves a handler
+            # thread owns the connection.
+            conns = []
+            for _ in range(4):
+                s = socket.create_connection(
+                    ("127.0.0.1", worker.port), timeout=60.0)
+                s.sendall(protocol.encode({"id": 0, "method": "ping"}))
+                assert _read_response(s)["result"]["pong"] is True
+                conns.append(s)
+            # The file is cold: the first query analyzes it under the
+            # per-file lock and the other three block inside their
+            # handlers, so the queries are genuinely in flight when
+            # the signal lands.
+            for s, name in zip(conns, ("q", "s", "u", "w")):
+                s.sendall(protocol.encode(
+                    {"id": 1, "method": "points_to",
+                     "params": {"file": str(path), "ptr": name}}))
+            time.sleep(0.15)                     # handlers enter handle_line
+            worker.proc.terminate()              # SIGTERM
+
+            answers, errors = [], []
+
+            def read_answer(s):
+                try:
+                    answers.append(
+                        _read_response(s)["result"]["objects"])
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=read_answer, args=(s,))
+                       for s in conns]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+            for s in conns:
+                s.close()
+            assert not errors
+            assert sorted(answers) == [["a"], ["c"], ["d"], ["e"]]
+            assert worker.proc.wait(60.0) == 0   # clean drain
+        finally:
+            worker.terminate()
+
+
+class TestClientReconnect:
+    def test_reconnects_after_daemon_restart(self, demo_file):
+        tmp = tempfile.mkdtemp(prefix="repro-srv-")
+        sock = os.path.join(tmp, "repro.sock")
+        first = AliasServer(ServerConfig(), socket_path=sock)
+        thread = _serve_in_thread(first)
+        client = ServerClient(socket_path=sock,
+                              reconnect_backoff=0.05)
+        try:
+            assert client.points_to(demo_file, "q")["objects"] == ["a"]
+            first.request_shutdown()
+            thread.join(30.0)
+            second = AliasServer(ServerConfig(), socket_path=sock)
+            thread = _serve_in_thread(second)
+            try:
+                # Same client object: the dead connection is replaced
+                # transparently and the query is resent.
+                assert client.points_to(demo_file,
+                                        "q")["objects"] == ["a"]
+                assert client.reconnects >= 1
+            finally:
+                second.request_shutdown()
+                thread.join(30.0)
+        finally:
+            client.close()
+
+    def test_initial_connect_retries_with_backoff(self, demo_file):
+        tmp = tempfile.mkdtemp(prefix="repro-srv-")
+        sock = os.path.join(tmp, "repro.sock")
+        server = AliasServer(ServerConfig(), socket_path=sock)
+        holder = {}
+
+        def late_start():
+            time.sleep(0.3)
+            holder["thread"] = _serve_in_thread(server)
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        try:
+            # The daemon does not exist yet; the constructor's bounded
+            # backoff must ride out the gap.
+            with ServerClient(socket_path=sock, reconnect_attempts=20,
+                              reconnect_backoff=0.05) as client:
+                assert client.ping()["pong"] is True
+        finally:
+            starter.join(30.0)
+            server.request_shutdown()
+            holder["thread"].join(30.0)
+
+    def test_no_retry_without_attempts(self, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        with pytest.raises(ServerError):
+            ServerClient(socket_path=sock, reconnect_attempts=0)
+
+    def test_timeout_is_never_retried(self, unix_daemon, tmp_path):
+        _server, sock = unix_daemon
+        big = tmp_path / "big.c"
+        from repro.bench.synth import SynthConfig, generate_source
+        big.write_text(generate_source(
+            SynthConfig(name="slow", pointers=160)))
+        client = ServerClient(socket_path=sock, timeout=0.05)
+        try:
+            with pytest.raises(socket.timeout):
+                client.points_to(str(big), "w0p0")   # cold load >> 50ms
+            assert client.reconnects == 0            # no resend
+        finally:
+            client.close()
+
+
 class TestDegradedAnswers:
     """With faults injected and degradation on, the daemon returns
     partial (sound, coarser) results plus structured warnings instead of
