@@ -15,6 +15,13 @@ from .constraints import (
     points_to_atom,
     same_object_atom,
 )
+from .cutshortcut import (
+    DEFAULT_SOURCE_BOUND,
+    CutShortcut,
+    CutShortcutResult,
+    CutShortcutTransform,
+    RetSummary,
+)
 from .dataflow import ForwardDataflow, Supergraph
 from .demand import DemandAndersen, demand_points_to
 from .demand_engine import (
@@ -39,6 +46,12 @@ from .oracle import (
     execute_taint,
 )
 from .steensgaard import Steensgaard, SteensgaardResult
+from .steensgaard_fs import (
+    DEFAULT_SHARING_BOUND,
+    SteensgaardFS,
+    SteensgaardFSResult,
+    field_key,
+)
 from .summaries import (
     AddrTerm,
     DerefTerm,
@@ -55,10 +68,14 @@ __all__ = [
     "Andersen", "AndersenResult", "AddrTerm", "Atom", "ClusterFSCS",
     "ConcreteExecutor", "ConcreteHeapExecutor", "ConcreteLockExecutor",
     "ConcreteTaintExecutor", "Constraint",
+    "CutShortcut", "CutShortcutResult", "CutShortcutTransform",
+    "DEFAULT_SOURCE_BOUND", "RetSummary",
     "DemandAndersen", "DemandEngine", "DemandResult", "DemandView",
     "DerefTerm", "EngineStats", "FSCI", "FSCIResult", "demand_points_to",
     "ForwardDataflow", "MapPointsTo", "MustAlias", "MustAliasResult", "NULL_MARKER", "NullTerm", "ObjTerm", "OneFlow", "null_atom",
     "OracleResult", "PointerAnalysis", "PointsToResult", "SatOracle",
+    "DEFAULT_SHARING_BOUND", "SteensgaardFS", "SteensgaardFSResult",
+    "field_key",
     "Steensgaard", "SteensgaardResult", "SummaryEngine", "SummaryTuple",
     "Supergraph", "TRUE", "Term", "UnionFind", "UnknownTerm", "conjoin",
     "execute", "execute_heap", "execute_lock_orders", "execute_taint",

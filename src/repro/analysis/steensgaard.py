@@ -299,6 +299,20 @@ class SteensgaardResult(PointsToResult):
         succ = self._edges.get(key)
         return None if succ is None else self._parts[succ]
 
+    def pointee_keys(self, p: MemObject) -> Tuple[_Key, ...]:
+        """Partition keys of the cells ``*p`` may denote.  The classic
+        class graph has out-degree at most one, so this is a zero- or
+        one-element tuple; the field-sensitive result overrides it with
+        the full successor set.  ``core/relevant.py`` indexes stores
+        under every key."""
+        key = self._part_of.get(p)
+        if key is None:
+            return ()
+        if key in self._selfloops:
+            return (key,)
+        succ = self._edges.get(key)
+        return () if succ is None else (succ,)
+
     def is_cyclic_partition(self, p: MemObject) -> bool:
         """True when ``p``'s partition points to itself (the paper's
         ``q = ~q`` case)."""

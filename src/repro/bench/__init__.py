@@ -1,5 +1,6 @@
 """Benchmark workloads and harnesses for the paper's tables and figures."""
 
+from .cascade import run_cascade_bench
 from .corpus import (
     HIGHLIGHTS,
     PAPER_BY_NAME,
@@ -8,6 +9,8 @@ from .corpus import (
     autofs_like,
     build,
     corpus_configs,
+    fp_heavy,
+    fp_heavy_config,
 )
 from .demand import run_demand_bench
 from .figure1 import Figure1Data, compute_figure1, run_figure1
@@ -32,8 +35,10 @@ __all__ = [
     "HIGHLIGHTS", "PAPER_BY_NAME", "PAPER_TABLE1", "PaperRow", "TIMEOUT",
     "Table1Row", "Timed", "Figure1Data", "SynthConfig", "SynthProgram",
     "ascii_histogram", "autofs_like", "build", "compute_figure1",
-    "corpus_configs", "format_csv", "format_table", "generate",
-    "generate_source", "measure_program", "ratio", "run_demand_bench",
+    "corpus_configs", "format_csv", "format_table", "fp_heavy",
+    "fp_heavy_config", "generate",
+    "generate_source", "measure_program", "ratio", "run_cascade_bench",
+    "run_demand_bench",
     "run_figure1", "run_kernel_bench",
     "run_parallel_bench", "run_resilience_bench", "run_table1",
     "run_taint_bench",

@@ -1,0 +1,261 @@
+"""Cascade-stage benchmark: what the two new stages buy.
+
+Two questions, both answered on the corpus and recorded in
+``BENCH_cascade.json`` for CI to gate and archive:
+
+* **Field-sensitive clustering** — on the largest corpus program
+  (sendmail), does swapping classic Steensgaard for the
+  field-sensitive variant shrink the cluster-size distribution
+  (p50/p95/max) without making end-to-end analysis slower?  The win
+  comes from write-mostly per-field registry cells (the normalizer's
+  struct-flattening shape) that classic unification gleefully merges.
+* **Cut-shortcut resolution** — on the function-pointer-dense
+  ``fp_heavy`` workload, do the Andersen and cut-shortcut stages
+  resolve every seeded indirect call site to exactly the generator's
+  sampled callee set (:attr:`~repro.bench.synth.SynthProgram.fp_truth`),
+  and does the cut-shortcut stage shrink points-to sets at all?
+
+The gate compares machine-independent numbers only (size ratios,
+resolution rates); wall-clock is recorded for the table but gated as a
+same-machine ratio between the two configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.andersen import Andersen
+from ..analysis.cutshortcut import CutShortcut
+from ..ir import Var
+from .corpus import PAPER_TABLE1, build, fp_heavy
+from .metrics import format_table
+
+#: Largest corpus program by the paper's pointer count (sendmail).
+LARGEST = max(PAPER_TABLE1, key=lambda r: r.pointers).name
+
+
+def _variant(program, threshold: int, clustering: str,
+             cutshortcut: bool, sharing_bound: int) -> Dict[str, Any]:
+    # Imported here: repro.core.report pulls in bench.metrics, so a
+    # module-level import would close an import cycle through this file.
+    from ..core import BootstrapAnalyzer, BootstrapConfig, CascadeConfig
+    from ..core.report import size_summary
+    config = BootstrapConfig(cascade=CascadeConfig(
+        andersen_threshold=threshold, clustering=clustering,
+        sharing_bound=sharing_bound, cutshortcut=cutshortcut))
+    t0 = time.perf_counter()
+    boot = BootstrapAnalyzer(program, config).run()
+    cascade_seconds = time.perf_counter() - t0
+    boot.analyze_all(backend="simulate")
+    end_to_end = time.perf_counter() - t0
+    cascade = boot.cascade
+    partition_sizes = [len(p) for p in cascade.steensgaard.partitions()]
+    cluster_sizes = [c.size for c in cascade.clusters]
+    out: Dict[str, Any] = {
+        "clustering": clustering,
+        "cutshortcut": cutshortcut,
+        "partitions": {"count": len(partition_sizes),
+                       **size_summary(partition_sizes)},
+        "clusters": {"count": len(cluster_sizes),
+                     **size_summary(cluster_sizes)},
+        "cascade_seconds": cascade_seconds,
+        "end_to_end_seconds": end_to_end,
+    }
+    stats = getattr(cascade.steensgaard, "sharing_stats", None)
+    if callable(stats):
+        out["sharing"] = stats()
+    return out
+
+
+def _fp_resolution(scale: float) -> Dict[str, Any]:
+    sp = fp_heavy(scale=scale)
+    program = sp.program
+    analyses = {
+        "andersen": Andersen(program).run(),
+        "cutshortcut": CutShortcut(program).run(),
+    }
+    out: Dict[str, Any] = {"sites": len(sp.fp_truth)}
+    for label, result in analyses.items():
+        exact = 0
+        sound = 0
+        for entry in sp.fp_truth:
+            fp = Var(str(entry["site"]))
+            resolved = {o.name for o in result.points_to(fp)
+                        if isinstance(o, Var)}
+            truth = set(entry["targets"])  # type: ignore[arg-type]
+            if truth <= resolved:
+                sound += 1
+            if resolved == truth:
+                exact += 1
+        n = max(1, len(sp.fp_truth))
+        out[label] = {"exact": exact, "sound": sound,
+                      "exact_ratio": exact / n, "sound_ratio": sound / n}
+    # How much the cut-shortcut rewrite tightens points-to overall.
+    anders, cs = analyses["andersen"], analyses["cutshortcut"]
+    shrunk = sum(1 for p in program.pointers
+                 if cs.points_to(p) < anders.points_to(p))
+    out["pointers_shrunk_by_cutshortcut"] = shrunk
+    return out
+
+
+def run_cascade_bench(name: str = LARGEST, scale: float = 0.02,
+                      sharing_bound: int = 8,
+                      fp_scale: float = 0.05,
+                      verbose: bool = False) -> Dict[str, Any]:
+    """Measure both new stages; JSON-safe result."""
+    sp = build(name, scale=scale)
+    program = sp.program
+    threshold = max(6, int(60 * scale))
+    variants: Dict[str, Any] = {}
+    for label, clustering, cut in (
+            ("classic", "steensgaard", False),
+            ("fs", "steensgaard_fs", False),
+            ("fs_cutshortcut", "steensgaard_fs", True)):
+        variants[label] = _variant(program, threshold, clustering, cut,
+                                   sharing_bound)
+        if verbose:
+            v = variants[label]
+            print(f"  [{name}] {label}: partitions "
+                  f"p95={v['partitions']['p95']} max={v['partitions']['max']}"
+                  f", clusters p95={v['clusters']['p95']} "
+                  f"max={v['clusters']['max']}, "
+                  f"{v['end_to_end_seconds']:.2f}s end-to-end",
+                  file=sys.stderr)
+    fp = _fp_resolution(fp_scale)
+    if verbose:
+        print(f"  [fp_heavy] {fp['sites']} sites: andersen exact "
+              f"{fp['andersen']['exact_ratio']:.0%}, cutshortcut exact "
+              f"{fp['cutshortcut']['exact_ratio']:.0%}, "
+              f"{fp['pointers_shrunk_by_cutshortcut']} pointer(s) "
+              f"tightened", file=sys.stderr)
+    classic, fs = variants["classic"], variants["fs"]
+    time_ratio = (fs["end_to_end_seconds"] / classic["end_to_end_seconds"]
+                  if classic["end_to_end_seconds"] else 1.0)
+    return {
+        "program": name, "scale": scale, "sharing_bound": sharing_bound,
+        "pointers": len(program.pointers),
+        "variants": variants,
+        "fs_vs_classic_time_ratio": time_ratio,
+        "fp_heavy": fp,
+    }
+
+
+def check_gate(current: Dict[str, Any], baseline: Dict[str, Any],
+               tolerance: float = 0.2) -> List[str]:
+    """Soft regression gate against a committed baseline JSON.
+
+    Three machine-independent checks: the field-sensitive p95 cluster
+    size must not exceed the classic one (the stage's raison d'être),
+    the fp-heavy resolution rates must not drop below the baseline's
+    (minus ``tolerance``), and the fs/classic end-to-end time ratio —
+    a same-machine ratio, so comparable across hosts — must not grow
+    past the baseline's ratio by more than ``tolerance``.
+    """
+    failures: List[str] = []
+    if current.get("program") != baseline.get("program"):
+        failures.append(
+            f"program mismatch: current {current.get('program')!r} vs "
+            f"baseline {baseline.get('program')!r} (pass matching "
+            "--program/--scale to compare)")
+        return failures
+    variants = current.get("variants", {})
+    for section in ("partitions", "clusters"):
+        classic = variants.get("classic", {}).get(section, {})
+        fs = variants.get("fs", {}).get(section, {})
+        if fs.get("p95", 0) > classic.get("p95", 0):
+            failures.append(
+                f"fs {section} p95 {fs.get('p95')} exceeds classic "
+                f"{classic.get('p95')} — field-sensitive clustering "
+                "stopped refining")
+    for label in ("andersen", "cutshortcut"):
+        cur = current.get("fp_heavy", {}).get(label, {})
+        base = baseline.get("fp_heavy", {}).get(label, {})
+        for key in ("exact_ratio", "sound_ratio"):
+            floor = base.get(key, 0.0) * (1.0 - tolerance)
+            if cur.get(key, 0.0) < floor:
+                failures.append(
+                    f"fp_heavy {label} {key}: {cur.get(key, 0.0):.0%} "
+                    f"fell below {floor:.0%} (baseline "
+                    f"{base.get(key, 0.0):.0%} - {tolerance:.0%})")
+    base_ratio = baseline.get("fs_vs_classic_time_ratio")
+    cur_ratio = current.get("fs_vs_classic_time_ratio")
+    if base_ratio is not None and cur_ratio is not None:
+        ceiling = base_ratio * (1.0 + tolerance)
+        if cur_ratio > ceiling:
+            failures.append(
+                f"fs_vs_classic_time_ratio: {cur_ratio:.2f} rose above "
+                f"{ceiling:.2f} (baseline {base_ratio:.2f} + "
+                f"{tolerance:.0%})")
+    return failures
+
+
+def render(data: Dict[str, Any]) -> str:
+    rows = []
+    for label, v in data["variants"].items():
+        rows.append([label,
+                     str(v["partitions"]["count"]),
+                     str(v["partitions"]["p95"]),
+                     str(v["clusters"]["p50"]),
+                     str(v["clusters"]["p95"]),
+                     str(v["clusters"]["max"]),
+                     f"{v['end_to_end_seconds']:.2f}"])
+    table = format_table(
+        ["variant", "parts", "part p95", "cl p50", "cl p95", "cl max",
+         "end-to-end (s)"], rows,
+        title=f"Cascade stages ({data['program']}, scale={data['scale']})")
+    fp = data["fp_heavy"]
+    return (table + "\n\n"
+            f"fp_heavy ({fp['sites']} sites): andersen exact "
+            f"{fp['andersen']['exact_ratio']:.0%}, cutshortcut exact "
+            f"{fp['cutshortcut']['exact_ratio']:.0%}, "
+            f"{fp['pointers_shrunk_by_cutshortcut']} pointer(s) tightened "
+            f"by cut-shortcut")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the field-sensitive clustering and "
+                    "cut-shortcut cascade stages")
+    parser.add_argument("--program", default=LARGEST,
+                        help=f"corpus program name (default {LARGEST}, "
+                             "the largest)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="program size fraction (default 0.02)")
+    parser.add_argument("--fp-scale", type=float, default=0.05,
+                        help="fp_heavy workload scale (default 0.05)")
+    parser.add_argument("--sharing-bound", type=int, default=8)
+    parser.add_argument("--out", default="BENCH_cascade.json",
+                        help="output JSON path (default BENCH_cascade.json)")
+    parser.add_argument("--gate", metavar="BASELINE",
+                        help="compare against a baseline BENCH_cascade.json "
+                             "and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drift from the baseline "
+                             "ratios (default 0.2)")
+    args = parser.parse_args(argv)
+    data = run_cascade_bench(name=args.program, scale=args.scale,
+                             sharing_bound=args.sharing_bound,
+                             fp_scale=args.fp_scale, verbose=True)
+    with open(args.out, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(data))
+    print(f"\nwritten to {args.out}")
+    if args.gate:
+        with open(args.gate) as handle:
+            baseline = json.load(handle)
+        failures = check_gate(data, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -86,6 +86,11 @@ def _config_for(row: PaperRow, scale: float) -> SynthConfig:
         overlap=overlap,
         lock_count=2 if row.kloc >= 8 else 1,
         fp_sites=1 if row.kloc >= 15 else 0,
+        # Struct-heavy programs carry write-mostly per-field registry
+        # cells (normalize.py's flattening shape); scale the count with
+        # program size so the field-sensitive clustering stage has the
+        # oversharing pattern it exists to split.
+        field_webs=max(2, pointers // 60) if row.kloc >= 8 else 0,
         # zlib.crc32, not hash(): str hashing is salted by PYTHONHASHSEED,
         # which made every interpreter generate a *different* corpus
         # program for the same name — unreproducible benches and a
@@ -110,3 +115,32 @@ def build(name: str, scale: float = 0.1) -> SynthProgram:
 def autofs_like(scale: float = 0.25) -> SynthProgram:
     """The Figure 1 subject (cluster-size frequency histogram)."""
     return build("autofs", scale)
+
+
+def fp_heavy_config(scale: float = 0.1) -> SynthConfig:
+    """A function-pointer-dense workload (ROADMAP item 5's leftover).
+
+    Modeled on callback-table programs (icecast/mt-daapd style): many
+    indirect call sites whose generator-sampled targets are recorded as
+    :attr:`SynthProgram.fp_truth`, so benches can check that the
+    Andersen and cut-shortcut stages resolve each site to exactly the
+    seeded callee set.
+    """
+    pointers = max(60, int(4000 * scale))
+    return SynthConfig(
+        name="fp_heavy",
+        pointers=pointers,
+        functions=24,
+        kloc=30.0,
+        hub_fractions=(0.12,),
+        overlap=0.4,
+        lock_count=1,
+        fp_sites=max(4, pointers // 40),
+        field_webs=max(2, pointers // 80),
+        seed=zlib.crc32(b"fp_heavy") % (2 ** 31),
+    )
+
+
+def fp_heavy(scale: float = 0.1) -> SynthProgram:
+    """Build the fp-heavy workload at ``scale``."""
+    return generate(fp_heavy_config(scale))

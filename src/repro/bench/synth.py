@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir import Program, ProgramBuilder, Var
+from ..ir import Program, ProgramBuilder, Var, param_var
 from ..ir.builder import FunctionBuilder
 
 
@@ -49,6 +49,7 @@ class SynthConfig:
     depth: int = 2                 # extra pointer-indirection levels
     lock_count: int = 0            # lock pointers + lock()/unlock() calls
     fp_sites: int = 0              # function-pointer call sites
+    field_webs: int = 0            # write-mostly per-field registry webs
     taint_webs: int = 0            # seeded source->...->sink chains
     leak_webs: int = 0             # allocation webs (leaked/freed/escaped)
     deadlock_pairs: int = 0        # two-thread lock pairs (cyclic or not)
@@ -78,6 +79,11 @@ class SynthProgram:
     deadlock_truth: List[Dict[str, object]] = field(default_factory=list)
     #: Spawned thread entry functions (deadlock pairs register two each).
     thread_entries: List[str] = field(default_factory=list)
+    #: Ground truth for function-pointer sites: one entry per site with
+    #: the pointer name and the sampled callee set (what a sound
+    #: indirect-call resolution must report, and what a precise one
+    #: reports exactly).
+    fp_truth: List[Dict[str, object]] = field(default_factory=list)
 
 
 class _Gen:
@@ -96,6 +102,7 @@ class _Gen:
         self.leak_truth: List[Dict[str, object]] = []
         self.deadlock_truth: List[Dict[str, object]] = []
         self.thread_entries: List[str] = []
+        self.fp_truth: List[Dict[str, object]] = []
         self._uid = 0
 
     # -- plumbing ----------------------------------------------------------
@@ -200,6 +207,42 @@ class _Gen:
         self.hub_sizes.append(created)
         self.web_count += 1
         return created + n_chains
+
+    def field_web(self, index: int) -> int:
+        """A write-mostly per-field registry cell, the shape
+        ``frontend/normalize.py`` produces for struct-field stores
+        (``Store($fld$S$f, src)`` against ``AllocSite("field:S.f")``).
+
+        One heap registry cell collects addresses from several producer
+        sites and is almost never read back — the real-code pattern
+        (callback tables, sysctl/device registries) where unification
+        overshares: classic Steensgaard merges every producer's pointee
+        class through the cell, while the field-sensitive variant defers
+        the store joins until a load observes the cell.  A minority of
+        webs (every fourth) do load the registry, which collapses the
+        deferral there — keeping the corpus honest about read-back.
+        """
+        rng = self.rng
+        wid = self.uid()
+        funcs = self.pick_funcs(rng.randint(1, 2))
+        reg = f"fw{wid}reg"
+        self.builder.global_var(reg)
+        self.em(rng.choice(funcs)).alloc(reg, f"field:reg.f{wid}")
+        n_src = rng.randint(4, 9)
+        created = 1
+        for i in range(n_src):
+            f = self.em(rng.choice(funcs))
+            obj, src = f"fw{wid}o{i}", f"fw{wid}s{i}"
+            self.builder.global_var(obj)
+            self.builder.global_var(src)
+            f.addr(src, obj)
+            f.store(reg, src)
+            created += 2
+        if index % 4 == 3:
+            self.em(rng.choice(funcs)).load(f"fw{wid}ld", reg)
+            created += 1
+        self.web_count += 1
+        return created
 
     def lock_web(self, index: int) -> int:
         """A lock pointer guarding a shared counter (drives the race
@@ -350,29 +393,49 @@ class _Gen:
         return 4  # two lock pointers + two function pointers
 
     def interprocedural_flows(self) -> int:
-        """Route some pointers through parameters and returns."""
+        """Route some pointers through parameters and returns.
+
+        Every other flow is *identity-style*: a dedicated leaf callee
+        (think getter/identity wrapper) returns its first parameter and
+        the caller passes a site-local pointer.  A small pool of such
+        callees makes several sites share one, so any
+        context-insensitive analysis conflates the sites' return values
+        through the shared conduits — the pattern the cut-shortcut
+        transformation exists to split.  The remaining flows route
+        through a global, which no return summary can shortcut
+        (heap-tainted), keeping both sides of that distinction in every
+        generated program.
+        """
         rng = self.rng
         created = 0
         n_flows = max(1, len(self.fnames) // 3)
+        id_pool = max(1, n_flows // 3)
         for i in range(n_flows):
-            callee = rng.choice(self.fnames)
+            if i % 2:
+                callee = f"idw{(i // 2) % id_pool}"
+                if callee not in self.emitters:
+                    ce = self.em(callee)
+                    ce.copy(ce.fn.retval, param_var(callee, 0))
+            else:
+                callee = rng.choice(self.fnames)
             caller = rng.choice([f for f in self.fnames if f != callee]
                                 or self.fnames)
             wid = self.uid()
             tgt, arg, out = f"ip{wid}t", f"ip{wid}a", f"ip{wid}r"
             for g in (tgt, arg, out):
                 self.builder.global_var(g)
-            ce = self.em(callee)
-            ce.copy(f"$ipin{wid}", arg)
-            ce.copy(ce.fn.retval, f"$ipin{wid}")
             ca = self.em(caller)
             ca.addr(arg, tgt)
+            if not i % 2:
+                ce = self.em(callee)
+                ce.copy(f"$ipin{wid}", arg)
+                ce.copy(ce.fn.retval, f"$ipin{wid}")
             # caller/callee are random picks, so this edge can close a
             # call cycle; guard it like the cross edges in
             # build_callgraph so every cycle keeps a base case.
             with ca.branch() as br:
                 with br.then():
-                    ca.call(callee, [], ret=out)
+                    ca.call(callee, [arg] if i % 2 else [], ret=out)
             created += 3
         return created
 
@@ -435,6 +498,8 @@ class _Gen:
         for frac in cfg.hub_fractions:
             size = max(8, int(cfg.pointers * frac))
             budget -= self.hub_web(size)
+        for i in range(cfg.field_webs):
+            budget -= self.field_web(i)
         for i in range(cfg.lock_count):
             budget -= self.lock_web(i)
         budget -= self.interprocedural_flows()
@@ -444,13 +509,18 @@ class _Gen:
         if cfg.fp_sites and len(self.fnames) >= 2:
             rng = self.rng
             for i in range(cfg.fp_sites):
-                caller = self.em(rng.choice(self.fnames))
+                caller_name = rng.choice(self.fnames)
+                caller = self.em(caller_name)
                 fp = f"fp{i}"
                 self.builder.global_var(fp)
-                for target in rng.sample(self.fnames,
-                                         min(2, len(self.fnames))):
+                targets = rng.sample(self.fnames, min(2, len(self.fnames)))
+                for target in targets:
                     caller.addr(fp, Var(target))
                 caller.call_indirect(fp)
+                self.fp_truth.append({
+                    "site": fp, "caller": caller_name,
+                    "targets": sorted(targets),
+                })
         for name, fb in self.emitters.items():
             self.builder._functions[name] = fb.finish()
         program = self.builder.build(entry="main")
@@ -466,7 +536,8 @@ class _Gen:
                             taint_truth=self.taint_truth,
                             leak_truth=self.leak_truth,
                             deadlock_truth=self.deadlock_truth,
-                            thread_entries=self.thread_entries)
+                            thread_entries=self.thread_entries,
+                            fp_truth=self.fp_truth)
 
 
 def generate(config: SynthConfig) -> SynthProgram:

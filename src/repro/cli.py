@@ -94,7 +94,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     program = _load(args.file, args.entry)
     config = BootstrapConfig(
         cascade=CascadeConfig(andersen_threshold=args.threshold,
-                              use_oneflow=args.oneflow),
+                              use_oneflow=args.oneflow,
+                              clustering=args.clustering,
+                              sharing_bound=args.sharing_bound,
+                              cutshortcut=args.cutshortcut),
         parts=args.parts,
         fscs_budget=args.fscs_budget)
     result = BootstrapAnalyzer(program, config).run()
@@ -171,12 +174,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from .core import cascade_summary
         print(json.dumps(cascade_summary(result), indent=2, sort_keys=True))
     if args.dot:
-        from .analysis import Andersen, Steensgaard
+        from .analysis import Andersen, CutShortcut, Steensgaard, SteensgaardFS
         from .ir import andersen_dot, callgraph_dot, steensgaard_dot
+        from .ir.dot import cutshortcut_dot
         if args.dot == "steensgaard":
             print(steensgaard_dot(Steensgaard(program).run()))
+        elif args.dot == "steensgaard-fs":
+            print(steensgaard_dot(
+                SteensgaardFS(program,
+                              sharing_bound=args.sharing_bound).run()))
         elif args.dot == "andersen":
             print(andersen_dot(Andersen(program).run()))
+        elif args.dot == "cutshortcut":
+            print(cutshortcut_dot(CutShortcut(program).run()))
         else:
             print(callgraph_dot(program))
     return 0
@@ -445,6 +455,8 @@ def _server_config(args: argparse.Namespace) -> "ServerConfig":
     from .server import ServerConfig
     return ServerConfig(
         entry=args.entry, threshold=args.threshold, oneflow=args.oneflow,
+        clustering=args.clustering, sharing_bound=args.sharing_bound,
+        cutshortcut=args.cutshortcut,
         parts=args.parts, backend=args.backend, jobs=args.jobs,
         scheduler=args.scheduler, fscs_budget=args.fscs_budget,
         max_clusters=args.max_clusters, max_files=args.max_files,
@@ -690,6 +702,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Andersen threshold (paper: 60)")
     p.add_argument("--oneflow", action="store_true",
                    help="insert the One-Flow cascade stage")
+    p.add_argument("--clustering",
+                   choices=["steensgaard", "steensgaard_fs"],
+                   default="steensgaard",
+                   help="first-stage unification: classic Steensgaard "
+                        "or the field-sensitive variant (finer "
+                        "partitions at the same cost regime)")
+    p.add_argument("--sharing-bound", type=int, default=8, metavar="N",
+                   help="field slots per class before steensgaard_fs "
+                        "collapses to classic behaviour (default 8)")
+    p.add_argument("--cutshortcut", action="store_true",
+                   help="apply the cut-shortcut transformation to the "
+                        "Andersen stage (cheap context sensitivity "
+                        "for return-value flow)")
     p.add_argument("--parts", type=int, default=5)
     p.add_argument("--aliases", nargs=2, metavar=("P", "Q"),
                    help="query may-alias of two pointers")
@@ -736,7 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a markdown analysis report")
     p.add_argument("--json", action="store_true",
                    help="print the analysis summary as JSON")
-    p.add_argument("--dot", choices=["steensgaard", "andersen", "callgraph"],
+    p.add_argument("--dot",
+                   choices=["steensgaard", "steensgaard-fs", "andersen",
+                            "cutshortcut", "callgraph"],
                    help="emit a Graphviz view of the chosen structure")
     p.set_defaults(func=cmd_analyze)
 
@@ -869,6 +896,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--entry", default="main")
         p.add_argument("--threshold", type=int, default=60)
         p.add_argument("--oneflow", action="store_true")
+        p.add_argument("--clustering",
+                       choices=["steensgaard", "steensgaard_fs"],
+                       default="steensgaard")
+        p.add_argument("--sharing-bound", type=int, default=8,
+                       metavar="N")
+        p.add_argument("--cutshortcut", action="store_true")
         p.add_argument("--parts", type=int, default=5)
         p.add_argument("--backend",
                        choices=["simulate", "threads", "processes"],

@@ -58,8 +58,10 @@ from .report import (
     dedup_diagnostics,
     diagnostics_to_dict,
     diagnostics_to_sarif,
+    percentile,
     render_diagnostics_text,
     render_report,
+    size_summary,
     suppress_diagnostics,
 )
 from .relevant import RelevantSlice, dovetail_schedule, relevant_statements
@@ -81,6 +83,6 @@ __all__ = [
     "cluster_subprogram", "demand_alias_sets", "greedy_parts", "lpt_parts",
     "payload_fingerprint", "resolve_pointer", "schedule_indices",
     "cascade_summary", "context_count", "dedup_diagnostics",
-    "diagnostics_to_dict", "diagnostics_to_sarif", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "render_diagnostics_text", "render_report", "run_cascade",
+    "diagnostics_to_dict", "diagnostics_to_sarif", "dovetail_schedule", "context_sensitivity_gain", "enumerate_contexts", "oneflow_refine", "points_to_by_context", "relevant_statements", "percentile", "render_diagnostics_text", "render_report", "run_cascade", "size_summary",
     "select_clusters", "suppress_diagnostics",
 ]

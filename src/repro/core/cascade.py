@@ -21,7 +21,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
+from ..analysis.cutshortcut import (
+    DEFAULT_SOURCE_BOUND,
+    CutShortcutTransform,
+)
 from ..analysis.steensgaard import Steensgaard, SteensgaardResult
+from ..analysis.steensgaard_fs import DEFAULT_SHARING_BOUND, SteensgaardFS
 from ..ir import MemObject, Program, Var
 from .clusters import (
     DEFAULT_ANDERSEN_THRESHOLD,
@@ -54,6 +59,18 @@ class CascadeConfig:
     #: Solve the Andersen stage with the bitmask kernel backend
     #: (``False`` = frozenset reference backend; identical results).
     use_kernel: bool = True
+    #: First-stage unification: ``"steensgaard"`` (classic) or
+    #: ``"steensgaard_fs"`` (field-sensitive without oversharing —
+    #: strictly finer partitions, same linear cost regime).
+    clustering: str = "steensgaard"
+    #: Field-slot cap per class for ``steensgaard_fs`` (beyond it the
+    #: class collapses to classic single-cell behaviour).
+    sharing_bound: int = DEFAULT_SHARING_BOUND
+    #: Apply the cut-shortcut transformation to every Andersen-stage
+    #: slice — cheap context sensitivity for return-value flow.
+    cutshortcut: bool = False
+    #: Return-summary size cap for the cut-shortcut stage.
+    source_bound: int = DEFAULT_SOURCE_BOUND
 
 
 @dataclass
@@ -96,9 +113,17 @@ def run_cascade(program: Program,
                 steens: Optional[SteensgaardResult] = None) -> CascadeResult:
     """Execute the cascade and return its clusters."""
     config = config or CascadeConfig()
+    if config.clustering not in ("steensgaard", "steensgaard_fs"):
+        raise ValueError(f"unknown clustering stage: {config.clustering!r}")
     t0 = time.perf_counter()
     if steens is None:
-        steens = Steensgaard(program).run()
+        if config.clustering == "steensgaard_fs":
+            steens = SteensgaardFS(
+                program, sharing_bound=config.sharing_bound).run()
+        else:
+            steens = Steensgaard(program).run()
+    transform = (CutShortcutTransform.of(program, config.source_bound)
+                 if config.cutshortcut else None)
     partitioning = Partitioning(program, steens)
     partitions = partitioning.pointer_partitions()
     partition_time = time.perf_counter() - t0
@@ -127,7 +152,8 @@ def run_cascade(program: Program,
                     next_groups.extend(andersen_refine(
                         program, steens, g, g_slice,
                         cycle_elimination=config.cycle_elimination,
-                        use_kernel=config.use_kernel))
+                        use_kernel=config.use_kernel,
+                        transform=transform))
                     origin = "andersen"
                 else:
                     next_groups.append(g)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, List, Optional, Set
 
 from ..analysis.andersen import Andersen, AndersenResult
+from ..analysis.cutshortcut import CutShortcutTransform
 from ..analysis.oneflow import OneFlow
 from ..analysis.steensgaard import SteensgaardResult
 from ..ir import Loc, MemObject, Program, Var
@@ -57,16 +58,23 @@ def andersen_refine(program: Program, steens: SteensgaardResult,
                     partition: FrozenSet[MemObject],
                     slice_: Optional[RelevantSlice] = None,
                     cycle_elimination: bool = True,
-                    use_kernel: bool = True
+                    use_kernel: bool = True,
+                    transform: Optional["CutShortcutTransform"] = None
                     ) -> List[FrozenSet[MemObject]]:
     """Split ``partition`` into Andersen clusters using only its slice.
 
     Overlap is expected (Andersen points-to sets are not equivalence
     classes); the union of the returned clusters covers the partition.
+    ``transform`` applies the cut-shortcut rewrite to the slice before
+    solving, so per-site return flow stops gluing otherwise-unrelated
+    pointers into one cluster; the transformed solution is still sound
+    (⊇ every concrete flow), so the cover property is unchanged.
     """
     if slice_ is None:
         slice_ = relevant_statements(program, steens, partition)
     stmts = [program.stmt_at(loc) for loc in slice_.statements]
+    if transform is not None:
+        stmts = transform.transform_statements(stmts)
     result = Andersen(program, statements=stmts,
                       cycle_elimination=cycle_elimination,
                       use_kernel=use_kernel).run()

@@ -94,9 +94,11 @@ class RelevantIndex:
             if isinstance(stmt, (Copy, AddrOf, Load, NullAssign)):
                 self.assigns_by_lhs.setdefault(stmt.lhs, []).append((loc, stmt))
             elif isinstance(stmt, Store):
-                part = steens.pointee_partition(stmt.lhs)
-                if part:
-                    key = steens._part_of.get(next(iter(part)))
+                # A store may land in any partition of the lhs' pointee
+                # cells — exactly one for classic Steensgaard, possibly
+                # several for the field-sensitive variant (per-field
+                # cells split a pointee class across partitions).
+                for key in steens.pointee_keys(stmt.lhs):
                     self.stores_by_target_part.setdefault(key, []).append(
                         (loc, stmt))
             elif isinstance(stmt, Assume) and stmt.rhs is not None:

@@ -14,6 +14,7 @@ core, never the other way around.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -260,11 +261,31 @@ def diagnostics_to_sarif(diags: List[Diagnostic],
     }
 
 
+def percentile(values: List[int], q: float) -> int:
+    """Nearest-rank percentile of ``values`` (0 on empty input)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def size_summary(values: List[int]) -> Dict[str, int]:
+    """The p50/p95/max shape Table 1 discussions use for cluster and
+    partition size distributions."""
+    return {
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "max": max(values, default=0),
+    }
+
+
 def cascade_summary(result: BootstrapResult) -> Dict[str, Any]:
     """A JSON-friendly summary of one bootstrapped analysis."""
     cascade = result.cascade
     program = result.program
     sizes = [c.size for c in cascade.clusters]
+    partition_sizes = [len(p) for p in cascade.steensgaard.partitions()]
     by_origin = Counter(c.origin for c in cascade.clusters)
     slice_sizes = [c.slice.size for c in cascade.clusters]
     functions_touched = [len(c.slice.functions()) for c in cascade.clusters]
@@ -288,6 +309,14 @@ def cascade_summary(result: BootstrapResult) -> Dict[str, Any]:
             "by_origin": dict(by_origin),
             "refined_partitions": cascade.refined_partitions,
             "size_histogram": dict(sorted(Counter(sizes).items())),
+            # Clusters are sorted largest-first, so this doubles as the
+            # per-cluster member-count table of the JSON report.
+            "member_counts": sizes,
+            "size_summary": size_summary(sizes),
+        },
+        "partitions": {
+            "count": len(partition_sizes),
+            "size_summary": size_summary(partition_sizes),
         },
         "slices": {
             "max_statements": max(slice_sizes, default=0),

@@ -45,15 +45,18 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.andersen import Andersen
+from ..analysis.cutshortcut import CutShortcutTransform
 from ..analysis.fsci import FSCI
 from ..analysis.steensgaard import Steensgaard
+from ..analysis.steensgaard_fs import SteensgaardFS
 from ..errors import AnalysisBudgetExceeded, ReproError
 from ..ir import CallGraph, Program
 from .clusters import Cluster
 
 #: The ladder, most precise first.  ``fscs`` is the clean outcome; a
-#: degraded outcome carries one of the other three.
-PRECISION_LEVELS = ("fscs", "fsci", "andersen", "steensgaard")
+#: degraded outcome carries one of the other five.
+PRECISION_LEVELS = ("fscs", "fsci", "cutshortcut", "andersen",
+                    "steensgaard_fs", "steensgaard")
 
 #: Payload keys that describe *how* to execute, not *what* to analyze —
 #: excluded from fingerprints so injecting a fault or tuning a timeout
@@ -278,6 +281,16 @@ def raise_marker(marker: Dict[str, Any], index: int) -> None:
 # the degradation ladder
 # ----------------------------------------------------------------------
 
+def _fs_of(program: Program) -> Any:
+    """The whole-program field-sensitive Steensgaard result, cached on
+    the program (several clusters degrading in one run share it)."""
+    cached = getattr(program, "_steensgaard_fs_result", None)
+    if cached is None:
+        cached = SteensgaardFS(program).run()
+        program._steensgaard_fs_result = cached  # type: ignore[attr-defined]
+    return cached
+
+
 def degraded_outcome(program: Program, cluster: Cluster, level: str,
                      steens: Optional[Any] = None,
                      callgraph: Optional[CallGraph] = None,
@@ -297,9 +310,18 @@ def degraded_outcome(program: Program, cluster: Cluster, level: str,
       the context-insensitive supergraph reach the exit only along
       unrealizable return paths that drop facts the clean backward
       summaries still report;
+    * ``cutshortcut`` — Andersen over the cut-shortcut-transformed
+      slice: per-site return edges replace the shared return conduits,
+      which still covers every realizable return flow (the summaries
+      bail to the untransformed edge on anything they cannot prove), so
+      the solution covers each location's facts while staying at or
+      below the ``andersen`` rung;
     * ``andersen`` — flow-insensitive inclusion constraints over the
       same sliced statements, so its (location-free) solution covers
       every location's facts;
+    * ``steensgaard_fs`` — field-sensitive unification over the whole
+      program: every partition (hence every per-field pointee set) is a
+      subset of the classic rung's below it, and still a sound cover;
     * ``steensgaard`` — unification over the whole program, the coarsest
       cover in the cascade.
     """
@@ -329,9 +351,20 @@ def degraded_outcome(program: Program, cluster: Cluster, level: str,
             if extra is not None:
                 objs |= extra.points_to(p)
             points_to[str(p)] = sorted(str(o) for o in objs)
+    elif level == "cutshortcut":
+        transform = CutShortcutTransform.of(program)
+        stmts = transform.transform_statements(
+            program.stmt_at(loc) for loc in cluster.slice.statements)
+        result = Andersen(program, statements=stmts).run()
+        for p in members:
+            points_to[str(p)] = sorted(str(o) for o in result.points_to(p))
     elif level == "andersen":
         stmts = [program.stmt_at(loc) for loc in cluster.slice.statements]
         result = Andersen(program, statements=stmts).run()
+        for p in members:
+            points_to[str(p)] = sorted(str(o) for o in result.points_to(p))
+    elif level == "steensgaard_fs":
+        result = _fs_of(program)
         for p in members:
             points_to[str(p)] = sorted(str(o) for o in result.points_to(p))
     elif level == "steensgaard":

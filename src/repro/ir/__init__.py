@@ -3,7 +3,13 @@
 from .builder import FunctionBuilder, ProgramBuilder
 from .callgraph import CallGraph, function_sentinel, resolve_indirect_calls
 from .cfg import CFG, Loc, Span, location_labels, straight_line
-from .dot import andersen_dot, callgraph_dot, cfg_dot, steensgaard_dot
+from .dot import (
+    andersen_dot,
+    callgraph_dot,
+    cfg_dot,
+    cutshortcut_dot,
+    steensgaard_dot,
+)
 from .printer import format_cfg, format_program
 from .serialize import (
     SymbolTable,
@@ -46,7 +52,7 @@ __all__ = [
     "AddrOf", "AllocSite", "Assume", "CFG", "CallGraph", "CallStmt",
     "Copy", "ExternCall", "Function", "FunctionBuilder", "Load", "Loc", "MemObject",
     "NullAssign", "Program", "ProgramBuilder", "ReturnStmt", "Skip",
-    "Span", "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "format_cfg", "format_program", "steensgaard_dot",
+    "Span", "Statement", "Store", "Var", "andersen_dot", "callgraph_dot", "cfg_dot", "cutshortcut_dot", "format_cfg", "format_program", "steensgaard_dot",
     "SymbolTable", "cluster_from_dict", "cluster_from_wire",
     "cluster_to_dict", "cluster_to_wire", "decode_symbols",
     "function_sentinel", "is_canonical", "location_labels", "param_var",

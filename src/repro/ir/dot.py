@@ -76,6 +76,42 @@ def andersen_dot(result, pointers: Optional[Iterable[Var]] = None) -> str:
     return "\n".join(lines)
 
 
+def cutshortcut_dot(result) -> str:
+    """The cut-shortcut rewrite of the return flow (accepts a
+    :class:`~repro.analysis.cutshortcut.CutShortcutResult` or the bare
+    transform): each severed per-site return copy is a dashed grey
+    ``cut`` edge through the shared return conduit, and the per-site
+    ``shortcut`` edges that replace it are dashed black."""
+    from .statements import AddrOf
+    transform = getattr(result, "transform", result)
+    lines = ["digraph cutshortcut {", "  rankdir=LR;",
+             "  node [shape=ellipse, fontsize=10];"]
+    emitted: Set[str] = set()
+
+    def node(name: str) -> str:
+        if name not in emitted:
+            emitted.add(name)
+            lines.append(f"  {_quote(name)};")
+        return _quote(name)
+
+    for loc, stmt, callee in sorted(
+            transform.cut_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lhs = node(str(stmt.lhs))
+        conduit = node(str(stmt.rhs))
+        lines.append(f"  {conduit} -> {lhs} "
+                     f"[style=dashed, color=gray, "
+                     f"label={_quote(f'cut @{loc.function}')}];")
+        for repl in transform.shortcut_edges.get(loc, ()):
+            if isinstance(repl, AddrOf):
+                src = node(f"&{repl.target}")
+            else:
+                src = node(str(repl.rhs))
+            lines.append(f"  {src} -> {lhs} "
+                         f"[style=dashed, label=\"shortcut\"];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def cfg_dot(cfg: CFG) -> str:
     """One function's control-flow graph."""
     lines = [f"digraph {cfg.function} {{", "  node [shape=box, fontsize=9];"]

@@ -65,6 +65,13 @@ class ServerConfig:
     entry: str = "main"
     threshold: int = 60
     oneflow: bool = False
+    #: First-stage unification (``steensgaard`` | ``steensgaard_fs``)
+    #: plus its field-slot cap, and the cut-shortcut Andersen-stage
+    #: rewrite — the ``--clustering``/``--sharing-bound``/
+    #: ``--cutshortcut`` daemon flags.
+    clustering: str = "steensgaard"
+    sharing_bound: int = 8
+    cutshortcut: bool = False
     parts: int = 5
     backend: str = "simulate"
     jobs: Optional[int] = None
@@ -97,7 +104,10 @@ class ServerConfig:
     def bootstrap_config(self) -> BootstrapConfig:
         return BootstrapConfig(
             cascade=CascadeConfig(andersen_threshold=self.threshold,
-                                  use_oneflow=self.oneflow),
+                                  use_oneflow=self.oneflow,
+                                  clustering=self.clustering,
+                                  sharing_bound=self.sharing_bound,
+                                  cutshortcut=self.cutshortcut),
             parts=self.parts,
             fscs_budget=self.fscs_budget,
             max_cond_atoms=self.max_cond_atoms)

@@ -387,7 +387,9 @@ class TestProcessesFaultMatrix:
                     FaultSpec(kind="hang", match="#1", duration=3.0),
                     FaultSpec(kind="corrupt", match="#2")])
         assert sorted(report.degraded) == [0, 1, 2]
-        assert set(report.degraded.values()) <= {"fsci", "andersen",
+        assert set(report.degraded.values()) <= {"fsci", "cutshortcut",
+                                                 "andersen",
+                                                 "steensgaard_fs",
                                                  "steensgaard"}
         for i in (0, 1, 2):
             _assert_superset(clean[i], report.results[i])
