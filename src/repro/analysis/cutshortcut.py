@@ -102,11 +102,14 @@ def _is_param(v: Var) -> Optional[int]:
 class CutShortcutTransform:
     """The precomputed constraint-graph transformation for one program.
 
-    ``replacement`` maps each cut return-copy statement (by value —
-    statements are frozen dataclasses) to the shortcut statements that
-    stand in for it; :meth:`transform_statements` applies the map to any
-    statement sequence, so the whole program and per-cluster slices
-    share one precomputation.
+    ``shortcut_edges`` maps each cut return-copy *location* to the
+    shortcut statements that stand in for it; :meth:`transform_statements`
+    applies the map to any located statement sequence, so the whole
+    program and per-cluster slices share one precomputation.  Keying by
+    location (not statement value) matters: statements are frozen
+    dataclasses, so two occurrences of ``x = $retval(g)`` compare equal
+    even when only one of them sits in a recognized call-site shape —
+    the unrecognized occurrence must keep its original return copy.
     """
 
     def __init__(self, program: Program,
@@ -122,8 +125,9 @@ class CutShortcutTransform:
         self.cut_edges: List[Tuple[Loc, Copy, str]] = []
         #: Added shortcut statements per cut location.
         self.shortcut_edges: Dict[Loc, List[Statement]] = {}
-        #: Value-keyed rewrite map (union over sites sharing a value).
-        self.replacement: Dict[Statement, List[Statement]] = {}
+        #: The cut statement recorded at each location (guards
+        #: :meth:`transform_statements` against stale locations).
+        self._cut_stmt: Dict[Loc, Copy] = {}
         self._defs = self._index_defs()
         self._binders = self._index_binders()
         for comp in self.callgraph.sccs():
@@ -137,11 +141,18 @@ class CutShortcutTransform:
     def of(cls, program: Program,
            source_bound: int = DEFAULT_SOURCE_BOUND
            ) -> "CutShortcutTransform":
-        cached = getattr(program, "_cutshortcut_transform", None)
-        if cached is None or cached.program is not program \
-                or cached.source_bound != max(1, source_bound):
-            cached = cls(program, source_bound)
-            program._cutshortcut_transform = cached  # type: ignore[attr-defined]
+        """Per-program transform cache, keyed by source bound so callers
+        with different bounds (the cascade's configured bound vs. the
+        resilience rung's default) never thrash each other's entry."""
+        bound = max(1, source_bound)
+        cache = getattr(program, "_cutshortcut_transforms", None)
+        if not isinstance(cache, dict):
+            cache = {}
+            program._cutshortcut_transforms = cache  # type: ignore[attr-defined]
+        cached = cache.get(bound)
+        if cached is None or cached.program is not program:
+            cached = cls(program, bound)
+            cache[bound] = cached
         return cached
 
     # -- summaries -------------------------------------------------------
@@ -321,15 +332,20 @@ class CutShortcutTransform:
                 loc = Loc(fname, idx)
                 self.cut_edges.append((loc, stmt, g))
                 self.shortcut_edges[loc] = repl
-                merged = self.replacement.setdefault(stmt, [])
-                for r in repl:
-                    if r not in merged:
-                        merged.append(r)
+                self._cut_stmt[loc] = stmt
 
     def _site_args(self, cfg: CFG, site: int, g: str,
                    claimed: Set[int]) -> Dict[int, List[Var]]:
         """Arguments bound at one call site: walk the straight-line
-        parameter-copy chain immediately preceding the call."""
+        parameter-copy chain immediately preceding the call.
+
+        Only copies binding ``g``'s own parameters are claimed; a copy
+        binding a *different* callee's parameters stays visible to the
+        stray-parameter-copy scan (it is claimed when that callee's own
+        site in the same chain — e.g. an indirect call's other
+        candidate — is associated, and flags the callee as unreliable
+        otherwise).
+        """
         args: Dict[int, List[Var]] = {}
         cur = site
         while True:
@@ -343,21 +359,28 @@ class CutShortcutTransform:
             k = _is_param(stmt.lhs)
             if k is not None and stmt.lhs == param_var(g, k):
                 args.setdefault(k, []).append(stmt.rhs)
-            claimed.add(preds[0])
+                claimed.add(preds[0])
             cur = preds[0]
 
     # -- application -----------------------------------------------------
     def transform_statements(
-            self, stmts: Iterable[Statement]) -> List[Statement]:
-        """Rewrite a statement sequence: cut return copies become their
-        shortcut statements, everything else passes through."""
+            self, located: Iterable[Tuple[Loc, Statement]]
+    ) -> List[Statement]:
+        """Rewrite a located statement sequence: statements at cut
+        locations become their shortcut statements, everything else
+        passes through.  Keyed by location, so a value-equal return
+        copy at a site :meth:`_associate_sites` did not cut (stray
+        copies, multi-predecessor sites) keeps its original conflating
+        edge — conservative, never flow-losing.  A location whose
+        statement no longer matches the recorded cut (a stale or
+        foreign location) also passes through unchanged."""
         out: List[Statement] = []
-        for stmt in stmts:
-            repl = self.replacement.get(stmt)
-            if repl is None:
-                out.append(stmt)
-            else:
+        for loc, stmt in located:
+            repl = self.shortcut_edges.get(loc)
+            if repl is not None and self._cut_stmt.get(loc) == stmt:
                 out.extend(repl)
+            else:
+                out.append(stmt)
         return out
 
     def stats(self) -> Dict[str, int]:
@@ -400,10 +423,13 @@ class CutShortcut:
     name = "cutshortcut"
 
     def __init__(self, program: Program,
-                 statements: Optional[Iterable[Statement]] = None,
+                 statements: Optional[Iterable[Tuple[Loc, Statement]]] = None,
                  source_bound: int = DEFAULT_SOURCE_BOUND,
                  cycle_elimination: bool = True,
                  use_kernel: bool = True) -> None:
+        #: ``statements`` is a located ``(Loc, Statement)`` iterable (a
+        #: slice of ``program.statements()``); locations select which
+        #: return copies the transform may rewrite.
         self.program = program
         self._statements = statements
         self._source_bound = source_bound
@@ -413,10 +439,10 @@ class CutShortcut:
     def run(self) -> CutShortcutResult:
         transform = CutShortcutTransform.of(self.program,
                                             self._source_bound)
-        stmts = self._statements
-        if stmts is None:
-            stmts = [s for _, s in self.program.statements()]
-        transformed = transform.transform_statements(stmts)
+        located = self._statements
+        if located is None:
+            located = self.program.statements()
+        transformed = transform.transform_statements(located)
         andersen = Andersen(self.program, statements=transformed,
                             cycle_elimination=self._cycle_elimination,
                             use_kernel=self._use_kernel).run()

@@ -72,9 +72,11 @@ def andersen_refine(program: Program, steens: SteensgaardResult,
     """
     if slice_ is None:
         slice_ = relevant_statements(program, steens, partition)
-    stmts = [program.stmt_at(loc) for loc in slice_.statements]
     if transform is not None:
-        stmts = transform.transform_statements(stmts)
+        stmts = transform.transform_statements(
+            (loc, program.stmt_at(loc)) for loc in slice_.statements)
+    else:
+        stmts = [program.stmt_at(loc) for loc in slice_.statements]
     result = Andersen(program, statements=stmts,
                       cycle_elimination=cycle_elimination,
                       use_kernel=use_kernel).run()

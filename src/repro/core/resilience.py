@@ -354,7 +354,7 @@ def degraded_outcome(program: Program, cluster: Cluster, level: str,
     elif level == "cutshortcut":
         transform = CutShortcutTransform.of(program)
         stmts = transform.transform_statements(
-            program.stmt_at(loc) for loc in cluster.slice.statements)
+            (loc, program.stmt_at(loc)) for loc in cluster.slice.statements)
         result = Andersen(program, statements=stmts).run()
         for p in members:
             points_to[str(p)] = sorted(str(o) for o in result.points_to(p))

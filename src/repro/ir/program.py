@@ -199,3 +199,5 @@ class Program:
         self._objects = None
         self._assign_sites = None
         self._call_sites = None
+        # Location-keyed cut-shortcut transforms go stale with the IR.
+        self.__dict__.pop("_cutshortcut_transforms", None)

@@ -55,7 +55,7 @@ from repro.core import (
     size_summary,
     validate_outcome,
 )
-from repro.ir import Var
+from repro.ir import ProgramBuilder, Var
 from repro.ir.dot import cutshortcut_dot, steensgaard_dot
 
 from .helpers import figure5_program
@@ -199,6 +199,82 @@ class TestCutShortcutSoundness:
         program = _program("ctrace")
         first = CutShortcutTransform.of(program)
         assert CutShortcutTransform.of(program) is first
+
+    def test_transform_cached_per_bound(self):
+        """Alternating callers with different bounds (cascade vs. the
+        resilience rung's default) each keep their own cache entry
+        instead of rebuilding the whole-program transform per call."""
+        program = _program("ctrace")
+        default = CutShortcutTransform.of(program)
+        narrow = CutShortcutTransform.of(program, source_bound=1)
+        assert narrow is not default
+        assert CutShortcutTransform.of(program) is default
+        assert CutShortcutTransform.of(program, source_bound=1) is narrow
+
+
+class TestSiteAssociationConservatism:
+    """Hand-built IR outside the lowering shape must degrade to plain
+    Andersen flow instead of losing it (the module's own contract)."""
+
+    def _identity_program(self):
+        from repro.ir import Copy
+        from repro.ir.program import retval_var
+        b = ProgramBuilder()
+        with b.function("g", params=("gp",)) as f:
+            f.ret("gp")
+        with b.function("main") as f:
+            f.addr("pa", "oa")
+            f.addr("pb", "ob")
+            f.call("g", ["pa"], ret="x")
+            f.call("g", ["pb"], ret="y")
+            f.skip()
+            # Stray return copy, value-equal to the first (cut) site's
+            # copy but NOT in a recognized call-site shape: it reads the
+            # shared conduit, which holds {oa, ob}.
+            f.emit(Copy(f.var("x"), retval_var("g")))
+        return b.build()
+
+    def test_stray_return_copy_keeps_conduit_flow(self):
+        program = self._identity_program()
+        transform = CutShortcutTransform.of(program)
+        # Both real sites are cut; the stray site is not.
+        assert len(transform.cut_edges) == 2
+        an = Andersen(program).run()
+        cs = CutShortcut(program).run()
+        x = Var("x", "main")
+        # The stray copy must keep the full conduit flow even though it
+        # is value-equal to a cut statement at another location.
+        assert cs.points_to(x) == an.points_to(x)
+        assert len(an.points_to(x)) == 2
+        # Precision at the genuinely cut second site is retained.
+        assert len(cs.points_to(Var("y", "main"))) == 1
+
+    def test_stray_param_copy_disables_other_callee(self):
+        from repro.ir import Copy
+        from repro.ir.program import param_var
+        b = ProgramBuilder()
+        with b.function("g", params=("gp",)) as f:
+            f.ret("gp")
+        with b.function("h", params=("hp",)) as f:
+            f.ret("hp")
+        with b.function("main") as f:
+            f.addr("pa", "oa")
+            f.addr("pb", "ob")
+            # Stray copy binding h's parameter, sitting inside g's
+            # param-copy chain: association for h is unreliable here.
+            f.emit(Copy(param_var("h", 0), f.var("pb")))
+            f.call("g", ["pa"], ret="x")
+            f.call("h", ["pa"], ret="y")
+        program = b.build()
+        transform = CutShortcutTransform.of(program)
+        cut_callees = {g for _, _, g in transform.cut_edges}
+        assert "g" in cut_callees
+        assert "h" not in cut_callees
+        an = Andersen(program).run()
+        cs = CutShortcut(program).run()
+        y = Var("y", "main")
+        assert cs.points_to(y) == an.points_to(y)
+        assert len(an.points_to(y)) == 2
 
 
 # ----------------------------------------------------------------------
