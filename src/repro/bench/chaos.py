@@ -1,0 +1,634 @@
+"""Chaos soak: network faults, a coordinator kill, and four invariants.
+
+The fleet's resilience story (PR 8's breaker/reroute ladder, this PR's
+deadlines, hedging and journal) makes promises that individual unit
+tests can only check one at a time.  This harness checks them *under
+composition*: a two-worker fleet whose worker links run through
+:class:`~repro.core.faults.ChaosProxy` instances is driven through a
+deterministic schedule of connection-level faults — delay, garble,
+mid-response drop, blackhole — while a warm query load runs with
+per-request deadlines, and then the coordinator itself is SIGKILLed
+mid-load and restarted from its journal.
+
+Invariants (all machine-independent — no throughput floors):
+
+* **soundness** — every successful answer, after stripping the fleet
+  envelope, is bit-identical to the no-fault single-daemon canon unless
+  it carries explicit degraded-precision warnings.  Zero exceptions:
+  corruption on the wire must be detected (rerouted), never served.
+* **no hangs** — every request completes (answer or structured
+  ``DEADLINE_EXCEEDED`` shed) within its deadline plus a grace window;
+  nothing waits on a dead link forever.
+* **convergence** — after the last fault clears, the fleet returns to
+  100% clean untagged answers within one breaker ``reset_timeout``
+  (plus probe/measurement slack), i.e. healing is bounded, not lucky.
+* **hedging discipline** — hedges fire under the delay fault but stay
+  under the configured rate cap, and the hedged-phase p99 latency is
+  recorded so tail-latency regressions are visible in the artifact.
+* **recovery** — the restarted coordinator recovers its served files
+  and query weights from the journal, and a full post-restart sweep is
+  bit-identical to the uninterrupted canon.
+
+Results go to ``BENCH_chaos.json``; ``--check`` turns the invariants
+into a gate that exits 1 on failure (the CI ``chaos-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.faults import ChaosProxy, NetFault
+from ..server import protocol
+from ..server.client import ServerClient, wait_for_server
+from ..fleet.worker import RESPONSE_LIMIT, LocalWorker
+from .fleet import (_blast, _canonical, _corpus_units, _query_set,
+                    _repro_env)
+from .synth import generate_source
+
+#: Per-request deadline during chaos rounds (seconds).  Generous enough
+#: that warm queries complete even through a fault (worker timeout +
+#: reroute), so a shed signals a real overload, not a tight budget.
+DEADLINE_S = 8.0
+
+#: Grace on top of the deadline before a completion counts as a hang:
+#: the last hop's call timeout carries a small grace (+0.05s) past the
+#: deadline, and the response still has to travel back.
+HANG_GRACE_S = 2.0
+
+#: One soak pass: (round name, proxy index, fault).  Both workers see
+#: every fault kind; the order is fixed, so runs are comparable.
+SCHEDULE: Sequence[Tuple[str, int, NetFault]] = (
+    ("delay", 0, NetFault("delay", duration=0.2)),
+    ("garble", 1, NetFault("garble")),
+    ("drop", 0, NetFault("drop", after_bytes=64)),
+    ("blackhole", 1, NetFault("blackhole")),
+    ("delay", 1, NetFault("delay", duration=0.2)),
+    ("garble", 0, NetFault("garble")),
+    ("drop", 1, NetFault("drop", after_bytes=64)),
+    ("blackhole", 0, NetFault("blackhole")),
+)
+
+_FLEET_LISTEN_RE = re.compile(r"listening on tcp:[0-9.]+:(\d+)")
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_coordinator(port: int, worker_ports: Sequence[int],
+                       cache: str, journal: str,
+                       worker_timeout: float,
+                       breaker_reset: float) -> Any:
+    """A ``repro fleet serve`` subprocess fronting the given (proxied)
+    worker ports, journaling to ``journal``, hedging enabled."""
+    cmd = [sys.executable, "-u", "-m", "repro", "fleet", "serve",
+           "--port", str(port), "--workers", "0", "--cache", cache,
+           "--journal", journal, "--hedge",
+           "--worker-timeout", str(worker_timeout),
+           "--breaker-reset", str(breaker_reset)]
+    for wport in worker_ports:
+        cmd += ["--worker", f"127.0.0.1:{wport}"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, env=_repro_env(),
+                            text=True)
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"coordinator exited with {proc.returncode} "
+                    "before listening")
+            continue
+        if _FLEET_LISTEN_RE.search(line):
+            threading.Thread(target=proc.stdout.read,
+                             daemon=True).start()
+            return proc
+    proc.kill()
+    raise RuntimeError("coordinator did not report a port")
+
+
+# ----------------------------------------------------------------------
+# load generator: deadlines, reconnect-with-backoff, per-request timing
+# ----------------------------------------------------------------------
+
+async def _chaos_conn(host: str, port: int,
+                      frames: "deque[Tuple[int, bytes]]",
+                      out: List[Optional[bytes]],
+                      done_at: List[Optional[float]],
+                      reconnect_budget: float) -> None:
+    """One pipelined client connection that rides out coordinator
+    restarts: a lost connection is reopened with exponential backoff
+    and the in-flight (idempotent) query resent — the same contract as
+    :class:`~repro.server.client.ServerClient`, asyncio-side."""
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect() -> None:
+        nonlocal reader, writer
+        backoff = 0.05
+        give_up = time.monotonic() + reconnect_budget
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=RESPONSE_LIMIT)
+                return
+            except OSError:
+                if time.monotonic() > give_up:
+                    raise
+                await asyncio.sleep(backoff)
+                backoff = min(1.0, backoff * 2)
+
+    await connect()
+    try:
+        while True:
+            try:
+                idx, frame = frames.popleft()
+            except IndexError:
+                return
+            while True:
+                try:
+                    assert reader is not None and writer is not None
+                    writer.write(frame)
+                    await writer.drain()
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionResetError("eof")
+                    break
+                except OSError:
+                    if writer is not None:
+                        writer.close()
+                    await connect()
+            out[idx] = line
+            done_at[idx] = time.monotonic()
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _soak_blast_async(port: int, requests: List[Dict[str, Any]],
+                            concurrency: int, deadline_s: float,
+                            reconnect_budget: float
+                            ) -> Tuple[List[Optional[bytes]],
+                                       List[Optional[float]], int]:
+    now = time.time()
+    frames: "deque[Tuple[int, bytes]]" = deque(
+        (i, protocol.encode({**r, "deadline": now + deadline_s}))
+        for i, r in enumerate(requests))
+    out: List[Optional[bytes]] = [None] * len(requests)
+    done_at: List[Optional[float]] = [None] * len(requests)
+    conns = [_chaos_conn("127.0.0.1", port, frames, out, done_at,
+                         reconnect_budget)
+             for _ in range(max(1, min(concurrency, len(requests))))]
+    # The watchdog is the hang detector of last resort: the whole round
+    # must finish within every request's deadline plus grace, or the
+    # still-missing responses are hangs by definition.
+    budget = deadline_s + HANG_GRACE_S + reconnect_budget
+    try:
+        await asyncio.wait_for(asyncio.gather(*conns), timeout=budget)
+    except (asyncio.TimeoutError, OSError):
+        pass
+    hangs = sum(1 for line in out if line is None)
+    return out, done_at, hangs
+
+
+def _soak_blast(port: int, requests: List[Dict[str, Any]],
+                concurrency: int, deadline_s: float = DEADLINE_S,
+                reconnect_budget: float = 30.0
+                ) -> Tuple[List[Optional[bytes]],
+                           List[Optional[float]], float, int]:
+    """Returns (raw lines, completion stamps, start stamp, hangs)."""
+    t0 = time.monotonic()
+    out, done_at, hangs = asyncio.run(_soak_blast_async(
+        port, requests, concurrency, deadline_s, reconnect_budget))
+    return out, done_at, t0, hangs
+
+
+# ----------------------------------------------------------------------
+# classification against the canon
+# ----------------------------------------------------------------------
+
+def _classify(line: bytes, canon: str) -> str:
+    """One of:
+
+    ``clean``       untagged success, bit-identical to the canon;
+    ``hedged``      success won by a hedge (bit-identical, and part of
+                    steady-state tail-cutting — not fault residue);
+    ``rerouted``    success served off-home behind an open breaker;
+    ``degraded``    success carrying degraded-precision warnings;
+    ``shed``        structured ``DEADLINE_EXCEEDED``;
+    ``error``       any other structured error;
+    ``unsound``     a success that is neither identical to the canon
+                    nor tagged degraded — the one unforgivable outcome.
+    """
+    obj = protocol.decode(line)
+    error = obj.get("error")
+    if error is not None:
+        code = error.get("code") if isinstance(error, dict) else None
+        return "shed" if code == protocol.DEADLINE_EXCEEDED else "error"
+    result = obj.get("result")
+    result = result if isinstance(result, dict) else {}
+    degraded = bool(result.get("warnings"))
+    if _canonical(line) != canon and not degraded:
+        return "unsound"
+    if degraded:
+        return "degraded"
+    fleet = result.get("fleet") or {}
+    if fleet.get("rerouted"):
+        return "rerouted"
+    if fleet.get("hedged"):
+        return "hedged"
+    return "clean"
+
+
+def _tally(lines: Sequence[Optional[bytes]], canon: Sequence[str],
+           done_at: Sequence[Optional[float]], t0: float,
+           deadline_s: float) -> Dict[str, Any]:
+    counts = {"clean": 0, "hedged": 0, "rerouted": 0, "degraded": 0,
+              "shed": 0, "error": 0, "unsound": 0, "hangs": 0}
+    latencies: List[float] = []
+    late = 0
+    for i, line in enumerate(lines):
+        if line is None:
+            counts["hangs"] += 1
+            continue
+        counts[_classify(line, canon[i])] += 1
+        stamp = done_at[i]
+        if stamp is not None:
+            latency = stamp - t0
+            latencies.append(latency)
+            if latency > deadline_s + HANG_GRACE_S:
+                late += 1
+    latencies.sort()
+    out: Dict[str, Any] = dict(counts)
+    out["late"] = late
+    out["queries"] = len(lines)
+    if latencies:
+        out["p50_ms"] = 1000.0 * latencies[len(latencies) // 2]
+        out["p99_ms"] = 1000.0 * latencies[
+            min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return out
+
+
+def _wait_healthy(port: int, timeout: float) -> Optional[float]:
+    """Seconds until every worker breaker is closed again (``None`` if
+    the fleet never healed within ``timeout``)."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < timeout:
+        try:
+            with ServerClient(port=port, timeout=10.0) as client:
+                status = client.fleet_status()
+            if all(w["state"] == "closed"
+                   for w in status["workers"].values()):
+                return time.monotonic() - t0
+        except Exception:
+            pass
+        time.sleep(0.1)
+    return None
+
+
+def _converged(tally: Dict[str, Any]) -> bool:
+    """Fault residue is gone: no reroutes, degradations, sheds, errors,
+    hangs or unsound answers.  Hedged wins are allowed — hedging is
+    steady-state tail-cutting (rate-capped, bit-identical), not a
+    symptom the fleet should heal away."""
+    return all(tally[k] == 0 for k in
+               ("rerouted", "degraded", "shed", "error", "unsound",
+                "hangs"))
+
+
+# ----------------------------------------------------------------------
+# the soak
+# ----------------------------------------------------------------------
+
+def run_chaos_soak(name: str = "sendmail", scale: float = 0.02,
+                   units: int = 3, concurrency: int = 8,
+                   repeats: int = 1, worker_timeout: float = 2.0,
+                   breaker_reset: float = 2.0,
+                   verbose: bool = False) -> Dict[str, Any]:
+    """The full soak; returns a JSON-safe result with pass/fail gates."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        paths: List[str] = []
+        pairs: List[Tuple[str, str]] = []
+        for config in _corpus_units(name, scale, units):
+            source = generate_source(config)
+            path = os.path.join(tmp, f"{config.name}.c")
+            with open(path, "w") as handle:
+                handle.write(source)
+            paths.append(path)
+            for ptr in sorted(set(re.findall(r"\bw\d+p\d+\b", source))):
+                pairs.append((path, ptr))
+        cache = os.path.join(tmp, "cache")
+        journal = os.path.join(tmp, "journal")
+        requests = _query_set(pairs, paths)
+
+        # No-fault canon from a single daemon over the same cache.
+        ref = LocalWorker("reference", serve_args=["--cache", cache])
+        ref.spawn()
+        try:
+            wait_for_server(port=ref.port, timeout=60.0)
+            _, lines = _blast(ref.port, requests,
+                              min(8, concurrency))
+            canon = [_canonical(line) for line in lines]
+        finally:
+            ref.terminate()
+        if verbose:
+            print(f"  [{name}] {len(paths)} files, {len(pairs)} "
+                  f"pointers, {len(requests)} queries in the sweep",
+                  file=sys.stderr)
+
+        workers = [LocalWorker(f"cw{i}",
+                               serve_args=["--cache", cache])
+                   for i in range(2)]
+        proxies: List[ChaosProxy] = []
+        port = _free_port()
+        proc = None
+        try:
+            for worker in workers:
+                host, wport = worker.spawn()
+                wait_for_server(port=wport, timeout=60.0)
+                proxies.append(ChaosProxy(host, wport))
+            proc = _spawn_coordinator(
+                port, [p.port for p in proxies], cache, journal,
+                worker_timeout, breaker_reset)
+            wait_for_server(port=port, timeout=120.0)
+
+            # Warmup: loads every file on both sides of the ring and
+            # seeds the hedging latency window.  The deadline is huge
+            # because first-touch queries pay the (cache-assisted)
+            # cluster analysis, not the warm lookup the soak measures.
+            lines0, done0, t0, _ = _soak_blast(
+                port, requests, concurrency, deadline_s=120.0)
+            warm = _tally(lines0, canon, done0, t0, 120.0)
+
+            rounds: List[Dict[str, Any]] = []
+            schedule = list(SCHEDULE) * max(1, repeats)
+            for seq, (rname, target, fault) in enumerate(schedule):
+                proxies[target].set_fault(fault)
+                try:
+                    lines, done_at, t0, _ = _soak_blast(
+                        port, requests, concurrency)
+                finally:
+                    proxies[target].clear_fault()
+                tally = _tally(lines, canon, done_at, t0, DEADLINE_S)
+                tally.update({"round": rname, "proxy": target,
+                              "sweep": seq // len(SCHEDULE)})
+                # Between rounds, wait for the breakers to close, so
+                # every round starts from a healthy fleet and its
+                # reroute/shed mix is attributable to its own fault.
+                # The *last* round skips this: its heal is what the
+                # convergence phase below measures.
+                if seq + 1 < len(schedule):
+                    tally["heal_seconds"] = _wait_healthy(
+                        port, breaker_reset + 30.0)
+                rounds.append(tally)
+                if verbose:
+                    print(f"  {rname}@w{target}: "
+                          f"{tally['clean']} clean, "
+                          f"{tally['rerouted']} rerouted, "
+                          f"{tally['hedged']} hedged, "
+                          f"{tally['degraded']} degraded, "
+                          f"{tally['shed']} shed, "
+                          f"{tally['error']} error, "
+                          f"{tally['unsound']} UNSOUND, "
+                          f"{tally['hangs']} hangs",
+                          file=sys.stderr)
+            faults_stopped = time.monotonic()
+
+            # Convergence: poll until a full sweep carries no fault
+            # residue (see :func:`_converged`).
+            convergence: Optional[float] = None
+            sweeps = 0
+            while time.monotonic() - faults_stopped < \
+                    breaker_reset + 30.0:
+                lines, done_at, t0, _ = _soak_blast(
+                    port, requests, concurrency)
+                sweeps += 1
+                tally = _tally(lines, canon, done_at, t0, DEADLINE_S)
+                if _converged(tally):
+                    convergence = time.monotonic() - faults_stopped
+                    break
+                time.sleep(0.25)
+
+            with ServerClient(port=port, timeout=30.0) as client:
+                status = client.fleet_status()
+            hedging = status["hedging"]
+            journal_before = status.get("journal", {})
+
+            # Kill the coordinator mid-load; the load generator rides
+            # the restart on reconnect-with-backoff and every query
+            # still completes.
+            ride = [dict(r, id=f"ride-{i}-{r['id']}")
+                    for i in range(3) for r in requests]
+            holder: Dict[str, Any] = {}
+
+            def _ride() -> None:
+                holder["result"] = _soak_blast(
+                    port, ride, concurrency, deadline_s=60.0,
+                    reconnect_budget=60.0)
+
+            rider = threading.Thread(target=_ride)
+            rider.start()
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(10.0)
+            proc = _spawn_coordinator(
+                port, [p.port for p in proxies], cache, journal,
+                worker_timeout, breaker_reset)
+            wait_for_server(port=port, timeout=120.0)
+            rider.join(timeout=180.0)
+            ride_lines, _, _, ride_hangs = holder.get(
+                "result", ([], [], 0.0, len(ride)))
+            ride_completed = sum(1 for ln in ride_lines
+                                 if ln is not None)
+
+            with ServerClient(port=port, timeout=30.0) as client:
+                recovered = client.fleet_status().get("journal", {})
+            lines, done_at, t0, _ = _soak_blast(
+                port, requests, concurrency)
+            post = _tally(lines, canon, done_at, t0, DEADLINE_S)
+            identical_after_restart = all(
+                line is not None and _canonical(line) == canon[i]
+                for i, line in enumerate(lines))
+            proxy_stats = [dict(p.stats) for p in proxies]
+
+            with ServerClient(port=port, timeout=30.0) as client:
+                client.shutdown()
+            proc.wait(30.0)
+        finally:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(10.0)
+            for proxy in proxies:
+                proxy.close()
+            for worker in workers:
+                worker.terminate()
+
+    unsound = sum(r["unsound"] for r in rounds) + warm["unsound"] \
+        + post["unsound"]
+    hangs = sum(r["hangs"] for r in rounds) + warm["hangs"] \
+        + post["hangs"]
+    late = sum(r["late"] for r in rounds)
+    tagged = sum(r["rerouted"] + r["hedged"] + r["degraded"]
+                 for r in rounds)
+    recovered_info = recovered.get("recovered", {})
+    hedge_cap = 0.05
+    # The cap is enforced pre-decision, so the final rate can sit at
+    # most one hedge above fraction * eligible.
+    hedge_ok = hedging["issued"] <= \
+        hedge_cap * max(1, hedging["eligible"]) + 1
+    delay_p99 = [r["p99_ms"] for r in rounds
+                 if r["round"] == "delay" and "p99_ms" in r]
+    hedged_p99_ms = max(delay_p99) if delay_p99 else None
+
+    gates = {
+        "soundness": {"unsound": unsound, "ok": unsound == 0},
+        "no_hangs": {"hangs": hangs, "late": late,
+                     "ok": hangs == 0 and late == 0},
+        "convergence": {
+            "seconds": convergence,
+            "bound_seconds": breaker_reset + 10.0,
+            "ok": convergence is not None
+            and convergence <= breaker_reset + 10.0,
+        },
+        "hedge_rate": {"rate": hedging["rate"], "cap": hedge_cap,
+                       "issued": hedging["issued"],
+                       "eligible": hedging["eligible"],
+                       "ok": hedge_ok},
+        "hedged_p99_recorded": {"p99_ms": hedged_p99_ms,
+                                "ok": hedged_p99_ms is not None},
+        "recovery": {
+            "recovered_files": recovered_info.get("files", 0),
+            "rebuilt": recovered_info.get("rebuilt", 0),
+            "ride_completed": ride_completed,
+            "ride_total": len(ride),
+            "ride_hangs": ride_hangs,
+            "ok": identical_after_restart
+            and recovered_info.get("files", 0) >= len(paths)
+            and recovered_info.get("rebuilt", 0)
+            == recovered_info.get("files", 0)
+            and ride_hangs == 0 and ride_completed == len(ride),
+        },
+    }
+    return {
+        "program": name, "scale": scale, "translation_units": units,
+        "queries_per_sweep": len(requests),
+        "deadline_seconds": DEADLINE_S,
+        "worker_timeout": worker_timeout,
+        "breaker_reset": breaker_reset,
+        "schedule": [{"round": rname, "proxy": target,
+                      "fault": fault.kind}
+                     for rname, target, fault in SCHEDULE],
+        "warmup": warm,
+        "rounds": rounds,
+        "tagged_total": tagged,
+        "convergence_sweeps": sweeps,
+        "hedging": hedging,
+        "journal_before_kill": journal_before,
+        "journal_after_restart": recovered,
+        "identical_after_restart": identical_after_restart,
+        "post_restart": post,
+        "proxy_stats": proxy_stats,
+        "gates": gates,
+    }
+
+
+def check_gate(data: Dict[str, Any]) -> List[str]:
+    """Failures of the chaos invariants, empty when healthy."""
+    failures = []
+    for key, gate in sorted(data["gates"].items()):
+        if not gate["ok"]:
+            detail = {k: v for k, v in gate.items() if k != "ok"}
+            failures.append(f"{key}: {json.dumps(detail)}")
+    return failures
+
+
+def render(data: Dict[str, Any]) -> str:
+    lines = [f"chaos soak: {data['program']} x{data['scale']}, "
+             f"{data['queries_per_sweep']} queries/sweep, "
+             f"{len(data['rounds'])} fault rounds"]
+    for r in data["rounds"]:
+        lines.append(
+            f"  {r['round']}@w{r['proxy']}: {r['clean']} clean / "
+            f"{r['rerouted']} rerouted / {r['hedged']} hedged / "
+            f"{r['degraded']} degraded / {r['shed']} shed / "
+            f"{r['error']} error / {r['unsound']} unsound / "
+            f"{r['hangs']} hangs")
+    conv = data["gates"]["convergence"]["seconds"]
+    lines.append(f"  convergence: "
+                 f"{'never' if conv is None else f'{conv:.2f}s'} "
+                 f"(bound {data['gates']['convergence']['bound_seconds']:.1f}s)")
+    hedging = data["hedging"]
+    lines.append(f"  hedging: {hedging['issued']} issued / "
+                 f"{hedging['won']} won / {hedging['eligible']} "
+                 f"eligible (rate {hedging['rate']:.3f})")
+    rec = data["gates"]["recovery"]
+    lines.append(f"  recovery: {rec['recovered_files']} files from "
+                 f"journal, ride-through "
+                 f"{rec['ride_completed']}/{rec['ride_total']}, "
+                 f"identity {'ok' if data['identical_after_restart'] else 'BROKEN'}")
+    verdicts = ", ".join(f"{k}={'ok' if g['ok'] else 'FAIL'}"
+                         for k, g in sorted(data["gates"].items()))
+    lines.append(f"  gates: {verdicts}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos soak: fault schedule + coordinator kill "
+                    "under soundness/hang/convergence/recovery gates")
+    parser.add_argument("--program", default="sendmail")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="program size fraction (default 0.02)")
+    parser.add_argument("--units", type=int, default=3,
+                        help="translation units (default 3)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="client connections (default 8)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="passes over the fault schedule")
+    parser.add_argument("--out", default="BENCH_chaos.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when an invariant fails")
+    args = parser.parse_args(argv)
+    data = run_chaos_soak(name=args.program, scale=args.scale,
+                          units=args.units,
+                          concurrency=args.concurrency,
+                          repeats=args.repeats, verbose=True)
+    with open(args.out, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(data))
+    print(f"\nwritten to {args.out}")
+    if args.check:
+        failures = check_gate(data)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("chaos gate: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

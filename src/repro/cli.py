@@ -563,13 +563,18 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"{operands}")
     try:
         with ServerClient(socket_path=args.socket, host=args.host,
-                          port=args.port, timeout=args.timeout) as client:
+                          port=args.port, timeout=args.timeout,
+                          deadline=args.deadline) as client:
             result = client.call(args.method.replace("-", "_"), **params)
     except ConnectError as exc:
         raise SystemExit(f"repro query: cannot reach the daemon: {exc}")
     except ServerError as exc:
         print(f"repro query: {exc}", file=sys.stderr)
-        return EXIT_BUDGET if exc.code == protocol.BUDGET_EXCEEDED else 1
+        # A blown end-to-end deadline is a budget overrun in time
+        # rather than steps: same distinct exit code.
+        budget_codes = (protocol.BUDGET_EXCEEDED,
+                        protocol.DEADLINE_EXCEEDED)
+        return EXIT_BUDGET if exc.code in budget_codes else 1
     except OSError as exc:
         raise SystemExit(f"repro query: cannot reach the daemon: {exc}")
     try:
@@ -603,7 +608,15 @@ def cmd_fleet_serve(args: argparse.Namespace) -> int:
         breaker_reset=args.breaker_reset,
         worker_timeout=args.worker_timeout,
         probe_interval=args.probe_interval,
-        respawn=not args.no_respawn, envelope_all=args.envelope_all,
+        respawn=not args.no_respawn,
+        respawn_backoff=args.respawn_backoff,
+        crash_loop_threshold=args.crash_loop_threshold,
+        crash_loop_window=args.crash_loop_window,
+        hedge=args.hedge,
+        hedge_max_fraction=args.hedge_max_fraction,
+        hedge_min_delay=args.hedge_min_delay,
+        journal_dir=args.journal,
+        envelope_all=args.envelope_all,
         server=_server_config(args))
     coordinator = FleetCoordinator(config, host=args.host,
                                    port=args.port,
@@ -997,6 +1010,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="how often the heal loop checks sick shards")
     pf.add_argument("--no-respawn", action="store_true",
                     help="do not respawn dead spawned workers")
+    pf.add_argument("--respawn-backoff", type=float, default=0.5,
+                    metavar="SECONDS",
+                    help="initial delay before respawning a dead "
+                         "worker; doubles per consecutive death")
+    pf.add_argument("--crash-loop-threshold", type=int, default=5,
+                    metavar="N",
+                    help="deaths inside the crash-loop window that "
+                         "park a worker for good (shards reroute)")
+    pf.add_argument("--crash-loop-window", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="sliding window for the crash-loop breaker")
+    pf.add_argument("--hedge", action="store_true",
+                    help="hedge slow warm queries: duplicate to the "
+                         "ring successor past the p95 delay, first "
+                         "answer wins (tagged 'hedged')")
+    pf.add_argument("--hedge-max-fraction", type=float, default=0.05,
+                    metavar="F",
+                    help="cap hedges at this fraction of eligible "
+                         "traffic")
+    pf.add_argument("--hedge-min-delay", type=float, default=0.05,
+                    metavar="SECONDS",
+                    help="floor for the p95-derived hedge delay")
+    pf.add_argument("--journal", metavar="DIR", default=None,
+                    help="journal served files and observed query "
+                         "weights to DIR (checksummed JSONL + atomic "
+                         "snapshot) so a killed coordinator restarts "
+                         "with warm routing state")
     pf.add_argument("--envelope-all", action="store_true",
                     help="attach the fleet envelope to every response, "
                          "not only rerouted ones")
@@ -1019,6 +1059,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None)
     p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="end-to-end budget for the query, propagated "
+                        "to every hop (coordinator, worker, solver); "
+                        "on expiry the query fails with "
+                        f"DEADLINE_EXCEEDED and exit code {EXIT_BUDGET}")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(

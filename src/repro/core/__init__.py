@@ -23,7 +23,16 @@ from .parallel import (
     schedule_indices,
 )
 from .partitions import Partitioning, PartitionStats
-from .faults import FAULT_KINDS, FaultSpec, attach_faults, parse_fault_arg
+from .faults import (
+    FAULT_KINDS,
+    NET_FAULT_KINDS,
+    ChaosProxy,
+    FaultSpec,
+    NetFault,
+    attach_faults,
+    garble_bytes,
+    parse_fault_arg,
+)
 from .resilience import (
     PRECISION_LEVELS,
     CircuitBreaker,
@@ -71,9 +80,11 @@ __all__ = [
     "CascadeConfig", "CascadeResult", "CircuitBreaker", "Cluster",
     "ClusterExecutionError",
     "DEFAULT_ANDERSEN_THRESHOLD", "DemandSelection", "Diagnostic",
-    "FAULT_KINDS", "FaultSpec", "PRECISION_LEVELS", "ParallelReport",
+    "ChaosProxy",
+    "FAULT_KINDS", "FaultSpec", "NET_FAULT_KINDS", "NetFault",
+    "PRECISION_LEVELS", "ParallelReport",
     "RunPolicy", "attach_faults", "coarsest", "degrade_ladder",
-    "degraded_outcome", "is_degraded", "parse_fault_arg",
+    "degraded_outcome", "garble_bytes", "is_degraded", "parse_fault_arg",
     "validate_outcome",
     "ParallelRunner", "Partitioning", "PartitionStats", "RelevantSlice",
     "SummaryCache",

@@ -190,3 +190,186 @@ def corrupt_outcome() -> Dict[str, Any]:
     outcome — shaped wrongly on purpose so validation rejects it."""
     return {"points_to": "0xdeadbeef", "stats": None,
             "corrupted": True}
+
+
+# ----------------------------------------------------------------------
+# connection-level faults (the chaos harness's network layer)
+# ----------------------------------------------------------------------
+
+#: The supported network fault kinds, injected by :class:`ChaosProxy`
+#: between the coordinator and a worker:
+#:
+#: ``delay``
+#:     every chunk waits ``duration`` seconds before forwarding — a
+#:     congested or GC-pausing link (what hedging exists to beat);
+#: ``blackhole``
+#:     bytes are swallowed in both directions while the fault is set —
+#:     a partition: the connection looks alive but nothing flows, so
+#:     only a timeout can detect it;
+#: ``drop``
+#:     the response direction forwards ``after_bytes`` bytes and then
+#:     both sides are torn down — a worker dying mid-response;
+#: ``garble``
+#:     response bytes are deterministically scrambled (newlines kept,
+#:     so frames still terminate) — corruption on the wire that must be
+#:     *detected*, never forwarded to a client as an answer.
+NET_FAULT_KINDS = ("delay", "blackhole", "drop", "garble")
+
+
+@dataclass(frozen=True)
+class NetFault:
+    """One connection-level fault for :class:`ChaosProxy`."""
+
+    kind: str
+    duration: float = 0.1    # delay per chunk (``delay`` only)
+    after_bytes: int = 0     # response bytes let through (``drop``)
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ValueError(f"unknown net fault kind {self.kind!r} "
+                             f"(have: {', '.join(NET_FAULT_KINDS)})")
+
+
+def garble_bytes(data: bytes) -> bytes:
+    """Deterministically scramble ``data`` while keeping newlines, so a
+    line-framed reader still terminates the frame and the corruption is
+    observed as a parse failure rather than a hang."""
+    return bytes(b if b == 0x0A else 0x7F for b in data)
+
+
+class ChaosProxy:
+    """A socket-level fault injector between two protocol peers.
+
+    The proxy listens on an ephemeral localhost port and forwards every
+    connection to the upstream address, consulting the *currently set*
+    fault once per chunk — so a deterministic schedule (the chaos
+    harness's) can switch faults on and off mid-connection and the
+    change takes effect immediately, no reconnect needed.  With no
+    fault set the proxy is a transparent byte pump.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 host: str = "127.0.0.1") -> None:
+        import socket
+        import threading
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self._fault: Optional[NetFault] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._conns: List[Any] = []
+        self.stats: Dict[str, int] = {
+            "connections": 0, "delayed_chunks": 0, "dropped_conns": 0,
+            "garbled_chunks": 0, "blackholed_chunks": 0}
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    def set_fault(self, fault: Optional[NetFault]) -> None:
+        """Install ``fault`` for all current and future traffic
+        (``None`` heals the link)."""
+        self._fault = fault
+
+    def clear_fault(self) -> None:
+        self.set_fault(None)
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        import socket
+        import threading
+        while not self._closed:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port),
+                    timeout=10.0)
+                upstream.settimeout(None)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self.stats["connections"] += 1
+                self._conns += [client, upstream]
+            pair = [client, upstream]
+            threading.Thread(target=self._pump,
+                             args=(client, upstream, "up", pair),
+                             daemon=True).start()
+            threading.Thread(target=self._pump,
+                             args=(upstream, client, "down", pair),
+                             daemon=True).start()
+
+    def _pump(self, src: Any, dst: Any, direction: str,
+              pair: List[Any]) -> None:
+        forwarded = 0
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    return
+                fault = self._fault
+                if fault is not None:
+                    if fault.kind == "blackhole":
+                        # Swallow silently; the link looks alive.
+                        with self._lock:
+                            self.stats["blackholed_chunks"] += 1
+                        continue
+                    if fault.kind == "delay":
+                        with self._lock:
+                            self.stats["delayed_chunks"] += 1
+                        time.sleep(fault.duration)
+                    elif direction == "down":
+                        if fault.kind == "drop":
+                            allowed = max(0,
+                                          fault.after_bytes - forwarded)
+                            if allowed:
+                                dst.sendall(data[:allowed])
+                            with self._lock:
+                                self.stats["dropped_conns"] += 1
+                            return  # finally tears both sockets down
+                        if fault.kind == "garble":
+                            with self._lock:
+                                self.stats["garbled_chunks"] += 1
+                            data = garble_bytes(data)
+                dst.sendall(data)
+                forwarded += len(data)
+        except OSError:
+            return
+        finally:
+            for sock in pair:
+                # shutdown() before close(): the peer must see FIN even
+                # while the opposite pump thread is still blocked in
+                # recv() on the same socket object.
+                try:
+                    sock.shutdown(2)  # SHUT_RDWR
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -88,7 +88,11 @@ class SummaryCache:
         return outcome
 
     def put(self, key: str, outcome: Dict[str, Any]) -> None:
-        """Store ``outcome`` under ``key`` atomically."""
+        """Store ``outcome`` under ``key`` atomically and durably: the
+        temp file is fsynced *before* the rename, so a crash — even
+        SIGKILL or power loss mid-write — leaves either no entry or a
+        complete one, never a truncated file for quarantine to catch
+        (quarantine stays as defense-in-depth against bit rot)."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
@@ -96,6 +100,8 @@ class SummaryCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(outcome, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

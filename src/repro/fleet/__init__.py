@@ -10,6 +10,8 @@ with tagged envelopes, and healing through the shared disk cache.
 
 from .admission import AdmissionController, AdmissionError
 from .coordinator import FleetConfig, FleetCoordinator, RoutingState
+from .journal import CoordinatorJournal
+from .respawn import RespawnGovernor
 from .ring import DEFAULT_REPLICAS, HashRing
 from .worker import (
     LocalWorker,
@@ -22,10 +24,12 @@ from .worker import (
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "CoordinatorJournal",
     "DEFAULT_REPLICAS",
     "FleetConfig",
     "FleetCoordinator",
     "HashRing",
+    "RespawnGovernor",
     "LocalWorker",
     "RoutingState",
     "WorkerError",

@@ -59,9 +59,9 @@ import hashlib
 import os
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core import BootstrapAnalyzer, CircuitBreaker, cluster_fingerprints
 from ..core.queries import resolve_pointer
@@ -70,6 +70,8 @@ from ..server import protocol
 from ..server.protocol import PROTOCOL_VERSION, RequestError
 from ..server.store import ServerConfig
 from .admission import AdmissionController, AdmissionError
+from .journal import CoordinatorJournal
+from .respawn import RespawnGovernor
 from .ring import DEFAULT_REPLICAS, HashRing
 from .worker import LocalWorker, WorkerError, WorkerLink, parse_worker_addr
 
@@ -108,6 +110,35 @@ class FleetConfig:
     #: Respawn dead spawned workers (healing); addressed workers are
     #: never respawned, only probed.
     respawn: bool = True
+    #: Respawn pacing: consecutive deaths back off exponentially from
+    #: ``respawn_backoff`` up to ``respawn_max_backoff``; a worker that
+    #: dies ``crash_loop_threshold`` times inside ``crash_loop_window``
+    #: seconds is parked (never respawned again) with its shards
+    #: rerouted, instead of fork/exec-ing in a hot loop.
+    respawn_backoff: float = 0.5
+    respawn_max_backoff: float = 30.0
+    crash_loop_threshold: int = 5
+    crash_loop_window: float = 30.0
+    #: Hedged queries: when the home shard sits on a warm query past
+    #: the p95-derived hedge delay, duplicate it to the ring successor
+    #: — first answer wins, the loser is cancelled, and the winner is
+    #: tagged ``hedged`` in the envelope.  Hedges are rate-capped to
+    #: ``hedge_max_fraction`` of hedge-eligible traffic; the delay is
+    #: the p95 of the last ``hedge_window`` primary latencies (at least
+    #: ``hedge_min_delay``) once ``hedge_min_observations`` are in.
+    hedge: bool = False
+    hedge_max_fraction: float = 0.05
+    hedge_min_delay: float = 0.05
+    hedge_window: int = 128
+    hedge_min_observations: int = 20
+    #: Crash-safe coordinator state: a directory for the checksummed
+    #: journal + snapshot (``None`` keeps the coordinator memory-only).
+    #: Served files and observed per-key query weights survive a
+    #: coordinator kill, so a restart rebuilds its routing warm.
+    journal_dir: Optional[str] = None
+    journal_compact_every: int = 256
+    #: Journal the observed weights of a file every this many queries.
+    weights_flush_every: int = 32
     #: Attach the fleet envelope to every response, not only rerouted
     #: ones (diagnostics; defeats the verbatim-forward fast path).
     envelope_all: bool = False
@@ -222,16 +253,23 @@ class RoutingState:
                 pointer_key.setdefault(str(var), fp)
         return cls(path, st, program, fps, pointer_key)
 
-    def assign_homes(self, ring: HashRing, epsilon: float) -> None:
+    def assign_homes(self, ring: HashRing, epsilon: float,
+                     observed: Optional[Dict[str, int]] = None) -> None:
         """Balance this file's cluster keys over ``ring`` with bounded
         loads.  A key's weight is how many of the file's pointers route
-        through it — exactly the per-key query load — so the busiest
-        shard's *traffic* share is what the bound caps, not just its
-        key count.  Deterministic: rebuilding the same file recreates
-        the same placement."""
+        through it — exactly the per-key query load — plus any
+        ``observed`` per-key query counts (live counters, or the
+        journal's recovered weights after a coordinator restart), which
+        refine the static estimate with how traffic actually skews.
+        Deterministic: rebuilding the same file with the same observed
+        counts recreates the same placement."""
         weights: Dict[str, float] = {fp: 0.0 for fp in self.fingerprints}
         for fp in self.pointer_key.values():
             weights[fp] = weights.get(fp, 0.0) + 1.0
+        if observed:
+            for fp, count in observed.items():
+                if fp in weights:
+                    weights[fp] += float(count)
         self.homes = ring.assign(weights, epsilon=epsilon)
         self.homes.setdefault(self.file_key,
                               ring.node_for(self.file_key) or "")
@@ -273,10 +311,31 @@ class FleetCoordinator:
         self.started = time.time()
         self.reroutes = 0
         self.respawns = 0
+        self.deadline_sheds = 0
+        self.hedges = 0
+        self.hedges_won = 0
+        self._hedge_eligible = 0
+        self._latencies: Deque[float] = deque(
+            maxlen=self.config.hedge_window)
+        self.governor = RespawnGovernor(
+            backoff=self.config.respawn_backoff,
+            max_backoff=self.config.respawn_max_backoff,
+            window=self.config.crash_loop_window,
+            threshold=self.config.crash_loop_threshold)
+        self.journal: Optional[CoordinatorJournal] = None
+        if self.config.journal_dir is not None:
+            self.journal = CoordinatorJournal(
+                self.config.journal_dir,
+                compact_every=self.config.journal_compact_every)
+        self.recovered: Dict[str, Any] = {}
         self._errors = 0
         self._method_count: Dict[str, int] = {}
         self._routing: "OrderedDict[str, RoutingState]" = OrderedDict()
         self._routing_locks: Dict[str, asyncio.Lock] = {}
+        #: path -> cluster key -> queries observed (journaled so a
+        #: restarted coordinator re-places keys by real traffic).
+        self._query_counts: Dict[str, Dict[str, int]] = {}
+        self._weight_dirty: Dict[str, int] = {}
         self._draining = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -320,6 +379,7 @@ class FleetCoordinator:
                 except (NotImplementedError, RuntimeError):
                     break
         await self._start_workers()
+        await self._recover_from_journal()
         if self.socket_path is not None:
             try:
                 os.unlink(self.socket_path)
@@ -352,6 +412,30 @@ class FleetCoordinator:
                     os.unlink(self.socket_path)
                 except OSError:
                     pass
+
+    async def _recover_from_journal(self) -> None:
+        """Warm restart: replay the journal's served files and observed
+        weights, then rebuild each file's routing state (best effort —
+        a file deleted while the coordinator was down just drops out)
+        before the front door opens, so the first post-crash query
+        routes exactly where the pre-crash coordinator would have sent
+        it."""
+        if self.journal is None:
+            return
+        t0 = time.perf_counter()
+        files, weights = self.journal.load()
+        self._query_counts = {path: dict(counts)
+                              for path, counts in weights.items()}
+        rebuilt = 0
+        for path in files:
+            if await self._routing_state(path) is not None:
+                rebuilt += 1
+        self.recovered = {
+            "files": len(files),
+            "rebuilt": rebuilt,
+            "weighted_keys": sum(len(c) for c in weights.values()),
+            "seconds": time.perf_counter() - t0,
+        }
 
     async def _wait_for_drain(self) -> None:
         deadline = time.monotonic() + self.config.drain_grace
@@ -398,20 +482,29 @@ class FleetCoordinator:
     # healing
     # ------------------------------------------------------------------
     async def _probe_loop(self) -> None:
-        """Respawn dead spawned workers; ping through half-open
-        breakers.  A probe success closes the breaker — the shard's key
-        range snaps back home and re-warms from the shared disk cache."""
+        """Respawn dead spawned workers — paced by the
+        :class:`RespawnGovernor`'s backoff and crash-loop breaker — and
+        ping through half-open breakers.  A probe success closes the
+        breaker: the shard's key range snaps back home and re-warms
+        from the shared disk cache.  A parked worker is neither
+        respawned nor probed; its keys stay rerouted."""
         ping = protocol.encode({"id": "fleet-probe", "method": "ping",
                                 "v": PROTOCOL_VERSION})
         loop = asyncio.get_event_loop()
         while True:
             await asyncio.sleep(self.config.probe_interval)
             for shard in self.shards.values():
+                local = shard.local
+                if local is not None and not local.alive:
+                    self.governor.note_death(shard.name, local.spawns)
                 if not shard.breaker.is_open:
                     continue
-                local = shard.local
+                if self.governor.is_parked(shard.name):
+                    continue
                 if local is not None and not local.alive \
                         and self.config.respawn:
+                    if not self.governor.may_respawn(shard.name):
+                        continue
                     try:
                         host, port = await loop.run_in_executor(
                             None, local.spawn)
@@ -429,6 +522,7 @@ class FleetCoordinator:
                 else:
                     shard.breaker.record_success()
                     shard.heals += 1
+                    self.governor.note_settled(shard.name)
 
     # ------------------------------------------------------------------
     # front door
@@ -442,6 +536,14 @@ class FleetCoordinator:
         concurrent connections.  Oversized lines get a structured error
         and the stream resyncs at the next newline, exactly like the
         threaded daemon.
+
+        Dispatch races against the connection itself: the handler keeps
+        one read pending while a request is in flight, so a client that
+        disconnects mid-request *cancels* the dispatch — its admission
+        token is released in ``_route``'s ``finally`` and any in-flight
+        worker future is abandoned (the link's FIFO guard discards the
+        late response) — instead of the abandoned query holding fleet
+        capacity until a timeout.
         """
         max_bytes = self.config.server.max_request_bytes
         buf = b""
@@ -450,12 +552,10 @@ class FleetCoordinator:
             None, protocol.REQUEST_TOO_LARGE,
             f"request line exceeds {max_bytes} bytes",
             {"max_request_bytes": max_bytes}))
+        read_task: Optional[asyncio.Task] = None
+        dispatch_task: Optional[asyncio.Task] = None
         try:
             while True:
-                chunk = await reader.read(65536)
-                if not chunk:
-                    return
-                buf += chunk
                 while b"\n" in buf:
                     line, buf = buf.split(b"\n", 1)
                     if discarding:
@@ -467,13 +567,53 @@ class FleetCoordinator:
                         writer.write(too_large)
                         await writer.drain()
                         continue
-                    writer.write(await self.dispatch_line(line))
+                    dispatch_task = asyncio.ensure_future(
+                        self.dispatch_line(line))
+                    while not dispatch_task.done():
+                        # Read-ahead doubles as disconnect detection,
+                        # but stops once the buffer is oversized — the
+                        # flood waits (backpressure) for the in-flight
+                        # response rather than growing memory.
+                        if read_task is None and len(buf) <= max_bytes:
+                            read_task = asyncio.ensure_future(
+                                reader.read(65536))
+                        waiting = {dispatch_task}
+                        if read_task is not None:
+                            waiting.add(read_task)
+                        await asyncio.wait(
+                            waiting,
+                            return_when=asyncio.FIRST_COMPLETED)
+                        if read_task is not None and read_task.done():
+                            chunk = read_task.result()
+                            read_task = None
+                            if not chunk:
+                                # Client gone mid-request: abandon the
+                                # dispatch; nobody is owed the answer.
+                                dispatch_task.cancel()
+                                try:
+                                    await dispatch_task
+                                except asyncio.CancelledError:
+                                    pass
+                                dispatch_task = None
+                                return
+                            buf += chunk
+                    response = dispatch_task.result()
+                    dispatch_task = None
+                    writer.write(response)
                     await writer.drain()
                 if not discarding and len(buf) > max_bytes:
                     writer.write(too_large)
                     await writer.drain()
                     buf = b""
                     discarding = True
+                if read_task is None:
+                    read_task = asyncio.ensure_future(
+                        reader.read(65536))
+                chunk = await read_task
+                read_task = None
+                if not chunk:
+                    return
+                buf += chunk
         except (ConnectionError, asyncio.IncompleteReadError):
             return
         except asyncio.CancelledError:
@@ -481,6 +621,9 @@ class FleetCoordinator:
             # handler quietly, the front server is already closed.
             return
         finally:
+            for task in (read_task, dispatch_task):
+                if task is not None and not task.done():
+                    task.cancel()
             try:
                 writer.close()
             except Exception:  # noqa: BLE001
@@ -495,12 +638,17 @@ class FleetCoordinator:
             request_id = request.get("id")
             request_id, method, params = \
                 protocol.validate_request(request)
+            deadline = protocol.request_deadline(request)
         except RequestError as exc:
             self._errors += 1
             return protocol.encode(protocol.err(
                 request_id, exc.code, str(exc), exc.data))
         self._method_count[method] = \
             self._method_count.get(method, 0) + 1
+        budget = protocol.remaining(deadline)
+        if budget is not None and budget <= 0:
+            # Expired before routing even starts: shed, don't route.
+            return self._shed(request_id, deadline)
         if self._draining and method not in ("stats", "fleet_status"):
             self._errors += 1
             return protocol.encode(protocol.err(
@@ -508,7 +656,14 @@ class FleetCoordinator:
                 "coordinator is shutting down"))
         if method in _LOCAL_METHODS:
             return await self._handle_local(request_id, method)
-        return await self._route(request, request_id, method, params)
+        return await self._route(request, request_id, method, params,
+                                 deadline=deadline)
+
+    def _shed(self, request_id: Any, deadline: float) -> bytes:
+        self._errors += 1
+        self.deadline_sheds += 1
+        return protocol.encode(protocol.deadline_err(
+            request_id, deadline, "coordinator"))
 
     # ------------------------------------------------------------------
     # local methods
@@ -542,7 +697,12 @@ class FleetCoordinator:
                 or self.ring.node_for(rs.file_key),
                 "shares": shares,
             }
-        return {
+        workers = {}
+        for name, shard in sorted(self.shards.items()):
+            status = shard.status()
+            status["respawn"] = self.governor.status(name)
+            workers[name] = status
+        out = {
             "role": "coordinator",
             "protocol": PROTOCOL_VERSION,
             "address": self.address,
@@ -550,15 +710,30 @@ class FleetCoordinator:
             "uptime_seconds": time.time() - self.started,
             "ring": {"nodes": self.ring.nodes(),
                      "replicas": self.ring.replicas},
-            "workers": {name: shard.status()
-                        for name, shard in sorted(self.shards.items())},
+            "workers": workers,
             "admission": self.admission.stats(),
             "requests": dict(sorted(self._method_count.items())),
             "errors": self._errors,
             "reroutes": self.reroutes,
             "respawns": self.respawns,
+            "deadline_sheds": self.deadline_sheds,
+            "hedging": {
+                "enabled": self.config.hedge,
+                "issued": self.hedges,
+                "won": self.hedges_won,
+                "eligible": self._hedge_eligible,
+                "rate": (self.hedges / self._hedge_eligible
+                         if self._hedge_eligible else 0.0),
+                "delay": self._hedge_delay(),
+            },
             "files": files,
         }
+        if self.journal is not None:
+            journal = self.journal.stats()
+            if self.recovered:
+                journal["recovered"] = self.recovered
+            out["journal"] = journal
+        return out
 
     async def _aggregate_stats(self) -> Dict[str, Any]:
         async def one(shard: _Shard) -> Tuple[str, Any]:
@@ -609,7 +784,10 @@ class FleetCoordinator:
             except (ReproError, OSError, RequestError):
                 self._routing.pop(path, None)
                 return None
-            rs.assign_homes(self.ring, self.config.balance_epsilon)
+            rs.assign_homes(self.ring, self.config.balance_epsilon,
+                            observed=self._query_counts.get(path))
+            if self.journal is not None:
+                self.journal.record_file(path)
             self._routing[path] = rs
             self._routing.move_to_end(path)
             while len(self._routing) > self.config.server.max_files:
@@ -632,8 +810,14 @@ class FleetCoordinator:
         path = os.path.abspath(file_param)
         if method == "invalidate":
             # Drop our map too — the file's cluster keys are about to
-            # change; rebuilt lazily on the next routed query.
+            # change; rebuilt lazily on the next routed query.  The
+            # journal forgets the weights with the keys (they name
+            # fingerprints that no longer exist).
             self._routing.pop(path, None)
+            self._query_counts.pop(path, None)
+            self._weight_dirty.pop(path, None)
+            if self.journal is not None:
+                self.journal.forget_file(path)
         rs = await self._routing_state(path)
         if rs is None:
             return "path:" + path, None
@@ -643,12 +827,154 @@ class FleetCoordinator:
             if isinstance(name, str) and name:
                 key = rs.key_for_pointer(name)
                 if key is not None:
+                    self._note_query(path, key)
                     return key, rs.homes.get(key)
+        self._note_query(path, rs.file_key)
         return rs.file_key, rs.homes.get(rs.file_key)
 
+    def _note_query(self, path: str, key: str) -> None:
+        """Count one query against ``path``'s ``key``; journal the
+        file's counts every ``weights_flush_every`` hits so a restarted
+        coordinator re-places keys by observed traffic."""
+        counts = self._query_counts.setdefault(path, {})
+        counts[key] = counts.get(key, 0) + 1
+        if self.journal is None:
+            return
+        dirty = self._weight_dirty.get(path, 0) + 1
+        if dirty >= self.config.weights_flush_every:
+            self._weight_dirty[path] = 0
+            self.journal.record_weights(path, counts)
+        else:
+            self._weight_dirty[path] = dirty
+
+    def _call_timeout(self, budget: Optional[float]) -> float:
+        """The worker-call timeout: the configured bound, tightened to
+        the request's remaining budget (plus a small grace so the
+        worker's own deadline shed — a valid, structured answer —
+        normally wins the race against our timer)."""
+        timeout = self.config.worker_timeout
+        if budget is not None:
+            timeout = min(timeout, budget + 0.05)
+        return timeout
+
+    def _hedge_delay(self) -> Optional[float]:
+        """How long a warm query may sit on its home shard before a
+        hedge fires: the p95 of recent primary latencies, floored at
+        ``hedge_min_delay``; ``None`` until enough observations."""
+        lat = sorted(self._latencies)
+        if len(lat) < self.config.hedge_min_observations:
+            return None
+        p95 = lat[min(len(lat) - 1, int(0.95 * len(lat)))]
+        return max(self.config.hedge_min_delay, p95)
+
+    def _hedge_allowed(self) -> bool:
+        """Rate cap: hedges issued stay within ``hedge_max_fraction``
+        of hedge-eligible traffic."""
+        return (self.hedges + 1) <= (self.config.hedge_max_fraction
+                                     * self._hedge_eligible)
+
+    async def _call_hedged(self, primary: "_Shard", pref: List[str],
+                           frame: bytes, timeout: float,
+                           request_id: Any
+                           ) -> Tuple[bytes, str, bool]:
+        """One primary call with tail hedging: if the primary sits past
+        the hedge delay, duplicate the frame to the first healthy ring
+        successor; first answer wins and the loser is cancelled (safe —
+        the link's FIFO guard discards an abandoned future's late
+        response without misaligning the connection).
+
+        Returns ``(raw, winner_name, hedged_won)``.  Raises
+        :class:`WorkerError` only when every issued call failed;
+        breaker accounting for *failed* calls happens here (a merely
+        slow, cancelled loser is not a failure).
+        """
+        self._hedge_eligible += 1
+        task = asyncio.ensure_future(
+            primary.link.call_raw(frame, timeout=timeout,
+                                  expect_id=request_id))
+        delay = self._hedge_delay()
+        t0 = time.monotonic()
+        if delay is not None:
+            try:
+                raw = await asyncio.wait_for(asyncio.shield(task), delay)
+                self._latencies.append(time.monotonic() - t0)
+                return raw, primary.name, False
+            except asyncio.TimeoutError:
+                pass
+            except asyncio.CancelledError:
+                # The caller (a disconnected client) is gone: the
+                # shield kept the task alive through wait_for, so
+                # cancel it explicitly before propagating.
+                task.cancel()
+                raise
+            except WorkerError:
+                primary.breaker.record_failure()
+                raise
+        else:
+            # Not enough latency history yet: plain call, observe it.
+            try:
+                raw = await task
+            except WorkerError:
+                primary.breaker.record_failure()
+                raise
+            self._latencies.append(time.monotonic() - t0)
+            return raw, primary.name, False
+        hedge_shard = None
+        if self._hedge_allowed():
+            for name in pref[1:]:
+                candidate = self.shards.get(name)
+                if candidate is not None \
+                        and not candidate.breaker.is_open:
+                    hedge_shard = candidate
+                    break
+        if hedge_shard is None:
+            # Capped out (or nowhere to hedge): ride the primary.
+            try:
+                raw = await task
+            except WorkerError:
+                primary.breaker.record_failure()
+                raise
+            self._latencies.append(time.monotonic() - t0)
+            return raw, primary.name, False
+        self.hedges += 1
+        hedge_task = asyncio.ensure_future(
+            hedge_shard.link.call_raw(frame, timeout=timeout,
+                                      expect_id=request_id))
+        tasks = {task: primary, hedge_task: hedge_shard}
+        pending = set(tasks)
+        last_error: Optional[WorkerError] = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED)
+                for finished in done:
+                    shard = tasks[finished]
+                    try:
+                        raw = finished.result()
+                    except WorkerError as exc:
+                        shard.breaker.record_failure()
+                        last_error = exc
+                        continue
+                    if finished is task:
+                        self._latencies.append(time.monotonic() - t0)
+                        return raw, primary.name, False
+                    self.hedges_won += 1
+                    return raw, hedge_shard.name, True
+            raise last_error or WorkerError("hedged call failed")
+        finally:
+            for leftover in pending:
+                leftover.cancel()
+
     async def _route(self, request: Dict[str, Any], request_id: Any,
-                     method: str, params: Dict[str, Any]) -> bytes:
+                     method: str, params: Dict[str, Any],
+                     deadline: Optional[float] = None) -> bytes:
         key, placed = await self._shard_key(method, params)
+        budget = protocol.remaining(deadline)
+        if budget is not None and budget <= 0:
+            # Expired while the routing state was (re)built — the
+            # coordinator's queue time — so shed before touching a
+            # worker.
+            return self._shed(request_id, deadline)
         pref = self.ring.preference(key)
         if placed is not None and placed in self.shards \
                 and pref and pref[0] != placed:
@@ -673,22 +999,45 @@ class FleetCoordinator:
                     last_error = last_error or WorkerError(
                         f"shard {name} circuit breaker is open")
                     continue
+                budget = protocol.remaining(deadline)
+                if budget is not None and budget <= 0:
+                    return self._shed(request_id, deadline)
+                timeout = self._call_timeout(budget)
+                hedged = False
                 try:
-                    raw = await shard.link.call_raw(frame)
+                    if i == 0 and self.config.hedge:
+                        raw, winner, hedged = await self._call_hedged(
+                            shard, pref, frame, timeout, request_id)
+                    else:
+                        raw = await shard.link.call_raw(
+                            frame, timeout=timeout,
+                            expect_id=request_id)
+                        winner = name
                 except WorkerError as exc:
-                    shard.breaker.record_failure()
+                    if protocol.remaining(deadline) is not None \
+                            and protocol.remaining(deadline) <= 0:
+                        # The budget elapsed, not the worker's fault:
+                        # shed without blaming the shard's breaker
+                        # (``_call_hedged`` records real failures
+                        # itself before raising).
+                        return self._shed(request_id, deadline)
+                    if not (i == 0 and self.config.hedge):
+                        shard.breaker.record_failure()
                     last_error = exc
                     continue
-                shard.breaker.record_success()
-                if i == 0 and not self.config.envelope_all:
+                self.shards[winner].breaker.record_success()
+                if i == 0 and not hedged \
+                        and not self.config.envelope_all:
                     # Fast path: the worker's bytes, verbatim.
                     return raw
                 if i > 0:
                     self.reroutes += 1
-                    shard.rerouted_in += 1
+                    self.shards[winner].rerouted_in += 1
                     self.shards[home].rerouted_out += 1
-                env = protocol.envelope(name, key=key, rerouted=i > 0,
-                                        home=home if i > 0 else None)
+                env = protocol.envelope(
+                    winner, key=key, rerouted=i > 0,
+                    home=home if (i > 0 or hedged) else None,
+                    hedged=hedged)
                 response = protocol.decode(raw)
                 return protocol.encode(
                     protocol.with_envelope(response, env))

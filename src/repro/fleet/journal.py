@@ -1,0 +1,225 @@
+"""Crash-safe coordinator state: an append-only checksummed journal.
+
+A coordinator crash used to cost every piece of learned routing state:
+which files the fleet serves (so a restart re-bootstraps them lazily,
+one cold query at a time) and how query traffic actually distributes
+over each file's cluster keys (the observed weights that refine the
+bounded-load placement beyond the static pointers-per-cluster
+estimate).  :class:`CoordinatorJournal` makes both durable with the
+classic two-tier scheme:
+
+* ``snapshot.json`` — the full state, written atomically (temp file,
+  fsync, rename) so it is always either the old or the new snapshot,
+  never a torn hybrid;
+* ``journal.jsonl`` — appended records since the snapshot, one JSON
+  object per line, each prefixed with its own CRC32.  Appends are not
+  fsynced (losing the last few records to a power cut costs a little
+  warmth, not correctness — every record is a cache of observations),
+  but the checksum means a torn or corrupted tail is *detected* and
+  replay stops at the last intact record instead of loading garbage.
+
+Records are idempotent — ``file`` adds a path, ``weights`` replaces a
+path's counts wholesale — so replaying a stale journal suffix over a
+newer snapshot (the window between snapshot rename and journal
+truncation) converges to the same state.  ``load`` folds the journal
+into a fresh snapshot and truncates it, so corruption never accretes
+and the journal stays short across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+SNAPSHOT = "snapshot.json"
+JOURNAL = "journal.jsonl"
+
+
+def _crc_line(body: bytes) -> bytes:
+    return b"%08x %s\n" % (zlib.crc32(body) & 0xFFFFFFFF, body)
+
+
+def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """The record a journal line carries, or ``None`` when the line is
+    torn, corrupted, or fails its checksum."""
+    parts = line.rstrip(b"\n").split(b" ", 1)
+    if len(parts) != 2:
+        return None
+    crc, body = parts
+    try:
+        if int(crc, 16) != (zlib.crc32(body) & 0xFFFFFFFF):
+            return None
+        obj = json.loads(body)
+    except ValueError:
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    import tempfile
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".snapshot-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+class CoordinatorJournal:
+    """Durable served-files + query-weights state for one coordinator."""
+
+    def __init__(self, root: str, compact_every: int = 256) -> None:
+        self.root = root
+        self.compact_every = compact_every
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+        #: Served file paths, in first-seen order.
+        self.files: Dict[str, None] = {}
+        #: path -> cluster key -> observed query count.
+        self.weights: Dict[str, Dict[str, int]] = {}
+        self._pending_lines = 0
+        self.records = 0
+        self.compactions = 0
+        self.recovered_files = 0
+        self.dropped_lines = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.root, SNAPSHOT)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, JOURNAL)
+
+    def load(self) -> Tuple[List[str], Dict[str, Dict[str, int]]]:
+        """Recover state: snapshot, then every intact journal record.
+        The result is immediately re-snapshotted and the journal
+        truncated, so recovery also repairs a torn tail."""
+        with self._lock:
+            self.files = {}
+            self.weights = {}
+            try:
+                with open(self.snapshot_path, "rb") as handle:
+                    snap = json.loads(handle.read())
+                if isinstance(snap, dict):
+                    for path in snap.get("files", ()):
+                        if isinstance(path, str):
+                            self.files[path] = None
+                    weights = snap.get("weights", {})
+                    if isinstance(weights, dict):
+                        for path, counts in weights.items():
+                            if isinstance(counts, dict):
+                                self.weights[path] = {
+                                    str(k): int(v)
+                                    for k, v in counts.items()}
+            except (OSError, ValueError):
+                pass
+            try:
+                with open(self.journal_path, "rb") as handle:
+                    for line in handle:
+                        record = _parse_line(line)
+                        if record is None:
+                            # Torn/corrupt tail: everything before it
+                            # is intact, nothing after is trusted.
+                            self.dropped_lines += 1
+                            break
+                        self._apply(record)
+            except OSError:
+                pass
+            self.recovered_files = len(self.files)
+            self._compact_locked()
+            return list(self.files), {p: dict(c)
+                                      for p, c in self.weights.items()}
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record.get("t")
+        if kind == "file" and isinstance(record.get("path"), str):
+            self.files[record["path"]] = None
+        elif kind == "weights" and isinstance(record.get("path"), str) \
+                and isinstance(record.get("counts"), dict):
+            self.weights[record["path"]] = {
+                str(k): int(v) for k, v in record["counts"].items()}
+
+    # ------------------------------------------------------------------
+    def record_file(self, path: str) -> None:
+        """Note a newly served file (idempotent)."""
+        with self._lock:
+            if path in self.files:
+                return
+            self.files[path] = None
+            self._append({"t": "file", "path": path})
+
+    def record_weights(self, path: str, counts: Dict[str, int]) -> None:
+        """Replace the observed query counts for ``path``'s keys."""
+        with self._lock:
+            self.weights[path] = dict(counts)
+            self._append({"t": "weights", "path": path,
+                          "counts": dict(counts)})
+
+    def forget_file(self, path: str) -> None:
+        """Drop a file (invalidate): its keys are about to change, so
+        stale weights must not outlive them."""
+        with self._lock:
+            changed = self.files.pop(path, "absent") is None
+            changed = bool(self.weights.pop(path, None)) or changed
+            if changed:
+                self._compact_locked()
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        body = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        try:
+            with open(self.journal_path, "ab") as handle:
+                handle.write(_crc_line(body))
+        except OSError:
+            return
+        self.records += 1
+        self._pending_lines += 1
+        if self._pending_lines >= self.compact_every:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        snap = json.dumps({"files": list(self.files),
+                           "weights": self.weights},
+                          sort_keys=True).encode("utf-8")
+        try:
+            _atomic_write(self.snapshot_path, snap)
+            with open(self.journal_path, "wb"):
+                pass
+        except OSError:
+            return
+        self._pending_lines = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "root": self.root,
+                "files": len(self.files),
+                "weighted_files": len(self.weights),
+                "records": self.records,
+                "compactions": self.compactions,
+                "recovered_files": self.recovered_files,
+                "dropped_lines": self.dropped_lines,
+            }

@@ -1,0 +1,105 @@
+"""Respawn pacing: exponential backoff and the crash-loop breaker.
+
+PR 8's probe loop respawned a dead spawned worker as soon as it noticed
+the corpse — correct for a one-off crash, pathological for a worker
+that dies on arrival (a bad flag, a poisoned cache entry, an OOM-sized
+file): the coordinator would burn a CPU hot-looping fork/exec while the
+shard never actually serves.  :class:`RespawnGovernor` turns respawn
+into a governed decision:
+
+* consecutive deaths back off exponentially (``backoff * factor**n``,
+  capped at ``max_backoff``), so a flapping worker costs less each
+  round while a healthy restart is still immediate;
+* ``threshold`` deaths inside a sliding ``window`` trip the crash-loop
+  breaker: the worker is **parked** — never respawned again this run —
+  and its shard stays rerouted (the shard breaker is already open, so
+  the ring's successor order carries its keys), which is the fleet's
+  "this machine is bad, stop feeding it" verdict;
+* a spawn that *sticks* (the governor sees a success recorded after the
+  worker served traffic) resets the consecutive count, so one bad
+  night does not haunt the worker forever.
+
+The clock is injectable so the unit tests drive the window and backoff
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict
+
+
+class RespawnGovernor:
+    """Per-worker respawn pacing with a crash-loop breaker."""
+
+    def __init__(self, backoff: float = 0.5, factor: float = 2.0,
+                 max_backoff: float = 30.0, window: float = 30.0,
+                 threshold: int = 5,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.backoff = backoff
+        self.factor = factor
+        self.max_backoff = max_backoff
+        self.window = window
+        self.threshold = threshold
+        self._clock = clock
+        self._deaths: Dict[str, Deque[float]] = {}
+        self._consecutive: Dict[str, int] = {}
+        self._next_allowed: Dict[str, float] = {}
+        self._seen_generation: Dict[str, int] = {}
+        self._parked: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def note_death(self, name: str, generation: int) -> bool:
+        """Record that worker ``name``'s spawn ``generation`` died.
+        Idempotent per generation (the probe loop polls, the governor
+        counts each corpse once); returns True when this call newly
+        recorded a death."""
+        if self._seen_generation.get(name) == generation:
+            return False
+        self._seen_generation[name] = generation
+        now = self._clock()
+        deaths = self._deaths.setdefault(
+            name, deque(maxlen=max(self.threshold, 1)))
+        deaths.append(now)
+        self._consecutive[name] = self._consecutive.get(name, 0) + 1
+        recent = [t for t in deaths if now - t <= self.window]
+        if len(recent) >= self.threshold and name not in self._parked:
+            self._parked[name] = (
+                f"{len(recent)} deaths in {self.window:.0f}s")
+        delay = min(self.max_backoff,
+                    self.backoff
+                    * self.factor ** (self._consecutive[name] - 1))
+        self._next_allowed[name] = now + delay
+        return True
+
+    def note_settled(self, name: str) -> None:
+        """The latest spawn stuck (served real traffic): clear the
+        consecutive-death streak so future backoff starts small.  A
+        parked worker stays parked — serving one answer does not refute
+        a crash loop."""
+        self._consecutive[name] = 0
+
+    def may_respawn(self, name: str) -> bool:
+        """Is a respawn of ``name`` allowed right now?"""
+        if name in self._parked:
+            return False
+        return self._clock() >= self._next_allowed.get(name, 0.0)
+
+    def is_parked(self, name: str) -> bool:
+        return name in self._parked
+
+    # ------------------------------------------------------------------
+    def status(self, name: str) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "deaths": len(self._deaths.get(name, ())),
+            "consecutive": self._consecutive.get(name, 0),
+            "parked": name in self._parked,
+        }
+        reason = self._parked.get(name)
+        if reason is not None:
+            out["parked_reason"] = reason
+        wait = self._next_allowed.get(name, 0.0) - self._clock()
+        if wait > 0 and name not in self._parked:
+            out["next_respawn_in"] = wait
+        return out

@@ -31,6 +31,7 @@ request — so the link drops it and reconnects fresh.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import re
 import subprocess
@@ -45,6 +46,10 @@ from ..errors import ReproError
 #: StreamReader limit for worker responses (diagnostics on big files
 #: can be megabytes; the default 64 KiB readline limit would truncate).
 RESPONSE_LIMIT = 32 * 1024 * 1024
+
+#: Sentinel for ``call_raw(expect_id=...)``: ``None`` is a legal
+#: request id, so absence needs its own marker.
+_NO_ID = object()
 
 _LISTEN_RE = re.compile(r"listening on tcp:([0-9.]+):(\d+)")
 
@@ -293,8 +298,16 @@ class WorkerLink:
         return self._pool[self._rr]
 
     async def call_raw(self, frame: bytes,
-                       timeout: Optional[float] = None) -> bytes:
-        """One frame out, one raw response line back."""
+                       timeout: Optional[float] = None,
+                       expect_id: Any = _NO_ID) -> bytes:
+        """One frame out, one raw response line back.
+
+        With ``expect_id``, the response must be a JSON object echoing
+        that request id — anything else (truncated or garbled bytes, a
+        misaligned frame) poisons the connection and raises
+        :class:`WorkerError`, so corruption on the wire becomes a
+        breaker-visible failure instead of bytes forwarded to a client.
+        """
         conn = await self._get_conn()
         fut = conn.send(frame)
         try:
@@ -311,6 +324,19 @@ class WorkerLink:
         except WorkerError:
             self.failures += 1
             raise
+        if expect_id is not _NO_ID:
+            try:
+                obj = json.loads(line)
+                echoed = obj.get("id") if isinstance(obj, dict) \
+                    else _NO_ID
+            except ValueError:
+                echoed = _NO_ID
+            if echoed != expect_id:
+                self.failures += 1
+                await conn.close()
+                raise WorkerError(
+                    f"worker {self.name} answered with a garbled or "
+                    f"misaligned frame (expected id {expect_id!r})")
         self.served += 1
         return line
 

@@ -17,6 +17,15 @@ idempotent query, so resending after a reconnect is safe; a client
 *timeout* is never retried (the analysis may still be running — a
 resend would double the work and the wait).  Pass
 ``reconnect_attempts=0`` for the old fail-fast behavior.
+
+Every call may carry an end-to-end **deadline** (absolute
+``time.time()`` seconds, set per call or derived from the client-wide
+``deadline`` budget): the client stamps it on the wire so every hop
+downstream can shed expired work, refuses to *send* a request whose
+deadline already passed, and stops *waiting* the moment the deadline
+expires — both surface as the same structured ``DEADLINE_EXCEEDED``
+error a server-side shed produces, so callers handle one failure mode,
+not three.
 """
 
 from __future__ import annotations
@@ -50,13 +59,19 @@ class ServerClient:
                  host: str = "127.0.0.1", port: Optional[int] = None,
                  timeout: float = 300.0,
                  reconnect_attempts: int = 3,
-                 reconnect_backoff: float = 0.05) -> None:
+                 reconnect_backoff: float = 0.05,
+                 deadline: Optional[float] = None) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("pass exactly one of socket_path or port")
         self.socket_path = socket_path
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Per-call end-to-end budget in seconds; each call without an
+        #: explicit ``deadline=`` argument gets ``now + deadline``
+        #: stamped on the wire.  ``None`` keeps the legacy unbounded
+        #: behavior (the transport ``timeout`` still applies).
+        self.deadline = deadline
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_backoff = reconnect_backoff
         #: How many times this client re-established its connection.
@@ -130,22 +145,52 @@ class ServerClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def call(self, method: str, **params: Any) -> Any:
+    def _shed(self, deadline: float, where: str) -> "ServerError":
+        """The client-side mirror of a server-side deadline shed: the
+        same code and data shape, so callers see one failure mode."""
+        error = protocol.deadline_err(None, deadline, where)["error"]
+        return ServerError(error["code"], error["message"],
+                           error["data"])
+
+    def call(self, method: str, deadline: Optional[float] = None,
+             **params: Any) -> Any:
         """One request/response round-trip; raises :class:`ServerError`
         on an error response, and reconnects (bounded, with backoff)
-        before resending when the connection itself drops."""
+        before resending when the connection itself drops.
+
+        ``deadline`` is absolute (``time.time()`` seconds); when absent
+        the client-wide ``deadline`` budget applies.  An expired
+        deadline is shed *before* any bytes are sent, and the wait for
+        a response never outlives it.
+        """
+        if deadline is None and self.deadline is not None:
+            deadline = time.time() + self.deadline
         self._next_id += 1
         request_id = self._next_id
-        frame = protocol.encode({"id": request_id, "method": method,
-                                 "params": params})
+        request: Dict[str, Any] = {"id": request_id, "method": method,
+                                   "params": params}
+        if deadline is not None:
+            request["deadline"] = deadline
+        frame = protocol.encode(request)
         line = b""
         for attempt in range(self.reconnect_attempts + 1):
+            budget = protocol.remaining(deadline)
+            if budget is not None and budget <= 0:
+                # Expired in the client: never sent, nothing to undo.
+                raise self._shed(deadline, "client")
             try:
                 if self._sock is None:
                     self._connect_with_backoff()
+                if budget is not None:
+                    self._sock.settimeout(min(self.timeout, budget))
                 self._sock.sendall(frame)
                 line = self._file.readline()
             except socket.timeout:
+                if protocol.remaining(deadline) is not None \
+                        and protocol.remaining(deadline) <= 0:
+                    # The wait outlived the caller's patience; stop
+                    # waiting (the server sheds its side on its own).
+                    raise self._shed(deadline, "client")
                 # The analysis may still be running server-side; a
                 # resend would double the work *and* the wait.
                 raise
@@ -155,6 +200,9 @@ class ServerClient:
                                       f"connection lost: {exc}")
                 self._connect_with_backoff()
                 continue
+            finally:
+                if budget is not None and self._sock is not None:
+                    self._sock.settimeout(self.timeout)
             if line:
                 break
             # Orderly close mid-call: the daemon restarted under us.

@@ -54,6 +54,7 @@ class AliasServer:
         self.started = time.time()
         self._monotonic0 = time.perf_counter()
         self._stats_lock = threading.Lock()
+        self._tls = threading.local()
         self._method_count: Dict[str, int] = {}
         self._method_seconds: Dict[str, float] = {}
         self._errors = 0
@@ -90,8 +91,10 @@ class AliasServer:
         request_id = request.get("id") if isinstance(request, dict) else None
         t0 = time.perf_counter()
         method = "?"
+        deadline: Optional[float] = None
         try:
             request_id, method, params = protocol.validate_request(request)
+            deadline = protocol.request_deadline(request)
             if self._draining and method != "stats":
                 raise RequestError(protocol.SHUTTING_DOWN,
                                    "server is shutting down")
@@ -101,7 +104,18 @@ class AliasServer:
                     protocol.METHOD_NOT_FOUND,
                     f"unknown method {method!r} "
                     f"(have: {', '.join(sorted(self._methods))})")
-            result = handler(params)
+            budget = protocol.remaining(deadline)
+            if budget is not None and budget <= 0:
+                # Expired in the queue: shed before any analysis runs.
+                error = protocol.deadline_err(
+                    request_id, deadline, "worker")["error"]
+                raise RequestError(error["code"], error["message"],
+                                   error.get("data"))
+            self._tls.deadline = deadline
+            try:
+                result = handler(params)
+            finally:
+                self._tls.deadline = None
             response = protocol.ok(request_id, result)
         except RequestError as exc:
             self._count_error()
@@ -120,6 +134,16 @@ class AliasServer:
             response = protocol.err(
                 request_id, protocol.INTERNAL_ERROR,
                 f"{type(exc).__name__}: {exc}")
+        budget = protocol.remaining(deadline)
+        if budget is not None and budget <= 0:
+            # Expired mid-solve: the caller stopped waiting, so a late
+            # answer (or a late error from the aborted solve) becomes
+            # the same structured shed every other hop produces — never
+            # a partial or untagged result.
+            if "error" not in response:
+                self._count_error()
+            response = protocol.deadline_err(request_id, deadline,
+                                             "worker")
         with self._stats_lock:
             self._method_count[method] = \
                 self._method_count.get(method, 0) + 1
@@ -143,29 +167,37 @@ class AliasServer:
                                f"missing string param {name!r}")
         return value
 
+    def _state(self, params: Dict[str, Any]) -> Any:
+        """The file state for ``params["file"]``, loaded under the
+        current request's deadline (if any) so an in-flight solve
+        aborts when its caller's budget runs out."""
+        return self.files.get(self._param(params, "file"),
+                              deadline=getattr(self._tls, "deadline",
+                                               None))
+
     def _m_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
         return {"pong": True, "protocol": PROTOCOL_VERSION,
                 "version": _package_version(), "pid": os.getpid()}
 
     def _m_points_to(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         return state.points_to(self._param(params, "ptr"))
 
     def _m_alias(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         return state.may_alias(self._param(params, "p"),
                                self._param(params, "q"))
 
     def _m_must_alias(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         return state.must_alias(self._param(params, "p"),
                                 self._param(params, "q"))
 
     def _m_diagnostics(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         checkers = params.get("checkers")
         if checkers is not None and (
@@ -176,7 +208,7 @@ class AliasServer:
         return state.diagnostics(checkers)
 
     def _m_taint(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         spec = params.get("spec")
         if spec is not None and not isinstance(spec, dict):
@@ -186,12 +218,12 @@ class AliasServer:
         return state.taint(spec)
 
     def _m_leaks(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         return state.leaks()
 
     def _m_deadlocks(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        state = self.files.get(self._param(params, "file"))
+        state = self._state(params)
         state.queries += 1
         threads = params.get("threads")
         if threads is not None and (

@@ -17,16 +17,28 @@ shard traffic loudly rather than answering with stale semantics.
 
 Fleet responses additionally carry a shard-aware *envelope* under the
 ``"fleet"`` key of the result (:func:`with_envelope`): which worker
-answered, the shard key the request was routed by, and whether the
-answer was **rerouted** off its home shard because that shard's circuit
-breaker was open.  Rerouted answers follow the resilience ladder's
-tagged-never-cached semantics: the envelope is attached on the way out
-and never stored, so a healed shard serves untagged answers again.
+answered, the shard key the request was routed by, whether the answer
+was **rerouted** off its home shard because that shard's circuit
+breaker was open, and whether it was won by a **hedged** duplicate
+issued when the home shard sat past the hedge delay.  Rerouted and
+hedged answers follow the resilience ladder's tagged-never-cached
+semantics: the envelope is attached on the way out and never stored,
+so a healed shard serves untagged answers again.
+
+Requests may also carry an optional ``"deadline"`` field: an *absolute*
+wall-clock time (``time.time()`` seconds) after which the caller no
+longer wants the answer.  Every hop — client, coordinator queue,
+worker, cluster solver — checks the remaining budget
+(:func:`remaining`) and sheds expired work with a structured
+:data:`DEADLINE_EXCEEDED` error instead of computing an answer nobody
+is waiting for.  A request that expires mid-solve gets the same error,
+never a partial or untagged answer.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..errors import ReproError
@@ -51,6 +63,7 @@ REQUEST_TOO_LARGE = -32005  # request line exceeds the size limit
 OVERLOADED = -32006         # admission control rejected the request
 SHARD_UNAVAILABLE = -32007  # no worker can serve the shard right now
 VERSION_MISMATCH = -32008   # request "v" differs from PROTOCOL_VERSION
+DEADLINE_EXCEEDED = -32009  # the request's end-to-end deadline expired
 
 #: Default upper bound on one request line (``ServerConfig.
 #: max_request_bytes`` tunes it per daemon).  A client that streams an
@@ -119,6 +132,42 @@ def validate_request(obj: Dict[str, Any]
     return obj.get("id"), method, params
 
 
+def request_deadline(obj: Dict[str, Any]) -> Optional[float]:
+    """The request's absolute deadline (``time.time()`` seconds), or
+    ``None``; a malformed value is rejected loudly rather than letting
+    a request run unbounded by accident."""
+    deadline = obj.get("deadline")
+    if deadline is None:
+        return None
+    if not isinstance(deadline, (int, float)) \
+            or isinstance(deadline, bool):
+        raise RequestError(INVALID_REQUEST,
+                           "deadline must be a unix timestamp (seconds)")
+    return float(deadline)
+
+
+def remaining(deadline: Optional[float]) -> Optional[float]:
+    """Seconds of budget left before ``deadline`` (may be negative);
+    ``None`` when no deadline applies."""
+    if deadline is None:
+        return None
+    return deadline - time.time()
+
+
+def deadline_err(request_id: Any,
+                 deadline: float, where: str) -> Dict[str, Any]:
+    """The structured ``DEADLINE_EXCEEDED`` response every hop sheds
+    expired requests with; ``where`` names the hop (``client`` /
+    ``coordinator`` / ``worker``) so a trace shows where the budget
+    ran out."""
+    overdue = time.time() - deadline
+    return err(request_id, DEADLINE_EXCEEDED,
+               f"deadline exceeded {overdue:.3f}s ago (shed at "
+               f"{where})",
+               {"deadline": deadline, "overdue_seconds": overdue,
+                "where": where})
+
+
 def ok(request_id: Any, result: Any) -> Dict[str, Any]:
     return {"id": request_id, "result": result}
 
@@ -133,16 +182,20 @@ def err(request_id: Any, code: int, message: str,
 
 def envelope(worker: str, key: Optional[str] = None,
              rerouted: bool = False,
-             home: Optional[str] = None) -> Dict[str, Any]:
+             home: Optional[str] = None,
+             hedged: bool = False) -> Dict[str, Any]:
     """The shard-aware envelope the fleet coordinator attaches to
     responses: which worker answered, the shard key the request was
-    routed by, and — when the home shard's breaker was open — the
-    worker the traffic was rerouted away from."""
+    routed by, whether the answer was won by a hedged duplicate, and —
+    when the traffic was moved off its home shard (breaker reroute or
+    a winning hedge) — the home worker it was moved off."""
     out: Dict[str, Any] = {"worker": worker, "v": PROTOCOL_VERSION,
                            "rerouted": bool(rerouted)}
+    if hedged:
+        out["hedged"] = True
     if key is not None:
         out["key"] = key
-    if rerouted and home is not None:
+    if (rerouted or hedged) and home is not None:
         out["home"] = home
     return out
 

@@ -251,6 +251,12 @@ class FileState:
         #: layer degraded during this load; queries touching them carry
         #: structured ``degraded-precision`` warnings.
         self.degraded: Dict[int, str] = degraded or {}
+        #: True when the load's cluster timeout was tightened to a
+        #: request deadline's remaining budget.  Such a state is served
+        #: to the request that asked for it but never kept if anything
+        #: degraded: a later unconstrained query must not inherit
+        #: precision lost to someone else's deadline.
+        self.deadline_clamped = False
         self.queries = 0
         self._must = None
         self._diagnostics: Dict[Tuple[str, ...], Dict[str, Any]] = {}
@@ -522,18 +528,31 @@ class FileStore:
         with self._lock:
             return self._locks.setdefault(path, threading.RLock())
 
-    def get(self, path: str) -> FileState:
+    def get(self, path: str,
+            deadline: Optional[float] = None) -> FileState:
         """The (possibly freshly loaded) state for ``path``; with
-        ``watch`` on, a changed file is transparently reloaded."""
+        ``watch`` on, a changed file is transparently reloaded.
+
+        ``deadline`` (absolute ``time.time()`` seconds) bounds a load
+        this call triggers: the per-cluster timeout is clamped to the
+        remaining budget so an in-flight solve aborts (or degrades,
+        when the policy allows) via the existing timeout machinery
+        instead of running past the caller's patience.  A state that
+        lost precision to such a clamp is served once and not kept.
+        """
         path = os.path.abspath(path)
         with self._file_lock(path):
             with self._lock:
                 state = self._files.get(path)
             if state is not None and self.config.watch \
                     and state.source_changed():
-                state = self._load(path, reason="changed")
+                state = self._load(path, reason="changed",
+                                   deadline=deadline)
             elif state is None:
-                state = self._load(path, reason="cold")
+                state = self._load(path, reason="cold",
+                                   deadline=deadline)
+            if state.deadline_clamped and state.refresh.degraded:
+                return state
             with self._lock:
                 self._files[path] = state
                 self._files.move_to_end(path)
@@ -562,7 +581,8 @@ class FileStore:
             return list(self._files.values())
 
     # ------------------------------------------------------------------
-    def _load(self, path: str, reason: str) -> FileState:
+    def _load(self, path: str, reason: str,
+              deadline: Optional[float] = None) -> FileState:
         from ..frontend import parse_program
         t0 = time.perf_counter()
         try:
@@ -577,13 +597,29 @@ class FileStore:
                                     path=path)
         except ReproError as exc:
             raise RequestError(ANALYSIS_ERROR, f"{path}: {exc}")
+        policy = self.config.run_policy()
+        clamped = False
+        if deadline is not None:
+            # The remaining end-to-end budget bounds every cluster of
+            # this load (a floor keeps the timeout meaningful — a
+            # deadline that tight is shed by the caller's post-check).
+            budget = max(deadline - time.time(), 0.01)
+            if policy is None:
+                policy = RunPolicy(cluster_timeout=budget,
+                                   retries=1, degrade=False)
+                clamped = True
+            elif policy.cluster_timeout is None \
+                    or policy.cluster_timeout > budget:
+                policy = dataclasses.replace(policy,
+                                             cluster_timeout=budget)
+                clamped = True
         result = BootstrapAnalyzer(
             program, self.config.bootstrap_config()).run()
         report = result.analyze_all(backend=self.config.backend,
                                     jobs=self.config.jobs,
                                     scheduler=self.config.scheduler,
                                     cache=self.clusters,
-                                    policy=self.config.run_policy(),
+                                    policy=policy,
                                     faults=self.config.inject_faults)
         degraded = report.degraded
         refresh = RefreshStats(
@@ -594,10 +630,12 @@ class FileStore:
             reason=reason,
             degraded=len(degraded))
         self.loads += 1
-        return FileState(path=path,
-                         source_hash=_source_fingerprint(source),
-                         stat=st, program=program, result=result,
-                         fingerprints=list(report.fingerprints or []),
-                         outcomes=list(report.results),
-                         refresh=refresh,
-                         degraded=degraded)
+        state = FileState(path=path,
+                          source_hash=_source_fingerprint(source),
+                          stat=st, program=program, result=result,
+                          fingerprints=list(report.fingerprints or []),
+                          outcomes=list(report.results),
+                          refresh=refresh,
+                          degraded=degraded)
+        state.deadline_clamped = clamped
+        return state

@@ -230,3 +230,37 @@ class TestServeQuery:
             thread.join(30.0)
         assert not thread.is_alive()
         assert rc["serve"] == 0
+
+
+class TestQueryDeadline:
+    def test_expired_deadline_exits_with_budget_code(self, driver_file,
+                                                     capsys):
+        import os
+        import tempfile
+        import threading
+
+        from repro.server import wait_for_server
+        sock = os.path.join(tempfile.mkdtemp(prefix="repro-cli-"),
+                            "repro.sock")
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.setdefault(
+                "serve", main(["serve", driver_file, "--socket", sock])))
+        thread.start()
+        try:
+            wait_for_server(socket_path=sock, timeout=30.0)
+            # An already-blown deadline is shed client-side with the
+            # budget exit code — the daemon never sees the query.
+            assert main(["query", "--socket", sock,
+                         "--deadline", "0.000001",
+                         "points-to", driver_file, "q"]) == 3
+            err = capsys.readouterr().err
+            assert "deadline" in err.lower()
+            # A generous one sails through.
+            assert main(["query", "--socket", sock, "--deadline", "60",
+                         "points-to", driver_file, "q"]) == 0
+            capsys.readouterr()
+        finally:
+            assert main(["query", "--socket", sock, "shutdown"]) == 0
+            thread.join(30.0)
+        assert rc["serve"] == 0

@@ -479,3 +479,275 @@ class TestFleetCLI:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(30.0)
+
+
+# ----------------------------------------------------------------------
+class TestRespawnGovernor:
+    def _governor(self, **kwargs):
+        from repro.fleet.respawn import RespawnGovernor
+        clock = {"now": 0.0}
+        kwargs.setdefault("clock", lambda: clock["now"])
+        return RespawnGovernor(**kwargs), clock
+
+    def test_first_death_backs_off_then_allows(self):
+        gov, clock = self._governor(backoff=0.5)
+        assert gov.may_respawn("w0")            # never died: immediate
+        gov.note_death("w0", generation=1)
+        assert not gov.may_respawn("w0")
+        clock["now"] = 0.5
+        assert gov.may_respawn("w0")
+
+    def test_backoff_doubles_per_consecutive_death(self):
+        gov, clock = self._governor(backoff=0.5, factor=2.0,
+                                    threshold=100)  # never parks
+        for generation, expected in ((1, 0.5), (2, 1.0), (3, 2.0)):
+            gov.note_death("w0", generation)
+            status = gov.status("w0")
+            assert status["next_respawn_in"] == pytest.approx(
+                expected, abs=1e-6)
+
+    def test_backoff_is_capped(self):
+        gov, _clock = self._governor(backoff=0.5, factor=2.0,
+                                     max_backoff=3.0, threshold=100)
+        for generation in range(1, 10):
+            gov.note_death("w0", generation)
+        assert gov.status("w0")["next_respawn_in"] <= 3.0
+
+    def test_note_death_is_idempotent_per_generation(self):
+        gov, _clock = self._governor()
+        assert gov.note_death("w0", generation=1) is True
+        assert gov.note_death("w0", generation=1) is False
+        assert gov.status("w0")["deaths"] == 1
+
+    def test_settled_resets_the_streak(self):
+        gov, clock = self._governor(backoff=0.5, factor=2.0,
+                                    threshold=100)
+        gov.note_death("w0", 1)
+        gov.note_death("w0", 2)
+        gov.note_settled("w0")
+        clock["now"] = 100.0
+        gov.note_death("w0", 3)
+        # Streak restarted: back to the base backoff, not 2.0s.
+        assert gov.status("w0")["next_respawn_in"] == pytest.approx(0.5)
+
+    def test_crash_loop_parks_the_worker(self):
+        gov, clock = self._governor(threshold=3, window=30.0)
+        for generation in (1, 2, 3):
+            clock["now"] += 1.0
+            gov.note_death("w0", generation)
+        assert gov.is_parked("w0")
+        assert not gov.may_respawn("w0")
+        status = gov.status("w0")
+        assert status["parked"] is True
+        assert "3 deaths" in status["parked_reason"]
+        # Parking is forever this run; settling does not unpark.
+        gov.note_settled("w0")
+        assert gov.is_parked("w0")
+
+    def test_slow_deaths_outside_window_never_park(self):
+        gov, clock = self._governor(threshold=3, window=5.0,
+                                    backoff=0.1)
+        for generation in (1, 2, 3, 4, 5, 6):
+            clock["now"] += 10.0                 # well spread out
+            gov.note_death("w0", generation)
+        assert not gov.is_parked("w0")
+
+    def test_workers_are_independent(self):
+        gov, _clock = self._governor(threshold=1)
+        gov.note_death("w0", 1)
+        assert gov.is_parked("w0")
+        assert gov.may_respawn("w1")
+        assert not gov.is_parked("w1")
+
+
+# ----------------------------------------------------------------------
+class TestCoordinatorDeadlines:
+    def _raw(self, port, request):
+        with socket.create_connection(("127.0.0.1", port)) as s:
+            s.settimeout(60.0)
+            s.sendall(protocol.encode(request))
+            buf = b""
+            while not buf.endswith(b"\n"):
+                buf += s.recv(65536)
+        return json.loads(buf)
+
+    def test_expired_request_shed_at_coordinator(self, fleet,
+                                                 fleet_demo):
+        before = fleet.deadline_sheds
+        response = self._raw(fleet.port, {
+            "id": 9, "method": "points_to",
+            "params": {"file": fleet_demo, "ptr": "p"},
+            "deadline": time.time() - 1.0})
+        error = response["error"]
+        assert error["code"] == protocol.DEADLINE_EXCEEDED
+        assert error["data"]["where"] == "coordinator"
+        assert fleet.deadline_sheds == before + 1
+
+    def test_generous_deadline_passes_through(self, fleet, fleet_demo):
+        response = self._raw(fleet.port, {
+            "id": 10, "method": "points_to",
+            "params": {"file": fleet_demo, "ptr": "p"},
+            "deadline": time.time() + 120.0})
+        assert "error" not in response
+        assert response["result"]["objects"]
+
+    def test_malformed_deadline_rejected(self, fleet):
+        response = self._raw(fleet.port, {
+            "id": 11, "method": "ping", "params": {},
+            "deadline": "tomorrow"})
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+
+    def test_sheds_show_in_fleet_status(self, fleet):
+        self._raw(fleet.port, {
+            "id": 12, "method": "ping", "params": {},
+            "deadline": time.time() - 5.0})
+        with ServerClient(port=fleet.port) as client:
+            status = client.fleet_status()
+        assert status["deadline_sheds"] >= 1
+
+
+class TestHedgedQueries:
+    def test_hedge_rescues_a_stalled_worker(self, fleet_demo):
+        """SIGSTOP the home worker: the hedge fires after the p95
+        delay, the ring successor answers, the envelope says hedged,
+        and the answer is bit-identical to the healthy one."""
+        config = FleetConfig(workers=2, envelope_all=True,
+                             hedge=True, hedge_max_fraction=1.0,
+                             hedge_min_delay=0.05,
+                             hedge_min_observations=1,
+                             probe_interval=60.0)
+        coordinator, thread = _start_coordinator(config)
+        stopped = None
+        try:
+            names = ("p", "q", "r", "s", "t", "u", "v", "w")
+            with ServerClient(port=coordinator.port,
+                              timeout=120.0) as client:
+                warm = {n: client.points_to(fleet_demo, n)
+                        for n in names}
+                # Pick any pointer and stall its home worker.
+                victim_name = "p"
+                home = warm[victim_name]["fleet"]["worker"]
+                status = client.fleet_status()
+                os.kill(status["workers"][home]["pid"], signal.SIGSTOP)
+                stopped = status["workers"][home]["pid"]
+
+                hedged = client.points_to(fleet_demo, victim_name)
+                tag = hedged.pop("fleet")
+                reference = dict(warm[victim_name])
+                reference.pop("fleet")
+                assert hedged == reference       # bit-identical content
+                assert tag["hedged"] is True
+                assert tag["worker"] != home
+                assert tag["home"] == home
+
+                status = client.fleet_status()
+                assert status["hedging"]["issued"] >= 1
+                assert status["hedging"]["won"] >= 1
+        finally:
+            if stopped is not None:
+                os.kill(stopped, signal.SIGCONT)
+            _stop_coordinator(coordinator, thread)
+
+    def test_no_hedge_before_enough_observations(self, fleet_demo):
+        config = FleetConfig(workers=1, hedge=True,
+                             hedge_min_observations=10_000)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=coordinator.port) as client:
+                client.points_to(fleet_demo, "p")
+                status = client.fleet_status()
+            assert status["hedging"]["issued"] == 0
+            assert status["hedging"]["delay"] is None
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+    def test_hedge_rate_is_capped(self, fleet_demo):
+        """With a zero budget, eligible traffic never hedges even when
+        the delay knob would fire instantly."""
+        config = FleetConfig(workers=2, hedge=True,
+                             hedge_max_fraction=0.0,
+                             hedge_min_delay=0.0,
+                             hedge_min_observations=1)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=coordinator.port,
+                              timeout=120.0) as client:
+                for name in ("p", "q", "r", "s"):
+                    client.points_to(fleet_demo, name)
+                status = client.fleet_status()
+            assert status["hedging"]["eligible"] >= 4
+            assert status["hedging"]["issued"] == 0
+        finally:
+            _stop_coordinator(coordinator, thread)
+
+
+class TestCoordinatorJournalRecovery:
+    def test_warm_restart_recovers_files_and_weights(self, fleet_demo,
+                                                     tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        config = FleetConfig(workers=1, journal_dir=journal_dir,
+                             weights_flush_every=8)
+        first, thread = _start_coordinator(config)
+        try:
+            with ServerClient(port=first.port, timeout=120.0) as client:
+                for _ in range(3):
+                    for name in ("p", "q", "r", "s", "t", "u"):
+                        baseline = client.points_to(fleet_demo, name)
+                status = client.fleet_status()
+            assert status["journal"]["files"] == 1
+            assert status["journal"]["records"] >= 1
+        finally:
+            _stop_coordinator(first, thread)
+
+        second, thread = _start_coordinator(config)
+        try:
+            # The restarted coordinator rebuilt its routing state from
+            # the journal before opening the front door.
+            assert second.recovered["files"] == 1
+            assert second.recovered["rebuilt"] == 1
+            assert second.recovered["weighted_keys"] >= 1
+            assert fleet_demo in second._query_counts
+            with ServerClient(port=second.port,
+                              timeout=120.0) as client:
+                after = client.points_to(fleet_demo, "u")
+                status = client.fleet_status()
+            assert after == baseline
+            assert "fleet" not in after
+            assert status["journal"]["recovered"]["files"] == 1
+        finally:
+            _stop_coordinator(second, thread)
+
+    def test_no_journal_config_keeps_memory_only(self, fleet):
+        with ServerClient(port=fleet.port) as client:
+            status = client.fleet_status()
+        assert "journal" not in status
+
+
+class TestDisconnectReleasesAdmission:
+    def test_client_vanishing_mid_request_frees_the_slot(self,
+                                                         fleet_demo):
+        config = FleetConfig(workers=1, max_inflight=1)
+        coordinator, thread = _start_coordinator(config)
+        try:
+            # Connect, fire a query at a cold file, vanish immediately:
+            # the dispatch is cancelled and its admission token MUST
+            # come back (a leak would wedge this 1-slot coordinator).
+            for _ in range(3):
+                s = socket.create_connection(
+                    ("127.0.0.1", coordinator.port))
+                s.sendall(protocol.encode({
+                    "id": 1, "method": "points_to",
+                    "params": {"file": fleet_demo, "ptr": "p"}}))
+                s.close()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if coordinator.admission.stats()["inflight"] == 0:
+                    break
+                time.sleep(0.05)
+            assert coordinator.admission.stats()["inflight"] == 0
+            with ServerClient(port=coordinator.port,
+                              timeout=120.0) as client:
+                assert client.points_to(fleet_demo, "p")["objects"]
+            assert coordinator.admission.stats()["rejected"] == 0
+        finally:
+            _stop_coordinator(coordinator, thread)

@@ -1,0 +1,155 @@
+"""Coordinator journal: checksummed append-only log + atomic snapshot."""
+
+import json
+import os
+import zlib
+
+from repro.fleet.journal import (
+    JOURNAL,
+    SNAPSHOT,
+    CoordinatorJournal,
+    _crc_line,
+    _parse_line,
+)
+
+
+class TestLineCodec:
+    def test_roundtrip(self):
+        body = json.dumps({"t": "file", "path": "/x.c"}).encode()
+        assert _parse_line(_crc_line(body)) == {"t": "file",
+                                               "path": "/x.c"}
+
+    def test_bad_crc_rejected(self):
+        line = _crc_line(b'{"t":"file","path":"/x.c"}')
+        # Flip one payload byte: the checksum must catch it.
+        corrupt = line[:12] + b"X" + line[13:]
+        assert _parse_line(corrupt) is None
+
+    def test_torn_line_rejected(self):
+        line = _crc_line(b'{"t":"file","path":"/x.c"}')
+        assert _parse_line(line[: len(line) // 2]) is None
+
+    def test_non_object_rejected(self):
+        assert _parse_line(_crc_line(b"[1,2,3]")) is None
+        assert _parse_line(b"nonsense\n") is None
+
+    def test_crc_matches_zlib(self):
+        body = b'{"t":"weights"}'
+        crc, rest = _crc_line(body).split(b" ", 1)
+        assert int(crc, 16) == zlib.crc32(body) & 0xFFFFFFFF
+
+
+class TestJournalRoundTrip:
+    def test_records_survive_restart(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        a.record_file("/two.c")
+        a.record_weights("/one.c", {"k1": 3, "k2": 7})
+
+        b = CoordinatorJournal(str(tmp_path))
+        files, weights = b.load()
+        assert files == ["/one.c", "/two.c"]
+        assert weights == {"/one.c": {"k1": 3, "k2": 7}}
+        assert b.recovered_files == 2
+        assert b.dropped_lines == 0
+
+    def test_record_file_is_idempotent(self, tmp_path):
+        journal = CoordinatorJournal(str(tmp_path))
+        journal.record_file("/one.c")
+        journal.record_file("/one.c")
+        assert journal.records == 1
+
+    def test_weights_replace_wholesale(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        a.record_weights("/one.c", {"k1": 1, "k2": 2})
+        a.record_weights("/one.c", {"k1": 9})
+        _files, weights = CoordinatorJournal(str(tmp_path)).load()
+        assert weights == {"/one.c": {"k1": 9}}
+
+    def test_forget_file_drops_path_and_weights(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        a.record_file("/two.c")
+        a.record_weights("/one.c", {"k": 5})
+        a.forget_file("/one.c")
+        files, weights = CoordinatorJournal(str(tmp_path)).load()
+        assert files == ["/two.c"]
+        assert weights == {}
+
+    def test_load_with_nothing_on_disk(self, tmp_path):
+        files, weights = CoordinatorJournal(str(tmp_path)).load()
+        assert files == [] and weights == {}
+
+
+class TestCrashTails:
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        a.record_file("/two.c")
+        # A power cut mid-append leaves a torn final line.
+        with open(os.path.join(str(tmp_path), JOURNAL), "ab") as handle:
+            handle.write(b"00000000 {\"t\":\"file\",\"pa")
+        b = CoordinatorJournal(str(tmp_path))
+        files, _ = b.load()
+        assert files == ["/one.c", "/two.c"]
+        assert b.dropped_lines == 1
+
+    def test_corrupt_middle_stops_replay_at_last_intact(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        path = os.path.join(str(tmp_path), JOURNAL)
+        with open(path, "ab") as handle:
+            handle.write(b"deadbeef {\"t\":\"file\",\"path\":\"/x\"}\n")
+        a2 = CoordinatorJournal(str(tmp_path))
+        a2.record_file("/ignored-after-corruption.c")  # fresh instance
+        b = CoordinatorJournal(str(tmp_path))
+        files, _ = b.load()
+        # Nothing after the corrupt line is trusted.
+        assert files == ["/one.c"]
+
+    def test_load_repairs_the_tail(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        with open(os.path.join(str(tmp_path), JOURNAL), "ab") as handle:
+            handle.write(b"garbage")
+        CoordinatorJournal(str(tmp_path)).load()
+        # Recovery compacted: journal truncated, snapshot holds state.
+        assert os.path.getsize(os.path.join(str(tmp_path), JOURNAL)) == 0
+        with open(os.path.join(str(tmp_path), SNAPSHOT)) as handle:
+            snap = json.load(handle)
+        assert snap["files"] == ["/one.c"]
+
+    def test_corrupt_snapshot_is_survivable(self, tmp_path):
+        a = CoordinatorJournal(str(tmp_path))
+        a.record_file("/one.c")
+        a.load()  # compact into the snapshot
+        a.record_file("/two.c")  # journaled on top
+        with open(os.path.join(str(tmp_path), SNAPSHOT), "wb") as handle:
+            handle.write(b"{torn")
+        files, _ = CoordinatorJournal(str(tmp_path)).load()
+        # The snapshot's contents are lost but the journaled suffix
+        # still replays — degraded warmth, no crash.
+        assert files == ["/two.c"]
+
+
+class TestCompaction:
+    def test_compacts_at_threshold(self, tmp_path):
+        journal = CoordinatorJournal(str(tmp_path), compact_every=3)
+        for i in range(7):
+            journal.record_file(f"/f{i}.c")
+        assert journal.compactions >= 2
+        # The journal stays short; the snapshot carries the state.
+        with open(os.path.join(str(tmp_path), SNAPSHOT)) as handle:
+            snap = json.load(handle)
+        assert len(snap["files"]) >= 6
+        files, _ = CoordinatorJournal(str(tmp_path)).load()
+        assert files == [f"/f{i}.c" for i in range(7)]
+
+    def test_stats_shape(self, tmp_path):
+        journal = CoordinatorJournal(str(tmp_path))
+        journal.record_file("/one.c")
+        stats = journal.stats()
+        assert stats["files"] == 1
+        assert stats["records"] == 1
+        assert stats["root"] == str(tmp_path)

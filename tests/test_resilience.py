@@ -464,3 +464,123 @@ class TestCLIResilience:
                         str(tmp_path))
         assert proc.returncode != 0
         assert "unknown fault kind" in proc.stderr
+
+
+class TestNetFaults:
+    """Connection-level chaos: the :class:`ChaosProxy` socket shim that
+    bench.chaos points at fleet workers."""
+
+    @pytest.fixture()
+    def echo(self):
+        """A TCP echo server plus a ChaosProxy in front of it; yields
+        (proxy, call) where call(data, timeout) round-trips through the
+        proxy and returns whatever came back (b"" on silence)."""
+        import socket
+        import threading
+
+        from repro.core.faults import ChaosProxy
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(8)
+        alive = True
+
+        def serve():
+            while alive:
+                try:
+                    conn, _ = server.accept()
+                except OSError:
+                    return
+                data = conn.recv(4096)
+                if data:
+                    conn.sendall(data)
+                conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        proxy = ChaosProxy("127.0.0.1", server.getsockname()[1])
+
+        def call(data, timeout=2.0):
+            sock = socket.create_connection(("127.0.0.1", proxy.port),
+                                            timeout=timeout)
+            try:
+                sock.sendall(data)
+                sock.settimeout(timeout)
+                chunks = []
+                while True:
+                    try:
+                        chunk = sock.recv(4096)
+                    except socket.timeout:
+                        break
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                return b"".join(chunks)
+            finally:
+                sock.close()
+
+        yield proxy, call
+        alive = False
+        proxy.close()
+        server.close()
+
+    def test_transparent_without_fault(self, echo):
+        proxy, call = echo
+        assert call(b"hello\n") == b"hello\n"
+        assert proxy.stats["connections"] == 1
+
+    def test_delay_adds_latency_then_heals(self, echo):
+        import time
+
+        from repro.core.faults import NetFault
+
+        proxy, call = echo
+        proxy.set_fault(NetFault("delay", duration=0.3))
+        t0 = time.monotonic()
+        assert call(b"slow\n") == b"slow\n"
+        assert time.monotonic() - t0 >= 0.3
+        assert proxy.stats["delayed_chunks"] >= 1
+        proxy.clear_fault()
+        t0 = time.monotonic()
+        assert call(b"fast\n") == b"fast\n"
+        assert time.monotonic() - t0 < 0.3
+
+    def test_blackhole_swallows_silently(self, echo):
+        from repro.core.faults import NetFault
+
+        proxy, call = echo
+        proxy.set_fault(NetFault("blackhole"))
+        assert call(b"void\n", timeout=0.5) == b""
+        assert proxy.stats["blackholed_chunks"] >= 1
+
+    def test_drop_truncates_the_response_promptly(self, echo):
+        import time
+
+        from repro.core.faults import NetFault
+
+        proxy, call = echo
+        proxy.set_fault(NetFault("drop", after_bytes=3))
+        t0 = time.monotonic()
+        got = call(b"echoes\n", timeout=5.0)
+        # A prefix arrives, then the connection tears down with a FIN —
+        # the client sees truncation, not a hang.
+        assert got == b"ech"
+        assert time.monotonic() - t0 < 2.0
+        assert proxy.stats["dropped_conns"] >= 1
+
+    def test_garble_flips_bytes_but_keeps_newlines(self, echo):
+        from repro.core.faults import NetFault, garble_bytes
+
+        proxy, call = echo
+        proxy.set_fault(NetFault("garble"))
+        got = call(b"ab\ncd\n")
+        assert got == b"\x7f\x7f\n\x7f\x7f\n"
+        assert proxy.stats["garbled_chunks"] >= 1
+        # The pure helper matches what went over the wire.
+        assert garble_bytes(b"ab\ncd\n") == b"\x7f\x7f\n\x7f\x7f\n"
+
+    def test_unknown_fault_kind_rejected(self):
+        from repro.core.faults import NetFault
+
+        with pytest.raises(ValueError, match="unknown net fault"):
+            NetFault("meltdown")

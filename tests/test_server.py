@@ -834,3 +834,136 @@ class TestDegradedAnswers:
         clean = result_of(flaky, "points_to", file=demo_file, ptr="q")
         assert "warnings" not in clean
         assert clean["objects"] == fresh_points_to(DEMO, "q")
+
+
+# ----------------------------------------------------------------------
+class TestDeadlineProtocol:
+    def test_request_deadline_parses_numbers(self):
+        now = time.time()
+        assert protocol.request_deadline({"deadline": now}) == now
+        assert protocol.request_deadline({"deadline": 7}) == 7.0
+        assert protocol.request_deadline({}) is None
+
+    def test_request_deadline_rejects_garbage(self):
+        for bad in (True, False, "soon", [1], {}):
+            with pytest.raises(protocol.RequestError) as exc:
+                protocol.request_deadline({"deadline": bad})
+            assert exc.value.code == protocol.INVALID_REQUEST
+
+    def test_remaining(self):
+        assert protocol.remaining(None) is None
+        assert protocol.remaining(time.time() + 100.0) > 99.0
+        assert protocol.remaining(time.time() - 1.0) < 0
+
+    def test_deadline_err_names_the_hop(self):
+        response = protocol.deadline_err(7, time.time() - 2.0, "worker")
+        error = response["error"]
+        assert response["id"] == 7
+        assert error["code"] == protocol.DEADLINE_EXCEEDED
+        assert error["data"]["where"] == "worker"
+        assert error["data"]["overdue_seconds"] > 1.0
+
+
+class TestDeadlineAtWorker:
+    """The daemon hop: expired requests shed before dispatch, and a
+    request that expires mid-solve never gets a partial answer."""
+
+    def _call(self, server, method, deadline, **params):
+        return server.handle_request({"id": 1, "method": method,
+                                      "params": params,
+                                      "deadline": deadline})
+
+    def test_expired_request_is_shed_before_dispatch(self, server,
+                                                     demo_file):
+        response = self._call(server, "points_to", time.time() - 1.0,
+                              file=demo_file, ptr="q")
+        assert response["error"]["code"] == protocol.DEADLINE_EXCEEDED
+        assert response["error"]["data"]["where"] == "worker"
+        # Shed before touching the store: nothing was loaded.
+        assert server.files.states() == []
+
+    def test_expiry_mid_solve_never_leaks_a_partial_answer(
+            self, server, demo_file, monkeypatch):
+        real_get = server.files.get
+
+        def slow_get(path, deadline=None):
+            state = real_get(path, deadline=deadline)
+            time.sleep(0.15)          # the budget dies while we work
+            return state
+
+        monkeypatch.setattr(server.files, "get", slow_get)
+        response = self._call(server, "points_to", time.time() + 0.05,
+                              file=demo_file, ptr="q")
+        assert "result" not in response
+        assert response["error"]["code"] == protocol.DEADLINE_EXCEEDED
+        assert response["error"]["data"]["where"] == "worker"
+
+    def test_unexpired_deadline_is_transparent(self, server, demo_file):
+        response = self._call(server, "points_to", time.time() + 60.0,
+                              file=demo_file, ptr="q")
+        assert response["result"]["objects"] == ["a"]
+
+    def test_malformed_deadline_rejected(self, server, demo_file):
+        response = self._call(server, "points_to", "yesterday",
+                              file=demo_file, ptr="q")
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+
+    def test_deadline_clamps_run_policy(self, server, demo_file):
+        state = server.files.get(demo_file, deadline=time.time() + 30.0)
+        assert state.deadline_clamped is True
+        # Un-deadlined load of the same (cached) file is not clamped.
+        fresh = AliasServer(ServerConfig())
+        assert fresh.files.get(demo_file).deadline_clamped is False
+
+    def test_clamped_degraded_state_is_not_cached(self, demo_file):
+        """A load whose precision was sacrificed to somebody's deadline
+        must not be served to later unconstrained queries."""
+        flaky = AliasServer(ServerConfig(
+            degrade=True, retries=0,
+            inject_faults=[FaultSpec(kind="crash", match="*")]))
+        state = flaky.files.get(demo_file, deadline=time.time() + 30.0)
+        assert state.deadline_clamped and state.refresh.degraded
+        # The degraded-under-deadline state was served once, not kept.
+        assert flaky.files.states() == []
+
+
+class TestDeadlineAtClient:
+    def test_expired_deadline_sheds_without_touching_the_wire(
+            self, unix_daemon):
+        server, sock = unix_daemon
+        with ServerClient(socket_path=sock) as client:
+            with pytest.raises(ServerError) as exc:
+                client.call("ping", deadline=time.time() - 1.0)
+        assert exc.value.code == protocol.DEADLINE_EXCEEDED
+        assert exc.value.data["where"] == "client"
+        with server._stats_lock:
+            assert "ping" not in server._method_count
+
+    def test_client_wide_deadline_applies_per_call(self, unix_daemon,
+                                                   demo_file):
+        _server, sock = unix_daemon
+        with ServerClient(socket_path=sock, deadline=30.0) as client:
+            # Generous budget: calls just work, each under its own
+            # fresh 30s deadline.
+            assert client.ping()["pong"] is True
+            assert client.points_to(demo_file, "q")["objects"] == ["a"]
+
+    def test_deadline_travels_to_the_daemon(self, unix_daemon,
+                                            demo_file):
+        server, sock = unix_daemon
+        seen = {}
+        real = server.files.get
+
+        def spy(path, deadline=None):
+            seen["deadline"] = deadline
+            return real(path, deadline=deadline)
+
+        server.files.get = spy
+        try:
+            with ServerClient(socket_path=sock) as client:
+                client.call("points_to", deadline=time.time() + 45.0,
+                            file=demo_file, ptr="q")
+        finally:
+            server.files.get = real
+        assert seen["deadline"] is not None
+        assert seen["deadline"] - time.time() > 30.0

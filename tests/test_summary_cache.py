@@ -196,3 +196,55 @@ class TestInvalidation:
         report = edited.analyze_all(cache=cache)
         assert report.cache_hits >= 1      # the fb-side clusters
         assert report.cache_misses >= 1    # the edited fa-side clusters
+
+
+class TestCrashSafety:
+    def test_sigkill_mid_write_never_leaves_a_torn_entry(self, tmp_path):
+        """Kill a writer process at an arbitrary point and the cache
+        must hold either nothing or complete entries — never garbage a
+        reader would quarantine (put() fsyncs before the rename)."""
+        import signal
+        import subprocess
+        import sys
+
+        root = str(tmp_path / "cache")
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        outcome = {"points_to": {f"p{i}": [f"o{j}" for j in range(40)]
+                                 for i in range(400)},
+                   "stats": {"solver": "fscs"}}
+        writer = (
+            "import json, sys\n"
+            "from repro.core.summary_cache import SummaryCache\n"
+            "cache = SummaryCache(sys.argv[1])\n"
+            "outcome = json.loads(sys.argv[2])\n"
+            "i = 0\n"
+            "while True:\n"
+            "    cache.put('%032x' % i, outcome)\n"
+            "    print(i, flush=True)\n"
+            "    i += 1\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src)]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+               if p])
+        proc = subprocess.Popen(
+            [sys.executable, "-c", writer, root, json.dumps(outcome)],
+            stdout=subprocess.PIPE, env=env, text=True)
+        try:
+            assert proc.stdout.readline().strip() == "0"  # one write in
+            proc.stdout.readline()           # mid-flight somewhere
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(30.0)
+
+        cache = SummaryCache(root)
+        entries = 0
+        for dirpath, _dirs, files in os.walk(root):
+            for name in files:
+                if not name.endswith(".json"):
+                    continue   # mkstemp leftovers are not entries
+                key = name[:-len(".json")]
+                assert cache.get(key) == outcome, key
+                entries += 1
+        assert entries >= 1                  # the first write landed
+        assert cache.corrupt == 0            # nothing quarantined
